@@ -1,0 +1,58 @@
+"""Ablation (section 5.3): table-based unroll selection vs the
+Wolf-Maydan-Chen brute force.
+
+Both must reach the same objective value; the point of the paper's tables
+is reaching it *without materializing a single unrolled body*.  The
+benchmark times both optimizers on the same search space.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.baselines.brute_force import brute_force_choose
+from repro.experiments.ablation import run_bruteforce_parity
+from repro.kernels.suite import cond9, dmxpy1, jacobi, mmjik, shal, vpenta7
+from repro.machine import dec_alpha
+from repro.unroll.optimize import choose_unroll
+
+KERNELS = [jacobi(), cond9(), dmxpy1(), vpenta7(), shal(), mmjik()]
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_bruteforce_parity(dec_alpha(), bound=4, kernels=KERNELS)
+
+def _format(rows):
+    lines = ["Ablation: table model vs Wolf-Maydan-Chen brute force",
+             f"{'Loop':<10s} {'u(table)':<12s} {'u(brute)':<12s} "
+             f"{'match':>5s} {'t_table':>8s} {'t_brute':>8s} {'bodies':>6s}"]
+    for r in rows:
+        lines.append(
+            f"{r.name:<10s} {str(r.table_unroll):<12s} "
+            f"{str(r.brute_unroll):<12s} {str(r.objectives_match):>5s} "
+            f"{r.table_seconds:>7.3f}s {r.brute_seconds:>7.3f}s "
+            f"{r.bodies_materialized:>6d}")
+    return "\n".join(lines)
+
+def test_regenerate_parity_table(rows, results_dir):
+    write_artifact(results_dir, "ablation_brute_force.txt", _format(rows))
+
+def test_objectives_always_match(rows):
+    for row in rows:
+        assert row.objectives_match, row.name
+
+def test_brute_force_materializes_every_vector(rows):
+    for row in rows:
+        assert row.bodies_materialized >= 5
+
+def test_bench_table_optimizer(benchmark):
+    kernel = mmjik(16)
+    benchmark.pedantic(lambda: choose_unroll(kernel.nest, dec_alpha(),
+                                             bound=4),
+                       rounds=3, iterations=1)
+
+def test_bench_brute_force_optimizer(benchmark):
+    kernel = mmjik(16)
+    space = choose_unroll(kernel.nest, dec_alpha(), bound=4).space
+    benchmark.pedantic(lambda: brute_force_choose(kernel.nest, dec_alpha(),
+                                                  space),
+                       rounds=3, iterations=1)

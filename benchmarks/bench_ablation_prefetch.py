@@ -1,0 +1,58 @@
+"""Ablation: software-prefetch bandwidth (the section 6 future-work knob).
+
+The balance model's miss term is gated by how many prefetches the machine
+can issue; as bandwidth grows the cache model's miss term vanishes and
+simulated cycles fall.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from conftest import write_artifact
+from repro.experiments.ablation import run_prefetch_sweep
+from repro.kernels.suite import cond7, dmxpy1, jacobi
+
+KERNELS = [jacobi(), cond7(), dmxpy1()]
+BANDWIDTHS = (Fraction(0), Fraction(1, 4), Fraction(1, 2), Fraction(1))
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_prefetch_sweep(BANDWIDTHS, kernels=KERNELS, bound=6)
+
+def _format(rows):
+    lines = ["Ablation: prefetch-issue bandwidth sweep",
+             f"{'Loop':<10s} {'p':>5s} {'unroll':<12s} {'beta_L':>7s} "
+             f"{'norm cycles':>11s}"]
+    for r in rows:
+        lines.append(f"{r.name:<10s} {str(r.bandwidth):>5s} "
+                     f"{str(r.unroll):<12s} {float(r.balance):>7.2f} "
+                     f"{r.normalized_cycles:>11.2f}")
+    return "\n".join(lines)
+
+def test_regenerate_prefetch_sweep(rows, results_dir):
+    write_artifact(results_dir, "ablation_prefetch.txt", _format(rows))
+
+def test_cycles_monotone_in_bandwidth(rows):
+    by_kernel = {}
+    for row in rows:
+        by_kernel.setdefault(row.name, []).append(row)
+    for name, entries in by_kernel.items():
+        entries.sort(key=lambda r: r.bandwidth)
+        cycles = [r.normalized_cycles for r in entries]
+        for earlier, later in zip(cycles, cycles[1:]):
+            assert later <= earlier + 0.02, (name, cycles)
+
+def test_model_balance_falls_with_bandwidth(rows):
+    by_kernel = {}
+    for row in rows:
+        by_kernel.setdefault(row.name, []).append(row)
+    for name, entries in by_kernel.items():
+        entries.sort(key=lambda r: r.bandwidth)
+        assert entries[-1].balance <= entries[0].balance, name
+
+def test_bench_sweep_one_kernel(benchmark):
+    benchmark.pedantic(
+        lambda: run_prefetch_sweep((Fraction(0), Fraction(1)),
+                                   kernels=[jacobi(64)], bound=4),
+        rounds=2, iterations=1)

@@ -1,0 +1,64 @@
+"""Ablation: the register-pressure constraint (sections 5.3 and 6).
+
+The paper attributes Wolf et al.'s unfavourable comparison to unrolling
+chosen *without* register limits; here we sweep the register file and
+check the constraint behaves: unroll amounts shrink monotonically with the
+file and predicted pressure never exceeds it.  Section 6's future work
+(machines with larger register sets) falls out of the same sweep.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.experiments.ablation import run_register_sweep
+from repro.kernels.suite import cond9, dmxpy1, jacobi, mmjik, shal
+from repro.unroll.space import body_copies
+
+KERNELS = [jacobi(), cond9(), dmxpy1(), shal(), mmjik()]
+SIZES = (8, 16, 32, 64)
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_register_sweep(SIZES, kernels=KERNELS, bound=6)
+
+def _format(rows):
+    lines = ["Ablation: register-file sweep",
+             f"{'Loop':<10s} {'regs':>4s} {'unroll':<12s} {'pressure':>8s} "
+             f"{'norm cycles':>11s}"]
+    for r in rows:
+        lines.append(f"{r.name:<10s} {r.registers:>4d} {str(r.unroll):<12s} "
+                     f"{r.predicted_registers:>8d} "
+                     f"{r.normalized_cycles:>11.2f}")
+    return "\n".join(lines)
+
+def test_regenerate_register_sweep(rows, results_dir):
+    write_artifact(results_dir, "ablation_registers.txt", _format(rows))
+
+def test_pressure_respects_file(rows):
+    for row in rows:
+        assert row.predicted_registers <= row.registers, row
+
+def test_unroll_monotone_in_registers(rows):
+    by_kernel = {}
+    for row in rows:
+        by_kernel.setdefault(row.name, []).append(row)
+    for name, entries in by_kernel.items():
+        entries.sort(key=lambda r: r.registers)
+        copies = [body_copies(r.unroll) for r in entries]
+        assert copies == sorted(copies), (name, copies)
+
+def test_large_files_enable_more_unrolling(rows):
+    """Section 6: bigger register sets let the transformation go further
+    on at least some loops."""
+    by_kernel = {}
+    for row in rows:
+        by_kernel.setdefault(row.name, {})[row.registers] = row
+    grew = sum(1 for entries in by_kernel.values()
+               if body_copies(entries[64].unroll)
+               > body_copies(entries[8].unroll))
+    assert grew >= 2
+
+def test_bench_sweep_one_kernel(benchmark):
+    benchmark.pedantic(
+        lambda: run_register_sweep((8, 32), kernels=[dmxpy1(64)], bound=4),
+        rounds=2, iterations=1)

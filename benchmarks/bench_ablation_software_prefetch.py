@@ -1,0 +1,58 @@
+"""Ablation: the software-prefetch pass (section 6) on top of the chosen
+unroll vectors -- the architecture direction the paper says its model is
+ready for."""
+
+import pytest
+
+from conftest import write_artifact
+from repro.experiments.ablation import run_software_prefetch
+from repro.kernels.suite import cond7, dmxpy0, dmxpy1, jacobi, mmjki, sor
+
+KERNELS = [jacobi(), cond7(), dmxpy0(), dmxpy1(), sor(), mmjki()]
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_software_prefetch(kernels=KERNELS, bound=6)
+
+def _format(rows):
+    lines = ["Ablation: software prefetching on the DEC Alpha model",
+             f"{'Loop':<10s} {'unroll':<12s} {'plain':>6s} {'+sw pf':>6s} "
+             f"{'stalls':>7s} {'stalls+pf':>9s} {'pf ops':>7s}"]
+    for r in rows:
+        lines.append(
+            f"{r.name:<10s} {str(r.unroll):<12s} {r.normalized_plain:>6.2f} "
+            f"{r.normalized_prefetched:>6.2f} {r.stall_misses_plain:>7d} "
+            f"{r.stall_misses_prefetched:>9d} {r.prefetch_ops:>7d}")
+    return "\n".join(lines)
+
+def test_regenerate(rows, results_dir):
+    write_artifact(results_dir, "ablation_software_prefetch.txt",
+                   _format(rows))
+
+def test_prefetch_never_slower(rows):
+    for row in rows:
+        assert row.normalized_prefetched <= row.normalized_plain + 0.02, \
+            row.name
+
+def test_prefetch_reduces_stalls_overall(rows):
+    total_plain = sum(r.stall_misses_plain for r in rows)
+    total_fetched = sum(r.stall_misses_prefetched for r in rows)
+    assert total_fetched < total_plain
+
+def test_substantial_wins_exist(rows):
+    wins = [r for r in rows
+            if r.normalized_prefetched < r.normalized_plain - 0.1]
+    assert len(wins) >= 2, [(r.name, r.normalized_plain,
+                             r.normalized_prefetched) for r in rows]
+
+def test_bench_prefetched_simulation(benchmark):
+    from repro.kernels.suite import jacobi as jac
+    from repro.machine import dec_alpha
+    from repro.machine.simulator import simulate
+
+    kernel = jac(96)
+    benchmark.pedantic(
+        lambda: simulate(kernel.nest, dec_alpha(), kernel.bindings,
+                         kernel.shapes, unroll=(4, 0),
+                         software_prefetch=True),
+        rounds=2, iterations=1)

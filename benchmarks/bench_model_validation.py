@@ -1,0 +1,50 @@
+"""Validation bench: the balance model must rank unroll vectors like the
+simulated machine does (positive rank correlation, low regret)."""
+
+import pytest
+
+from conftest import write_artifact
+from repro.experiments.validation import format_validation, run_validation
+from repro.kernels.suite import (
+    cond7,
+    cond9,
+    dmxpy0,
+    dmxpy1,
+    gmtry3,
+    jacobi,
+    mmjik,
+    shal,
+    sor,
+    vpenta7,
+)
+from repro.machine import dec_alpha
+
+KERNELS = [jacobi(), cond7(), cond9(), dmxpy0(), dmxpy1(), gmtry3(),
+           vpenta7(), sor(), shal(), mmjik(24)]
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_validation(dec_alpha(), bound=4, kernels=KERNELS)
+
+def test_regenerate(rows, results_dir):
+    write_artifact(results_dir, "model_validation.txt",
+                   format_validation(rows))
+
+def test_mostly_positive_correlation(rows):
+    positive = [r for r in rows if r.spearman > 0.3]
+    assert len(positive) >= 7, [(r.name, r.spearman) for r in rows]
+
+def test_low_regret(rows):
+    """The model's pick lands within 30% of the simulated optimum on
+    almost every kernel."""
+    near = [r for r in rows if r.regret <= 1.3]
+    assert len(near) >= 8, [(r.name, r.regret) for r in rows]
+
+def test_mean_regret_small(rows):
+    mean_regret = sum(r.regret for r in rows) / len(rows)
+    assert mean_regret <= 1.25
+
+def test_bench_one_validation(benchmark):
+    benchmark.pedantic(
+        lambda: run_validation(dec_alpha(), bound=2, kernels=[dmxpy1(64)]),
+        rounds=2, iterations=1)

@@ -1,0 +1,56 @@
+"""Table 1: input-dependence share of the corpus dependence graphs.
+
+Regenerates the nine-band histogram and the section 5.1 aggregates (the
+paper: 84% of all dependences are input, 55.7% per-routine mean), and
+benchmarks the per-routine analysis cost with and without input
+dependences -- the processing-time saving the paper argues for.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.dependence import build_dependence_graph
+from repro.experiments.table1 import run_table1
+
+FULL = CorpusConfig(routines=1187)
+BENCH = CorpusConfig(routines=150)
+
+@pytest.fixture(scope="module")
+def report():
+    return run_table1(FULL)
+
+def test_regenerate_table1(report, results_dir):
+    write_artifact(results_dir, "table1.txt", report.format())
+    assert sum(report.band_counts) == report.routines_with_deps
+
+def test_input_dependences_dominate(report):
+    """Paper: 84% of the 305,885 dependences were input."""
+    assert report.total_input_share > 0.6
+
+def test_most_routines_above_one_third(report):
+    """Paper: in 74% of the routines at least one-third of the dependences
+    were input."""
+    above = sum(report.band_counts[2:])
+    assert above / report.routines_with_deps > 0.6
+
+def test_space_saving_matches_share(report):
+    assert report.space_saved_fraction == pytest.approx(
+        report.total_input_share, abs=0.02)
+
+def bench_full_graphs():
+    corpus = generate_corpus(BENCH)
+    return sum(build_dependence_graph(nest, include_input=True).total_count
+               for nest in corpus)
+
+def bench_lean_graphs():
+    corpus = generate_corpus(BENCH)
+    return sum(build_dependence_graph(nest, include_input=False).total_count
+               for nest in corpus)
+
+def test_bench_dependence_analysis_with_input(benchmark):
+    benchmark.pedantic(bench_full_graphs, rounds=3, iterations=1)
+
+def test_bench_dependence_analysis_ugs_model(benchmark):
+    """The UGS compiler's graph: no input dependences computed or stored."""
+    benchmark.pedantic(bench_lean_graphs, rounds=3, iterations=1)

@@ -1,0 +1,23 @@
+"""Table 2: the test-loop roster with the model's view of each loop."""
+
+import pytest
+
+from conftest import write_artifact
+from repro.experiments.table2 import format_table2, run_table2
+from repro.machine import dec_alpha
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table2(dec_alpha())
+
+def test_regenerate_table2(rows, results_dir):
+    write_artifact(results_dir, "table2.txt", format_table2(rows))
+    assert len(rows) == 19
+
+def test_all_loops_memory_bound(rows):
+    """Section 5.2: the loops are chosen from those not already balanced."""
+    machine = dec_alpha()
+    assert all(row.original_balance > machine.balance for row in rows)
+
+def test_bench_roster_analysis(benchmark):
+    benchmark.pedantic(run_table2, rounds=3, iterations=1)

@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench module regenerates one table or figure of the paper, asserts its
+qualitative shape, writes the formatted artifact under ``results/``, and
+times the core computational step with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+def write_artifact(path: pathlib.Path, name: str, text: str) -> None:
+    target = path / name
+    target.write_text(text + "\n")
+    print(f"\n[artifact] {target}\n{text}")

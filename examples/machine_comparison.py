@@ -1,0 +1,59 @@
+"""One loop, three machines: how the architecture changes the decision.
+
+Runs the same memory-bound kernel through the optimizer on the DEC Alpha
+model, the HP PA-RISC model, and a forward-looking prefetching machine
+(the paper's future-work architecture), showing how cache geometry, miss
+penalty and prefetch bandwidth move the chosen unroll vector and the
+achieved cycles.
+
+Run:  python examples/machine_comparison.py
+"""
+
+from fractions import Fraction
+
+from repro.balance import loop_balance
+from repro.kernels.suite import cond9
+from repro.machine import dec_alpha, hp_pa_risc, prefetching_machine
+from repro.machine.simulator import simulate
+from repro.unroll.optimize import choose_unroll
+
+def main() -> None:
+    kernel = cond9(120)
+    machines = [
+        dec_alpha(),
+        hp_pa_risc(),
+        prefetching_machine(Fraction(1, 2)),
+        dec_alpha().with_registers(64),
+    ]
+
+    print(f"Kernel: {kernel.name} ({kernel.description}), N = "
+          f"{kernel.bindings['N']}\n")
+    print(f"{'machine':<22s} {'beta_M':>6s} {'unroll':<10s} {'beta_L':>7s} "
+          f"{'regs':>5s} {'norm time':>9s} {'misses':>8s}")
+
+    baseline = {}
+    for machine in machines:
+        result = choose_unroll(kernel.nest, machine, bound=8)
+        point = result.tables.point(result.unroll)
+        breakdown = loop_balance(point, machine)
+        if machine.name not in baseline:
+            base = simulate(kernel.nest, machine, kernel.bindings,
+                            kernel.shapes)
+        sim = simulate(kernel.nest, machine, kernel.bindings, kernel.shapes,
+                       unroll=result.unroll)
+        print(f"{machine.name:<22s} {float(machine.balance):>6.2f} "
+              f"{str(result.unroll):<10s} {float(breakdown.balance):>7.2f} "
+              f"{int(point.registers):>5d} "
+              f"{sim.normalized_to(base):>9.2f} {sim.cache_misses:>8d}")
+
+    print("\nReading the table:")
+    print(" * the Alpha's tiny cache makes the miss term huge, so the")
+    print("   model unrolls to share cache lines between copies;")
+    print(" * the PA's large cache shrinks the miss term and the decision")
+    print("   is driven by issue balance alone;")
+    print(" * prefetch bandwidth hides part of the miss cost, moving the")
+    print("   balance closer to the no-cache model (section 6);")
+    print(" * a larger register file admits deeper unrolling (section 6).")
+
+if __name__ == "__main__":
+    main()

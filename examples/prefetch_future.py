@@ -1,0 +1,61 @@
+"""Section 6's future work, made concrete: software prefetching and wide
+machines.
+
+Takes a miss-dominated kernel and walks the architectural staircase the
+paper sketches: the 1997 Alpha, the same core with a software-prefetch
+plan (this project's pass), a hardware-prefetch variant, and the
+"future-wide" machine with both large registers and prefetch bandwidth --
+showing how the unroll decision and the achieved cycles move.
+
+Run:  python examples/prefetch_future.py
+"""
+
+from fractions import Fraction
+
+from repro.kernels.suite import jacobi
+from repro.machine import dec_alpha
+from repro.machine.presets import future_wide, mips_r10k
+from repro.machine.simulator import simulate
+from repro.unroll.optimize import choose_unroll
+from repro.unroll.prefetch import format_plan, plan_prefetch
+from repro.unroll.transform import unroll_and_jam
+
+def main() -> None:
+    kernel = jacobi(120)
+    nest = kernel.nest
+
+    print("The software-prefetch plan for the original loop on the Alpha:")
+    print(format_plan(plan_prefetch(nest, dec_alpha())))
+    print()
+
+    configs = [
+        ("alpha", dec_alpha(), False),
+        ("alpha + software prefetch", dec_alpha(), True),
+        ("alpha + hw prefetch (p=1/2)", dec_alpha().with_prefetch(
+            Fraction(1, 2)), False),
+        ("mips-r10k", mips_r10k(), False),
+        ("future-wide", future_wide(), False),
+        ("future-wide + sw prefetch", future_wide(), True),
+    ]
+
+    base = simulate(nest, dec_alpha(), kernel.bindings, kernel.shapes)
+    print(f"{'configuration':<28s} {'unroll':<10s} {'cycles':>12s} "
+          f"{'vs alpha':>8s} {'stall misses':>12s}")
+    for label, machine, sw_prefetch in configs:
+        result = choose_unroll(nest, machine, bound=6)
+        sim = simulate(nest, machine, kernel.bindings, kernel.shapes,
+                       unroll=result.unroll, software_prefetch=sw_prefetch)
+        print(f"{label:<28s} {str(result.unroll):<10s} "
+              f"{float(sim.cycles):>12.0f} "
+              f"{float(sim.cycles / base.cycles):>8.2f} "
+              f"{sim.stall_misses:>12d}")
+
+    print()
+    print("Reading the staircase: prefetching (software or hardware) "
+          "removes the stall term,")
+    print("and the wide machine only reaches its flop rate because "
+          "unroll-and-jam keeps its")
+    print("memory pipes fed -- the paper's closing argument.")
+
+if __name__ == "__main__":
+    main()

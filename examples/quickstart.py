@@ -1,0 +1,67 @@
+"""Quickstart: optimize one loop nest end to end.
+
+Builds the paper's introduction example (section 3.3), analyzes its
+balance, lets the optimizer pick unroll amounts for a 2-flops-per-cycle
+machine, shows the transformed code, and verifies the transformation is
+semantics-preserving by running both versions.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.balance import loop_balance
+from repro.ir.builder import NestBuilder
+from repro.ir.interp import run_nest, run_unrolled
+from repro.ir.printer import format_nest
+from repro.machine import MachineModel
+from repro.unroll.optimize import choose_unroll
+from repro.unroll.transform import unroll_and_jam
+
+def build_intro_loop():
+    """DO J / DO I: A(J) = A(J) + B(I) -- the paper's running example."""
+    b = NestBuilder("intro", "paper section 3.3 example")
+    J, I = b.loops(("J", 0, "N"), ("I", 0, "M"))
+    b.assign(b.ref("A", J), b.ref("A", J) + b.ref("B", I))
+    return b.build()
+
+def main() -> None:
+    nest = build_intro_loop()
+    print("Original loop:")
+    print(format_nest(nest))
+
+    # A machine that retires two flops per memory op (beta_M = 1/2).
+    machine = MachineModel(
+        name="demo", mem_issue=Fraction(1), fp_issue=Fraction(2),
+        registers=32, cache_size_words=1024, cache_line_words=4,
+        cache_assoc=1, miss_penalty=12)
+    print(f"\nMachine balance beta_M = {machine.balance}")
+
+    result = choose_unroll(nest, machine, bound=8)
+    point = result.tables.point(result.unroll)
+    breakdown = loop_balance(point, machine)
+    print(f"Chosen unroll vector:   {result.unroll}")
+    print(f"Loop balance beta_L:    {float(breakdown.balance):.3f} "
+          f"(objective |beta_L - beta_M| = {float(result.objective):.3f})")
+    print(f"Memory ops / iteration: {point.memory_ops}")
+    print(f"Flops / iteration:      {point.flops}")
+    print(f"Register pressure:      {point.registers} "
+          f"(machine has {machine.registers})")
+
+    print("\nTransformed loop (jammed steady state):")
+    print(format_nest(unroll_and_jam(nest, result.unroll).main))
+
+    # Prove the transformation preserves semantics on a concrete run.
+    n, m = 13, 9  # deliberately not divisible by the unroll step
+    base = {"A": np.arange(float(n + 1)), "B": np.arange(float(m + 1))}
+    expected = {k: v.copy() for k, v in base.items()}
+    actual = {k: v.copy() for k, v in base.items()}
+    run_nest(nest, {"N": n, "M": m}, expected)
+    run_unrolled(nest, result.unroll, {"N": n, "M": m}, actual)
+    assert np.array_equal(expected["A"], actual["A"])
+    print("\nSemantics check: original and unrolled runs agree. OK")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro: Unroll-and-Jam Using Uniformly Generated Sets (Carr & Guan,
+MICRO 1997) -- a complete Python reproduction.
+
+The one-stop imports for the common workflow::
+
+    from repro import NestBuilder, choose_unroll, dec_alpha, unroll_and_jam
+
+    b = NestBuilder("intro")
+    J, I = b.loops(("J", 0, "N"), ("I", 0, "M"))
+    b.assign(b.ref("A", J), b.ref("A", J) + b.ref("B", I))
+    nest = b.build()
+
+    result = choose_unroll(nest, dec_alpha(), bound=8)
+    transformed = unroll_and_jam(nest, result.unroll).main
+
+See README.md for the tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for the paper-vs-measured results.
+"""
+
+from repro.ir.builder import NestBuilder
+from repro.ir.nodes import LoopNest
+from repro.ir.parser import parse_nest
+from repro.ir.printer import format_nest
+from repro.machine.model import MachineModel
+from repro.machine.presets import dec_alpha, hp_pa_risc
+from repro.unroll.optimize import choose_unroll
+from repro.unroll.tables import build_tables
+from repro.unroll.transform import unroll_and_jam
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LoopNest",
+    "MachineModel",
+    "NestBuilder",
+    "build_tables",
+    "choose_unroll",
+    "dec_alpha",
+    "format_nest",
+    "hp_pa_risc",
+    "parse_nest",
+    "unroll_and_jam",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Machine balance and loop balance (sections 3.1-3.3)."""
+
+from repro.balance.loop_balance import (
+    BalanceBreakdown,
+    estimated_cycles,
+    loop_balance,
+    objective,
+)
+
+__all__ = [
+    "BalanceBreakdown",
+    "estimated_cycles",
+    "loop_balance",
+    "objective",
+]

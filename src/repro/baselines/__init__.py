@@ -1,0 +1,29 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.brute_force` -- the Wolf, Maydan & Chen approach:
+  materialize the unrolled body for every candidate unroll vector and
+  measure the metric on it.  Also the ground-truth oracle for the tables.
+* :mod:`repro.baselines.dependence_model` -- the Carr-Kennedy
+  dependence-based model: reference groups derived from a dependence graph
+  that must include input dependences (the space cost Table 1 quantifies).
+"""
+
+from repro.baselines.brute_force import (
+    BruteForceResult,
+    brute_force_choose,
+    measure_unrolled,
+)
+from repro.baselines.dependence_model import (
+    DependenceModelResult,
+    dependence_based_choose,
+    dependence_reference_groups,
+)
+
+__all__ = [
+    "BruteForceResult",
+    "DependenceModelResult",
+    "brute_force_choose",
+    "dependence_based_choose",
+    "dependence_reference_groups",
+    "measure_unrolled",
+]

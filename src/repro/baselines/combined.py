@@ -1,0 +1,103 @@
+"""Combined permutation + unroll search (the full Wolf-Maydan-Chen scope).
+
+Section 5.3's comparison target considers loop permutation together with
+unroll-and-jam.  This module implements both sides of that comparison on
+our infrastructure:
+
+* :func:`combined_brute_force` -- WMC style: enumerate every legal loop
+  order, and for each, every unroll vector, measuring each candidate on a
+  materialized body.
+* :func:`permute_then_table` -- the composition this paper suggests:
+  choose the memory order first (Equation-1 cost), then run the table
+  search on the permuted nest.
+
+The experiment drivers compare decision quality and work done (bodies
+materialized) between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.balance import loop_balance, objective
+from repro.balance.loop_balance import BalanceBreakdown
+from repro.baselines.brute_force import measure_unrolled
+from repro.ir.nodes import LoopNest
+from repro.machine.model import MachineModel
+from repro.transforms.interchange import legal_permutations, memory_order, permute
+from repro.unroll.optimize import OptimizationResult, choose_unroll
+from repro.unroll.safety import safe_unroll_bounds
+from repro.unroll.space import UnrollSpace, UnrollVector, body_copies
+
+@dataclass(frozen=True)
+class CombinedResult:
+    """Outcome of a permutation + unroll decision."""
+
+    nest: LoopNest  # the permuted nest the unroll applies to
+    order: tuple[int, ...]
+    unroll: UnrollVector
+    breakdown: BalanceBreakdown
+    objective: Fraction
+    bodies_materialized: int
+
+def _space_for(nest: LoopNest, bound: int, max_loops: int) -> UnrollSpace:
+    from repro.unroll.optimize import select_candidate_loops
+
+    safety = safe_unroll_bounds(nest)
+    candidates = select_candidate_loops(nest, safety, max_loops)
+    bounds = tuple(min(bound, safety[level]) for level in candidates)
+    return UnrollSpace(nest.depth, candidates, bounds)
+
+def combined_brute_force(nest: LoopNest, machine: MachineModel,
+                         bound: int = 4, max_loops: int = 2,
+                         include_cache: bool = True,
+                         trip: int = 100) -> CombinedResult:
+    """Exhaustive WMC search over (legal order) x (unroll vector)."""
+    line_size = machine.cache_line_words
+    best_key: tuple | None = None
+    best_data: tuple | None = None
+    bodies = 0
+    for order in legal_permutations(nest):
+        permuted = permute(nest, order, check=False)
+        space = _space_for(permuted, bound, max_loops)
+        for u in space:
+            bodies += 1
+            point = measure_unrolled(permuted, u, line_size=line_size,
+                                     trip=trip)
+            if point.registers > machine.registers:
+                continue
+            key = (objective(point, machine, include_cache), body_copies(u),
+                   order, u)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_data = (order, u, point, permuted)
+    if best_data is None:
+        permuted = nest
+        u = tuple(0 for _ in range(nest.depth))
+        point = measure_unrolled(nest, u, line_size=line_size, trip=trip)
+        best_data = (tuple(range(nest.depth)), u, point, permuted)
+    order, u, point, permuted = best_data
+    breakdown = loop_balance(point, machine, include_cache)
+    return CombinedResult(
+        nest=permuted, order=order, unroll=u, breakdown=breakdown,
+        objective=abs(breakdown.balance - machine.balance),
+        bodies_materialized=bodies)
+
+def permute_then_table(nest: LoopNest, machine: MachineModel,
+                       bound: int = 4, max_loops: int = 2,
+                       include_cache: bool = True,
+                       trip: int = 100) -> CombinedResult:
+    """Memory-order the nest, then run the paper's table search on it --
+    no materialized bodies at all."""
+    ordered = memory_order(nest, line_size=machine.cache_line_words,
+                           trip=trip)
+    order = tuple(nest.index_names.index(loop.index)
+                  for loop in ordered.loops)
+    result: OptimizationResult = choose_unroll(
+        ordered, machine, bound=bound, max_loops=max_loops,
+        include_cache=include_cache, trip=trip)
+    return CombinedResult(
+        nest=ordered, order=order, unroll=result.unroll,
+        breakdown=result.breakdown, objective=result.objective,
+        bodies_materialized=0)

@@ -1,0 +1,273 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``kernels``                      -- list the Table 2 test loops
+* ``show <kernel|file>``           -- print a nest's source
+* ``analyze <kernel|file>``        -- reuse structure and balance
+* ``optimize <kernel|file>``       -- full unroll-and-jam report
+* ``simulate <kernel>``            -- trace-driven cycles, before/after
+* ``table1``                       -- the input-dependence experiment
+* ``figure (alpha|pa)``            -- a Figure 8/9 column
+
+Nests can be named kernels or paths to DO-loop text files (the format
+``show`` prints; see :mod:`repro.ir.parser`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.ir.nodes import LoopNest
+from repro.ir.parser import parse_nest
+from repro.ir.printer import format_nest
+from repro.machine.model import MachineModel
+from repro.machine.presets import dec_alpha, hp_pa_risc, prefetching_machine
+
+MACHINES = {
+    "alpha": dec_alpha,
+    "pa": hp_pa_risc,
+    "prefetch": prefetching_machine,
+}
+
+def _machine(name: str) -> MachineModel:
+    try:
+        return MACHINES[name]()
+    except KeyError:
+        raise SystemExit(f"unknown machine {name!r}; choose from "
+                         f"{sorted(MACHINES)}")
+
+def _load_nest(spec: str) -> LoopNest:
+    from repro.kernels import kernel_by_name
+
+    try:
+        return kernel_by_name(spec).nest
+    except KeyError:
+        pass
+    path = pathlib.Path(spec)
+    if path.exists():
+        return parse_nest(path.read_text(), name=path.stem)
+    raise SystemExit(f"{spec!r} is neither a kernel name nor a readable "
+                     "file; try 'kernels' for the list")
+
+def cmd_kernels(args: argparse.Namespace) -> int:
+    from repro.kernels import all_kernels
+
+    print(f"{'num':>3s} {'name':<10s} {'depth':>5s}  description")
+    for kernel in all_kernels():
+        print(f"{kernel.number:>3d} {kernel.name:<10s} "
+              f"{kernel.nest.depth:>5d}  {kernel.description}")
+    return 0
+
+def cmd_show(args: argparse.Namespace) -> int:
+    print(format_nest(_load_nest(args.nest)))
+    return 0
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.balance import loop_balance
+    from repro.baselines.brute_force import measure_unrolled
+    from repro.unroll.report import reuse_summary
+
+    nest = _load_nest(args.nest)
+    machine = _machine(args.machine)
+    print(format_nest(nest))
+    print()
+    print(reuse_summary(nest, machine.cache_line_words))
+    zero = tuple(0 for _ in range(nest.depth))
+    point = measure_unrolled(nest, zero,
+                             line_size=machine.cache_line_words)
+    breakdown = loop_balance(point, machine)
+    print()
+    print(f"flops/iter {point.flops}, memory ops/iter {point.memory_ops}, "
+          f"Eq.1 cost {float(point.cache_cost):.3f}")
+    print(f"loop balance {float(breakdown.balance):.3f} vs machine "
+          f"{float(machine.balance):.3f} on {machine.name}")
+    return 0
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.unroll.report import optimization_report
+
+    nest = _load_nest(args.nest)
+    machine = _machine(args.machine)
+    print(optimization_report(nest, machine, bound=args.bound,
+                              include_cache=not args.no_cache,
+                              show_code=not args.quiet))
+    return 0
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.kernels import kernel_by_name
+    from repro.machine.simulator import simulate
+    from repro.unroll.optimize import choose_unroll
+
+    try:
+        kernel = kernel_by_name(args.kernel)
+    except KeyError:
+        raise SystemExit(f"simulate needs a named kernel (got "
+                         f"{args.kernel!r}); workloads come with kernels")
+    machine = _machine(args.machine)
+    if args.unroll:
+        unroll = tuple(int(x) for x in args.unroll.split(","))
+    else:
+        unroll = choose_unroll(kernel.nest, machine, bound=args.bound).unroll
+    base = simulate(kernel.nest, machine, kernel.bindings, kernel.shapes)
+    opt = simulate(kernel.nest, machine, kernel.bindings, kernel.shapes,
+                   unroll=unroll)
+    print(f"kernel {kernel.name} on {machine.name}, unroll {unroll}")
+    print(f"  original: {float(base.cycles):>14.0f} cycles "
+          f"({base.cache_misses} misses)")
+    print(f"  unrolled: {float(opt.cycles):>14.0f} cycles "
+          f"({opt.cache_misses} misses)")
+    print(f"  normalized time: {opt.normalized_to(base):.3f}")
+    return 0
+
+def cmd_prefetch(args: argparse.Namespace) -> int:
+    from repro.machine.schedule import schedule_body
+    from repro.unroll.prefetch import format_plan, plan_prefetch
+
+    nest = _load_nest(args.nest)
+    machine = _machine(args.machine)
+    print(format_plan(plan_prefetch(nest, machine)))
+    return 0
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from repro.dependence import build_dependence_graph
+    from repro.dependence.export import summarize, to_dot
+
+    nest = _load_nest(args.nest)
+    graph = build_dependence_graph(nest,
+                                   include_input=not args.no_input)
+    if args.format == "dot":
+        print(to_dot(graph, include_input=not args.no_input))
+    else:
+        print(summarize(graph))
+        for dep in graph:
+            print(f"  {dep.pretty()}")
+    return 0
+
+def cmd_distribute(args: argparse.Namespace) -> int:
+    from repro.transforms.distribution import distribute
+
+    nest = _load_nest(args.nest)
+    pieces = distribute(nest)
+    print(f"{nest.name}: {len(pieces)} pi-block(s)")
+    for piece in pieces:
+        print()
+        print(format_nest(piece))
+    return 0
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.machine.schedule import schedule_body
+    from repro.unroll.transform import unroll_and_jam
+
+    nest = _load_nest(args.nest)
+    machine = _machine(args.machine)
+    if args.unroll:
+        unroll = tuple(int(x) for x in args.unroll.split(","))
+        nest = unroll_and_jam(nest, unroll).main
+    result = schedule_body(nest, machine)
+    print(f"schedule of {nest.name} on {machine.name}:")
+    print(f"  memory ops {result.memory_ops}, fp ops {result.fp_ops}")
+    print(f"  makespan {result.makespan} cycles, critical path "
+          f"{result.critical_path}")
+    print(f"  steady-state initiation interval "
+          f"{float(result.initiation_interval):.2f} cycles/iteration")
+    return 0
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusConfig
+    from repro.experiments.table1 import run_table1
+
+    report = run_table1(CorpusConfig(routines=args.routines, seed=args.seed))
+    print(report.format())
+    return 0
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import format_figure, run_figure
+
+    machine = _machine(args.machine)
+    rows = run_figure(machine, bound=args.bound)
+    title = f"Normalized execution time on {machine.name}"
+    print(format_figure(rows, title))
+    return 0
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Unroll-and-jam using uniformly generated sets "
+                    "(Carr & Guan, MICRO 1997)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list the Table 2 loops") \
+        .set_defaults(func=cmd_kernels)
+
+    p_show = sub.add_parser("show", help="print a nest")
+    p_show.add_argument("nest")
+    p_show.set_defaults(func=cmd_show)
+
+    p_analyze = sub.add_parser("analyze", help="reuse structure and balance")
+    p_analyze.add_argument("nest")
+    p_analyze.add_argument("--machine", default="alpha")
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_opt = sub.add_parser("optimize", help="full unroll-and-jam report")
+    p_opt.add_argument("nest")
+    p_opt.add_argument("--machine", default="alpha")
+    p_opt.add_argument("--bound", type=int, default=8)
+    p_opt.add_argument("--no-cache", action="store_true",
+                       help="use the cache-oblivious balance model")
+    p_opt.add_argument("--quiet", action="store_true",
+                       help="omit code listings")
+    p_opt.set_defaults(func=cmd_optimize)
+
+    p_sim = sub.add_parser("simulate", help="trace-driven before/after")
+    p_sim.add_argument("kernel")
+    p_sim.add_argument("--machine", default="alpha")
+    p_sim.add_argument("--unroll", default="",
+                       help="comma-separated unroll vector (default: let "
+                            "the optimizer choose)")
+    p_sim.add_argument("--bound", type=int, default=6)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_pf = sub.add_parser("prefetch", help="software-prefetch plan")
+    p_pf.add_argument("nest")
+    p_pf.add_argument("--machine", default="alpha")
+    p_pf.set_defaults(func=cmd_prefetch)
+
+    p_exp = sub.add_parser("export", help="dependence graph (text or DOT)")
+    p_exp.add_argument("nest")
+    p_exp.add_argument("--format", choices=("text", "dot"), default="text")
+    p_exp.add_argument("--no-input", action="store_true",
+                       help="omit input dependences (the UGS compiler view)")
+    p_exp.set_defaults(func=cmd_export)
+
+    p_dist = sub.add_parser("distribute", help="loop distribution")
+    p_dist.add_argument("nest")
+    p_dist.set_defaults(func=cmd_distribute)
+
+    p_sched = sub.add_parser("schedule", help="list-schedule the body")
+    p_sched.add_argument("nest")
+    p_sched.add_argument("--machine", default="alpha")
+    p_sched.add_argument("--unroll", default="",
+                         help="unroll-and-jam first (comma-separated)")
+    p_sched.set_defaults(func=cmd_schedule)
+
+    p_t1 = sub.add_parser("table1", help="input-dependence experiment")
+    p_t1.add_argument("--routines", type=int, default=400)
+    p_t1.add_argument("--seed", type=int, default=1997)
+    p_t1.set_defaults(func=cmd_table1)
+
+    p_fig = sub.add_parser("figure", help="Figure 8/9 series")
+    p_fig.add_argument("--machine", default="alpha")
+    p_fig.add_argument("--bound", type=int, default=6)
+    p_fig.set_defaults(func=cmd_figure)
+
+    return parser
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Synthetic routine corpus standing in for the paper's 1187 benchmark
+routines (SPEC92, Perfect, NAS, local) in the Table 1 experiment.
+
+We cannot ship the Fortran suites; the statistic under study -- the share
+of input (read-read) dependences in a routine's dependence graph --
+depends on the read/write mix and subscript structure of scientific loop
+nests, which the seeded generator models.  See DESIGN.md for the
+substitution argument.
+"""
+
+from repro.corpus.generator import CorpusConfig, generate_corpus, generate_routine
+
+__all__ = ["CorpusConfig", "generate_corpus", "generate_routine"]

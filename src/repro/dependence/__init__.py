@@ -1,0 +1,32 @@
+"""SIV dependence analysis and the dependence graph.
+
+This is the substrate the *baseline* unroll-and-jam model (Carr-Kennedy) is
+built on and the object whose size Table 1 of the paper measures.  The
+analyzer covers the reference classes the paper restricts itself to
+(section 3.5: single-induction-variable, fully separable subscripts) with
+conservative fallbacks for everything else.
+
+Dependence kinds follow the classic taxonomy: *flow* (write -> read), *anti*
+(read -> write), *output* (write -> write) and *input* (read -> read).  The
+paper's observation is that input dependences -- needed only for memory-reuse
+analysis -- dominate the graph, and that the UGS model makes them
+unnecessary.
+"""
+
+from repro.dependence.siv import DistanceEntry, subscript_pair_test
+from repro.dependence.graph import (
+    Dependence,
+    DependenceGraph,
+    build_dependence_graph,
+)
+from repro.dependence.stats import GraphSizeReport, graph_size_report
+
+__all__ = [
+    "Dependence",
+    "DependenceGraph",
+    "DistanceEntry",
+    "GraphSizeReport",
+    "build_dependence_graph",
+    "graph_size_report",
+    "subscript_pair_test",
+]

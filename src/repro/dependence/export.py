@@ -1,0 +1,111 @@
+"""Dependence-graph exports: networkx views, DOT rendering, summaries.
+
+The dependence graph is the baseline's central data structure; these
+exports make it inspectable -- ``networkx`` for programmatic analysis
+(cycles, condensations, level structure) and Graphviz DOT for eyeballing.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.dependence.graph import Dependence, DependenceGraph
+from repro.dependence.siv import STAR
+
+_KIND_STYLE = {
+    "flow": ("solid", "black"),
+    "anti": ("dashed", "blue"),
+    "output": ("bold", "red"),
+    "input": ("dotted", "gray"),
+}
+
+def _node_id(occ) -> str:
+    return f"{occ.ref.pretty()}@{occ.position}"
+
+def to_networkx(graph: DependenceGraph,
+                include_input: bool = True) -> nx.MultiDiGraph:
+    """A MultiDiGraph whose nodes are reference occurrences and whose edges
+    carry kind/distance attributes."""
+    g = nx.MultiDiGraph(nest=graph.nest.name)
+    from repro.ir.matrixform import occurrences
+
+    for occ in occurrences(graph.nest):
+        g.add_node(_node_id(occ), array=occ.array, position=occ.position,
+                   is_write=occ.is_write)
+    for dep in graph:
+        if not include_input and dep.is_input:
+            continue
+        g.add_edge(_node_id(dep.src), _node_id(dep.dst), kind=dep.kind,
+                   distance=dep.distance,
+                   carrier=dep.carrier_level())
+    return g
+
+def statement_graph(graph: DependenceGraph,
+                    include_input: bool = False) -> nx.DiGraph:
+    """Statement-level condensation: one node per statement, edges when any
+    reference-level dependence connects them.  The classic input to loop
+    distribution and fusion decisions."""
+    g = nx.DiGraph(nest=graph.nest.name)
+    for index in range(len(graph.nest.body)):
+        g.add_node(index)
+    for dep in graph:
+        if not include_input and dep.is_input:
+            continue
+        src, dst = dep.src.stmt_index, dep.dst.stmt_index
+        if g.has_edge(src, dst):
+            g[src][dst]["kinds"].add(dep.kind)
+        else:
+            g.add_edge(src, dst, kinds={dep.kind})
+    return g
+
+def dependence_cycles(graph: DependenceGraph) -> list[list[int]]:
+    """Strongly connected statement groups (recurrences); singletons with a
+    self edge count, matching the classic pi-block construction."""
+    g = statement_graph(graph, include_input=False)
+    blocks = []
+    for component in nx.strongly_connected_components(g):
+        nodes = sorted(component)
+        if len(nodes) > 1 or g.has_edge(nodes[0], nodes[0]):
+            blocks.append(nodes)
+    return blocks
+
+def _distance_label(distance) -> str:
+    return "(" + ",".join("*" if d == STAR else str(d) for d in distance) + ")"
+
+def to_dot(graph: DependenceGraph, include_input: bool = True) -> str:
+    """Graphviz DOT text for the reference-level graph."""
+    lines = [f'digraph "{graph.nest.name}" {{',
+             "  rankdir=LR;",
+             "  node [shape=box, fontname=monospace];"]
+    from repro.ir.matrixform import occurrences
+
+    for occ in occurrences(graph.nest):
+        shape = "box" if occ.is_write else "ellipse"
+        lines.append(f'  "{_node_id(occ)}" [shape={shape}];')
+    for dep in graph:
+        if not include_input and dep.is_input:
+            continue
+        style, color = _KIND_STYLE[dep.kind]
+        lines.append(
+            f'  "{_node_id(dep.src)}" -> "{_node_id(dep.dst)}" '
+            f'[style={style}, color={color}, '
+            f'label="{dep.kind} {_distance_label(dep.distance)}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+def summarize(graph: DependenceGraph) -> str:
+    """One-paragraph textual summary of a nest's dependence structure."""
+    by_level: dict[object, int] = {}
+    for dep in graph:
+        by_level[dep.carrier_level()] = by_level.get(dep.carrier_level(), 0) + 1
+    level_text = ", ".join(
+        f"level {lvl}: {count}" if lvl is not None
+        else f"loop-independent: {count}"
+        for lvl, count in sorted(by_level.items(),
+                                 key=lambda kv: (kv[0] is None, kv[0])))
+    cycles = dependence_cycles(graph)
+    return (f"{graph.nest.name}: {graph.total_count} dependences "
+            f"({graph.input_count} input, "
+            f"{graph.count('flow')} flow, {graph.count('anti')} anti, "
+            f"{graph.count('output')} output); carriers: {level_text or 'none'}; "
+            f"{len(cycles)} recurrence block(s)")

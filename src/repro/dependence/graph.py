@@ -1,0 +1,167 @@
+"""The dependence graph: edges between array-reference occurrences.
+
+Edges carry exact distance vectors where provable (int entries) and ``"*"``
+where not.  Orientation follows the usual convention: the source accesses
+the location first, either in an earlier iteration (lexicographically
+positive distance vector) or earlier in the same iteration (zero vector,
+textual order).  Unknown-direction pairs conservatively produce one edge in
+each plausible direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+from typing import Iterable, Iterator
+
+from repro.dependence.siv import (
+    STAR,
+    Distance,
+    merge_constraints,
+    subscript_pair_test,
+)
+from repro.ir.matrixform import RefOccurrence, occurrences
+from repro.ir.nodes import LoopNest
+
+_KINDS = {
+    (True, False): "flow",
+    (False, True): "anti",
+    (True, True): "output",
+    (False, False): "input",
+}
+
+@dataclass(frozen=True)
+class Dependence:
+    """One dependence edge of the graph."""
+
+    src: RefOccurrence
+    dst: RefOccurrence
+    kind: str  # flow | anti | output | input
+    distance: tuple[Distance, ...]  # per loop, outermost first
+
+    @property
+    def is_input(self) -> bool:
+        return self.kind == "input"
+
+    def carrier_level(self) -> int | None:
+        """The outermost loop level carrying the dependence, or None if
+        loop-independent (all-zero distance)."""
+        for level, d in enumerate(self.distance):
+            if d == STAR or d != 0:
+                return level
+        return None
+
+    def is_loop_independent(self) -> bool:
+        return all(d == 0 for d in self.distance)
+
+    def pretty(self) -> str:
+        dist = ", ".join(str(d) for d in self.distance)
+        return (f"{self.kind}: {self.src.pretty()} -> {self.dst.pretty()} "
+                f"({dist})")
+
+def _lex_sign(distance: tuple[Distance, ...]) -> str:
+    """'+' if lexicographically positive, '-' if negative, '0' if zero,
+    '?' if the leading unknown entry makes it ambiguous."""
+    for d in distance:
+        if d == STAR:
+            return "?"
+        if d > 0:
+            return "+"
+        if d < 0:
+            return "-"
+    return "0"
+
+def _negate(distance: tuple[Distance, ...]) -> tuple[Distance, ...]:
+    return tuple(STAR if d == STAR else -d for d in distance)
+
+def _edges_for_pair(a: RefOccurrence, b: RefOccurrence,
+                    loop_names: tuple[str, ...]) -> Iterator[Dependence]:
+    """All dependence edges between occurrences a and b (a.position <=
+    b.position; a may equal b for cross-iteration self dependence)."""
+    entries = [subscript_pair_test(sa, sb)
+               for sa, sb in zip(a.ref.subscripts, b.ref.subscripts)]
+    distance = merge_constraints(entries, loop_names)
+    if distance is None:
+        return
+
+    same_occurrence = a.position == b.position
+    sign = _lex_sign(distance)
+
+    def emit(src: RefOccurrence, dst: RefOccurrence,
+             dist: tuple[Distance, ...]) -> Dependence:
+        return Dependence(src, dst, _KINDS[(src.is_write, dst.is_write)], dist)
+
+    if sign == "+":
+        yield emit(a, b, distance)
+    elif sign == "-":
+        yield emit(b, a, _negate(distance))
+    elif sign == "0":
+        # Loop-independent: textual order decides; a self pair at zero
+        # distance is the access itself, not a dependence.
+        if not same_occurrence:
+            yield emit(a, b, distance)
+    else:  # ambiguous direction: conservatively both ways
+        yield emit(a, b, distance)
+        if not same_occurrence:
+            yield emit(b, a, _negate(distance))
+
+class DependenceGraph:
+    """All dependences of one loop nest, with counting helpers."""
+
+    def __init__(self, nest: LoopNest, edges: Iterable[Dependence]):
+        self.nest = nest
+        self.edges = tuple(edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __iter__(self) -> Iterator[Dependence]:
+        return iter(self.edges)
+
+    def count(self, kind: str | None = None) -> int:
+        if kind is None:
+            return len(self.edges)
+        return sum(1 for e in self.edges if e.kind == kind)
+
+    @property
+    def input_count(self) -> int:
+        return self.count("input")
+
+    @property
+    def total_count(self) -> int:
+        return len(self.edges)
+
+    def input_fraction(self) -> float:
+        if not self.edges:
+            return 0.0
+        return self.input_count / self.total_count
+
+    def without_input_dependences(self) -> "DependenceGraph":
+        return DependenceGraph(self.nest,
+                               [e for e in self.edges if not e.is_input])
+
+    def edges_for_array(self, array: str) -> list[Dependence]:
+        return [e for e in self.edges if e.src.array == array]
+
+def build_dependence_graph(nest: LoopNest,
+                           include_input: bool = True) -> DependenceGraph:
+    """Run the SIV tests over every same-array occurrence pair.
+
+    ``include_input=False`` models the UGS-based compiler that never
+    computes read-read dependences (the paper's space saving).
+    """
+    occs = occurrences(nest)
+    loop_names = nest.index_names
+    edges: list[Dependence] = []
+    by_array: dict[str, list[RefOccurrence]] = {}
+    for occ in occs:
+        by_array.setdefault(occ.array, []).append(occ)
+    for _, refs in sorted(by_array.items()):
+        for a, b in combinations_with_replacement(refs, 2):
+            if not include_input and not a.is_write and not b.is_write:
+                continue
+            if a.ref.rank != b.ref.rank:
+                continue
+            for edge in _edges_for_pair(a, b, loop_names):
+                edges.append(edge)
+    return DependenceGraph(nest, edges)

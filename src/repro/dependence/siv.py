@@ -1,0 +1,133 @@
+"""Single-induction-variable (SIV) subscript dependence tests.
+
+Each array dimension of a reference pair is tested independently (the
+separability restriction of section 3.5 makes dimensions independent), and
+the per-dimension verdicts are merged into a distance vector whose entries
+are exact integers where the test can prove them and ``"*"`` (unknown
+direction/distance) where it cannot.
+
+The tests implemented are the classic ones from Goff, Kennedy & Tseng
+(Practical Dependence Testing): ZIV, strong SIV, weak-zero SIV and
+weak-crossing SIV, with a GCD fallback for general SIV pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Literal
+
+from repro.ir.nodes import Subscript
+
+STAR = "*"
+Distance = int | Literal["*"]
+
+@dataclass(frozen=True)
+class DistanceEntry:
+    """Outcome of testing one subscript dimension.
+
+    ``proven_independent`` short-circuits the whole pair.  Otherwise
+    ``constraints`` maps loop-index names to required distances (int or
+    ``"*"``).  Dimensions that constrain no loop contribute nothing.
+    """
+
+    proven_independent: bool
+    constraints: tuple[tuple[str, Distance], ...] = ()
+
+INDEPENDENT = DistanceEntry(proven_independent=True)
+NO_CONSTRAINT = DistanceEntry(proven_independent=False)
+
+def _params_differ(a: Subscript, b: Subscript) -> bool:
+    return dict(a.param_coeffs) != dict(b.param_coeffs)
+
+def subscript_pair_test(src: Subscript, dst: Subscript) -> DistanceEntry:
+    """Test one dimension: can ``src`` (at iteration i) and ``dst`` (at
+    iteration i + d) touch the same index value, and what must d be?
+
+    Distances are oriented source -> destination: ``dst`` at distance ``d``
+    *after* the source touches the same element.
+    """
+    src_vars = dict(src.loop_coeffs)
+    dst_vars = dict(dst.loop_coeffs)
+
+    if _params_differ(src, dst):
+        # Unknown symbolic offset: distances cannot be proven; be
+        # conservative only when an induction variable is present.
+        if not src_vars and not dst_vars:
+            return INDEPENDENT  # e.g. A(N) vs A(N+1) style mismatch is unknowable;
+            # treat differing pure-parameter subscripts as distinct elements.
+        names = sorted(set(src_vars) | set(dst_vars))
+        return DistanceEntry(False, tuple((n, STAR) for n in names))
+
+    if not src_vars and not dst_vars:
+        # ZIV: constant subscripts.
+        return NO_CONSTRAINT if src.const == dst.const else INDEPENDENT
+
+    if len(src_vars) == 1 and len(dst_vars) == 1:
+        (sv, sa), = src_vars.items()
+        (dv, da), = dst_vars.items()
+        if sv == dv:
+            if sa == da:
+                # Strong SIV: a*i + c1 = a*(i+d) + c2  =>  d = (c1-c2)/a.
+                delta = src.const - dst.const
+                if delta % sa:
+                    return INDEPENDENT
+                return DistanceEntry(False, ((sv, delta // sa),))
+            if sa == -da:
+                # Weak-crossing SIV: a*i1 + c1 = -a*i2 + c2 requires
+                # i1 + i2 = (c2 - c1)/a to be an integer; direction unknown.
+                delta = dst.const - src.const
+                if delta % abs(sa):
+                    return INDEPENDENT
+                return DistanceEntry(False, ((sv, STAR),))
+            # General SIV, same variable: GCD test.
+            delta = dst.const - src.const
+            if delta % gcd(abs(sa), abs(da)):
+                return INDEPENDENT
+            return DistanceEntry(False, ((sv, STAR),))
+        # Two different induction variables in the same dimension (MIV-ish
+        # coupling): both loops get unknown distance.
+        return DistanceEntry(False, ((sv, STAR), (dv, STAR)))
+
+    if len(src_vars) <= 1 and len(dst_vars) <= 1:
+        # Weak-zero SIV: one side is constant.
+        if src_vars:
+            (v, a), = src_vars.items()
+            delta = dst.const - src.const
+        else:
+            (v, a), = dst_vars.items()
+            delta = src.const - dst.const
+        if delta % a:
+            return INDEPENDENT
+        # The dependence pins one endpoint to a single iteration; the
+        # distance w.r.t. loop v is unknown.
+        return DistanceEntry(False, ((v, STAR),))
+
+    # MIV inside one dimension: outside the model; assume dependence with
+    # unknown distances on every involved loop.
+    names = sorted(set(src_vars) | set(dst_vars))
+    return DistanceEntry(False, tuple((n, STAR) for n in names))
+
+def merge_constraints(entries: list[DistanceEntry],
+                      loop_names: tuple[str, ...]) -> tuple[Distance, ...] | None:
+    """Combine per-dimension verdicts into a full distance vector.
+
+    Returns None when any dimension proves independence or two dimensions
+    demand contradictory distances for the same loop.  Loops constrained by
+    no dimension are free: they carry the dependence at any distance and
+    appear as ``"*"``.
+    """
+    merged: dict[str, Distance] = {}
+    for entry in entries:
+        if entry.proven_independent:
+            return None
+        for name, dist in entry.constraints:
+            if name not in merged:
+                merged[name] = dist
+            else:
+                existing = merged[name]
+                if existing == STAR:
+                    merged[name] = dist
+                elif dist != STAR and dist != existing:
+                    return None
+    return tuple(merged.get(name, STAR) for name in loop_names)

@@ -1,0 +1,27 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module computes one artifact's rows programmatically; the benchmark
+harness and the examples print them.  The index lives in DESIGN.md; the
+measured-vs-paper comparison lives in EXPERIMENTS.md.
+"""
+
+from repro.experiments.table1 import Table1Report, run_table1
+from repro.experiments.table2 import Table2Row, run_table2
+from repro.experiments.figures import FigureRow, run_figure
+from repro.experiments.ablation import (
+    run_bruteforce_parity,
+    run_prefetch_sweep,
+    run_register_sweep,
+)
+
+__all__ = [
+    "FigureRow",
+    "Table1Report",
+    "Table2Row",
+    "run_bruteforce_parity",
+    "run_figure",
+    "run_prefetch_sweep",
+    "run_register_sweep",
+    "run_table1",
+    "run_table2",
+]

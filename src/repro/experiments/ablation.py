@@ -1,0 +1,175 @@
+"""Ablations: the comparisons the paper makes in prose (section 5.3 and
+the future-work list of section 6).
+
+* **Brute-force parity** -- the table-based optimizer must pick unroll
+  vectors with the same objective value as Wolf-Maydan-Chen exhaustive
+  re-unrolling, while materializing zero unrolled bodies.
+* **Register sweep** -- how the register-file constraint changes decisions
+  (the flaw the paper identifies in Wolf et al.'s comparison: unrolling
+  chosen without register limits over-pressures small files).
+* **Prefetch sweep** -- the model's prefetch-bandwidth term: as bandwidth
+  grows, the miss term shrinks and the cache model converges to the
+  no-cache model.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.baselines.brute_force import brute_force_choose
+from repro.kernels import Kernel, all_kernels
+from repro.machine.model import MachineModel
+from repro.machine.presets import dec_alpha
+from repro.machine.simulator import simulate
+from repro.unroll.optimize import choose_unroll
+from repro.unroll.space import UnrollVector
+
+@dataclass(frozen=True)
+class ParityRow:
+    """Table model vs brute force on one kernel."""
+
+    name: str
+    table_unroll: UnrollVector
+    brute_unroll: UnrollVector
+    table_objective: Fraction
+    brute_objective: Fraction
+    table_seconds: float
+    brute_seconds: float
+    bodies_materialized: int
+
+    @property
+    def objectives_match(self) -> bool:
+        return self.table_objective == self.brute_objective
+
+def run_bruteforce_parity(machine: MachineModel | None = None,
+                          bound: int = 4,
+                          kernels: list[Kernel] | None = None) -> list[ParityRow]:
+    """Section 5.3: same decisions, no data-structure unrolling."""
+    machine = machine or dec_alpha()
+    kernels = kernels if kernels is not None else all_kernels()
+    rows = []
+    for kernel in kernels:
+        start = time.perf_counter()
+        table = choose_unroll(kernel.nest, machine, bound=bound)
+        table_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        brute = brute_force_choose(kernel.nest, machine, table.space)
+        brute_seconds = time.perf_counter() - start
+        rows.append(ParityRow(
+            name=kernel.name,
+            table_unroll=table.unroll,
+            brute_unroll=brute.unroll,
+            table_objective=table.objective,
+            brute_objective=brute.objective,
+            table_seconds=table_seconds,
+            brute_seconds=brute_seconds,
+            bodies_materialized=brute.bodies_materialized,
+        ))
+    return rows
+
+@dataclass(frozen=True)
+class RegisterRow:
+    """One kernel under one register-file size."""
+
+    name: str
+    registers: int
+    unroll: UnrollVector
+    predicted_registers: int
+    normalized_cycles: float
+
+def run_register_sweep(register_sizes: tuple[int, ...] = (8, 16, 32, 64),
+                       kernels: list[Kernel] | None = None,
+                       bound: int = 6) -> list[RegisterRow]:
+    """Register-pressure ablation: smaller files force smaller unrolls."""
+    kernels = kernels if kernels is not None else all_kernels()
+    rows = []
+    for kernel in kernels:
+        base = simulate(kernel.nest, dec_alpha(), kernel.bindings,
+                        kernel.shapes)
+        for regs in register_sizes:
+            machine = dec_alpha().with_registers(regs)
+            result = choose_unroll(kernel.nest, machine, bound=bound)
+            sim = simulate(kernel.nest, machine, kernel.bindings,
+                           kernel.shapes, unroll=result.unroll)
+            rows.append(RegisterRow(
+                name=kernel.name,
+                registers=regs,
+                unroll=result.unroll,
+                predicted_registers=int(result.tables.point(result.unroll).registers),
+                normalized_cycles=sim.normalized_to(base),
+            ))
+    return rows
+
+@dataclass(frozen=True)
+class PrefetchRow:
+    """One kernel under one prefetch-issue bandwidth."""
+
+    name: str
+    bandwidth: Fraction
+    unroll: UnrollVector
+    balance: Fraction
+    normalized_cycles: float
+
+@dataclass(frozen=True)
+class SoftwarePrefetchRow:
+    """One kernel with and without the section-6 software-prefetch pass."""
+
+    name: str
+    unroll: UnrollVector
+    normalized_plain: float
+    normalized_prefetched: float
+    stall_misses_plain: int
+    stall_misses_prefetched: int
+    prefetch_ops: int
+
+def run_software_prefetch(kernels: list[Kernel] | None = None,
+                          bound: int = 6) -> list[SoftwarePrefetchRow]:
+    """Software prefetch applied on top of the chosen unroll vectors."""
+    kernels = kernels if kernels is not None else all_kernels()
+    machine = dec_alpha()
+    rows = []
+    for kernel in kernels:
+        result = choose_unroll(kernel.nest, machine, bound=bound)
+        base = simulate(kernel.nest, machine, kernel.bindings, kernel.shapes)
+        plain = simulate(kernel.nest, machine, kernel.bindings,
+                         kernel.shapes, unroll=result.unroll)
+        fetched = simulate(kernel.nest, machine, kernel.bindings,
+                           kernel.shapes, unroll=result.unroll,
+                           software_prefetch=True)
+        rows.append(SoftwarePrefetchRow(
+            name=kernel.name,
+            unroll=result.unroll,
+            normalized_plain=plain.normalized_to(base),
+            normalized_prefetched=fetched.normalized_to(base),
+            stall_misses_plain=plain.stall_misses,
+            stall_misses_prefetched=fetched.stall_misses,
+            prefetch_ops=fetched.prefetch_ops,
+        ))
+    return rows
+
+def run_prefetch_sweep(bandwidths: tuple[Fraction, ...] = (
+        Fraction(0), Fraction(1, 8), Fraction(1, 4), Fraction(1, 2),
+        Fraction(1)),
+        kernels: list[Kernel] | None = None,
+        bound: int = 6) -> list[PrefetchRow]:
+    """Software-prefetch ablation (the paper's future-work architecture)."""
+    kernels = kernels if kernels is not None else all_kernels()
+    rows = []
+    for kernel in kernels:
+        base = simulate(kernel.nest, dec_alpha(), kernel.bindings,
+                        kernel.shapes)
+        for bandwidth in bandwidths:
+            machine = dec_alpha().with_prefetch(bandwidth)
+            result = choose_unroll(kernel.nest, machine, bound=bound)
+            sim = simulate(kernel.nest, machine, kernel.bindings,
+                           kernel.shapes, unroll=result.unroll)
+            rows.append(PrefetchRow(
+                name=kernel.name,
+                bandwidth=bandwidth,
+                unroll=result.unroll,
+                balance=result.balance,
+                normalized_cycles=sim.normalized_to(base),
+            ))
+    return rows

@@ -1,0 +1,95 @@
+"""Figures 8 and 9: normalized execution time of the 19 test loops.
+
+Three configurations per loop, exactly as the paper plots them:
+
+* **Original** -- the loop as written (scalar replacement only, which any
+  optimizing compiler performs).
+* **No Cache** -- unroll amounts chosen by the balance model that assumes
+  every access hits (Carr-Kennedy TOPLAS'94, reference [3]).
+* **Cache** -- unroll amounts chosen by the full model of this paper.
+
+Execution times come from the trace-driven machine simulator and are
+normalized to Original; Figure 8 uses the DEC Alpha model, Figure 9 the
+HP PA-RISC model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernels import Kernel, all_kernels
+from repro.machine.model import MachineModel
+from repro.machine.simulator import SimulationResult, simulate
+from repro.unroll.optimize import choose_unroll
+from repro.unroll.space import UnrollVector
+
+@dataclass(frozen=True)
+class FigureRow:
+    """One bar group of Figure 8/9."""
+
+    number: int
+    name: str
+    unroll_no_cache: UnrollVector
+    unroll_cache: UnrollVector
+    cycles_original: float
+    normalized_no_cache: float
+    normalized_cache: float
+
+def evaluate_kernel(kernel: Kernel, machine: MachineModel,
+                    bound: int = 6) -> FigureRow:
+    """Pick unroll vectors under both models and simulate all three
+    configurations."""
+    nest = kernel.nest
+    no_cache = choose_unroll(nest, machine, bound=bound, include_cache=False)
+    cache = choose_unroll(nest, machine, bound=bound, include_cache=True)
+
+    original = simulate(nest, machine, kernel.bindings, kernel.shapes)
+    sim_no_cache = simulate(nest, machine, kernel.bindings, kernel.shapes,
+                            unroll=no_cache.unroll)
+    sim_cache = simulate(nest, machine, kernel.bindings, kernel.shapes,
+                         unroll=cache.unroll)
+    return FigureRow(
+        number=kernel.number,
+        name=kernel.name,
+        unroll_no_cache=no_cache.unroll,
+        unroll_cache=cache.unroll,
+        cycles_original=float(original.cycles),
+        normalized_no_cache=sim_no_cache.normalized_to(original),
+        normalized_cache=sim_cache.normalized_to(original),
+    )
+
+def run_figure(machine: MachineModel, bound: int = 6,
+               kernels: list[Kernel] | None = None) -> list[FigureRow]:
+    """All bar groups for one machine (Figure 8: Alpha, Figure 9: PA-RISC)."""
+    kernels = kernels if kernels is not None else all_kernels()
+    return [evaluate_kernel(kernel, machine, bound) for kernel in kernels]
+
+def render_bars(rows: list[FigureRow], width: int = 40) -> str:
+    """ASCII rendering of the figure's bar groups (Original / No Cache /
+    Cache per loop), mirroring the paper's plot."""
+    lines = []
+    for row in rows:
+        lines.append(f"{row.number:>2d} {row.name}")
+        for label, value in (("orig", 1.0),
+                             ("no$ ", row.normalized_no_cache),
+                             ("$   ", row.normalized_cache)):
+            bar = "#" * max(1, round(value * width))
+            lines.append(f"     {label} |{bar} {value:.2f}")
+    return "\n".join(lines)
+
+def format_figure(rows: list[FigureRow], title: str) -> str:
+    lines = [title,
+             f"{'Num':>3s} {'Loop':<10s} {'Original':>9s} {'No Cache':>9s} "
+             f"{'Cache':>9s}   {'u(no cache)':<12s} {'u(cache)':<12s}"]
+    for row in rows:
+        lines.append(
+            f"{row.number:>3d} {row.name:<10s} {1.0:>9.2f} "
+            f"{row.normalized_no_cache:>9.2f} {row.normalized_cache:>9.2f}   "
+            f"{str(row.unroll_no_cache):<12s} {str(row.unroll_cache):<12s}")
+    mean_nc = sum(r.normalized_no_cache for r in rows) / len(rows)
+    mean_c = sum(r.normalized_cache for r in rows) / len(rows)
+    lines.append(f"{'':>3s} {'MEAN':<10s} {1.0:>9.2f} {mean_nc:>9.2f} "
+                 f"{mean_c:>9.2f}")
+    lines.append("")
+    lines.append(render_bars(rows))
+    return "\n".join(lines)

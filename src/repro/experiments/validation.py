@@ -1,0 +1,89 @@
+"""Model-vs-machine validation: does the balance model rank unroll vectors
+the way the simulated machine does?
+
+The paper's method stands on the premise that minimizing
+``|beta_L(u) - beta_M|`` picks unroll vectors that actually run faster.
+This driver quantifies that premise: for each kernel it sweeps the unroll
+space, records the model's predicted balance and the simulator's measured
+cycles per flop, and reports their Spearman rank correlation plus the
+regret of the model's pick against the simulated optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from scipy import stats
+
+from repro.balance import loop_balance
+from repro.kernels import Kernel, all_kernels
+from repro.machine.model import MachineModel
+from repro.machine.presets import dec_alpha
+from repro.machine.simulator import simulate
+from repro.unroll.optimize import choose_unroll
+from repro.unroll.space import UnrollVector
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """Model-vs-simulator agreement for one kernel."""
+
+    name: str
+    points: int  # register-feasible unroll vectors swept
+    spearman: float  # rank correlation: predicted balance vs cycles/flop
+    chosen: UnrollVector
+    simulated_best: UnrollVector
+    regret: float  # model pick's cycles / simulated optimum's cycles
+
+def validate_kernel(kernel: Kernel, machine: MachineModel,
+                    bound: int = 4) -> ValidationRow:
+    result = choose_unroll(kernel.nest, machine, bound=bound)
+    tables = result.tables
+    predicted: list[float] = []
+    measured: list[float] = []
+    cycles_by_u: dict[UnrollVector, Fraction] = {}
+    for u in result.space:
+        point = tables.point(u)
+        if point.registers > machine.registers:
+            continue
+        breakdown = loop_balance(point, machine)
+        sim = simulate(kernel.nest, machine, kernel.bindings, kernel.shapes,
+                       unroll=u)
+        predicted.append(float(breakdown.balance))
+        measured.append(float(sim.cycles / sim.flops))
+        cycles_by_u[u] = sim.cycles
+    if len(predicted) > 1 and len(set(predicted)) > 1 \
+            and len(set(measured)) > 1:
+        rho = float(stats.spearmanr(predicted, measured).statistic)
+    else:
+        rho = 1.0  # degenerate sweep: nothing to misrank
+    best_u = min(cycles_by_u, key=cycles_by_u.get)
+    regret = float(cycles_by_u[result.unroll] / cycles_by_u[best_u])
+    return ValidationRow(
+        name=kernel.name,
+        points=len(cycles_by_u),
+        spearman=rho,
+        chosen=result.unroll,
+        simulated_best=best_u,
+        regret=regret,
+    )
+
+def run_validation(machine: MachineModel | None = None, bound: int = 4,
+                   kernels: list[Kernel] | None = None) -> list[ValidationRow]:
+    machine = machine or dec_alpha()
+    kernels = kernels if kernels is not None else all_kernels()
+    return [validate_kernel(kernel, machine, bound) for kernel in kernels]
+
+def format_validation(rows: list[ValidationRow]) -> str:
+    lines = ["Model validation: predicted balance vs simulated cycles/flop",
+             f"{'Loop':<10s} {'points':>6s} {'spearman':>8s} "
+             f"{'chosen':<12s} {'sim best':<12s} {'regret':>7s}"]
+    for r in rows:
+        lines.append(f"{r.name:<10s} {r.points:>6d} {r.spearman:>8.2f} "
+                     f"{str(r.chosen):<12s} {str(r.simulated_best):<12s} "
+                     f"{r.regret:>7.2f}")
+    mean_rho = sum(r.spearman for r in rows) / len(rows)
+    mean_regret = sum(r.regret for r in rows) / len(rows)
+    lines.append(f"{'MEAN':<10s} {'':>6s} {mean_rho:>8.2f} "
+                 f"{'':<12s} {'':<12s} {mean_regret:>7.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Affine loop-nest intermediate representation.
+
+The IR models the loops the paper works on: perfect nests of DO loops with
+rectangular bounds, whose statements read and write arrays through affine
+subscripts ``H i + c`` and scalar temporaries.  Everything downstream -- the
+dependence analyzer, the Wolf-Lam reuse model, the unroll-and-jam transform
+and the machine simulator -- consumes this representation.
+
+Public API highlights:
+
+* expression nodes: :class:`Const`, :class:`ScalarVar`, :class:`ArrayRef`,
+  :class:`BinOp`, :class:`Call`
+* structure: :class:`Subscript`, :class:`Statement`, :class:`Loop`,
+  :class:`LoopNest`
+* :mod:`repro.ir.builder` -- a small DSL for writing kernels readably
+* :mod:`repro.ir.interp` -- a numpy-backed interpreter (the semantics oracle)
+* :mod:`repro.ir.matrixform` -- extraction of (H, c) per array reference
+"""
+
+from repro.ir.nodes import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    Loop,
+    LoopNest,
+    ScalarVar,
+    Statement,
+    Subscript,
+)
+from repro.ir.matrixform import RefOccurrence, occurrences, reference_matrix
+from repro.ir.validate import ValidationError, validate_nest
+
+__all__ = [
+    "ArrayRef",
+    "BinOp",
+    "Call",
+    "Const",
+    "Loop",
+    "LoopNest",
+    "RefOccurrence",
+    "ScalarVar",
+    "Statement",
+    "Subscript",
+    "ValidationError",
+    "occurrences",
+    "reference_matrix",
+    "validate_nest",
+]

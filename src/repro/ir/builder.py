@@ -1,0 +1,194 @@
+"""A small DSL for writing loop nests readably.
+
+Example -- matrix multiply (jik order)::
+
+    from repro.ir.builder import NestBuilder
+
+    b = NestBuilder("mmjik")
+    J, I, K = b.loops(("J", 1, "N"), ("I", 1, "N"), ("K", 1, "N"))
+    b.assign(b.ref("C", I, J), b.ref("C", I, J) + b.ref("A", I, K) * b.ref("B", K, J))
+    nest = b.build()
+
+Index arithmetic works through operator overloading on :class:`IndexExpr`:
+``b.ref("A", I + 1, J - 2)`` produces the subscripts ``(I+1, J-2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.ir.nodes import (
+    ArrayRef,
+    BinOp,
+    Bound,
+    Call,
+    Const,
+    Expr,
+    Loop,
+    LoopNest,
+    ScalarVar,
+    Statement,
+    Subscript,
+)
+
+@dataclass(frozen=True)
+class IndexExpr:
+    """An affine combination of loop indices usable as an array subscript."""
+
+    loop_coeffs: tuple[tuple[str, int], ...]
+    param_coeffs: tuple[tuple[str, int], ...] = ()
+    const: int = 0
+
+    def _combine(self, other: "IndexExpr | int | str", sign: int) -> "IndexExpr":
+        if isinstance(other, int):
+            return IndexExpr(self.loop_coeffs, self.param_coeffs, self.const + sign * other)
+        if isinstance(other, str):
+            other = IndexExpr((), ((other, 1),), 0)
+        if not isinstance(other, IndexExpr):
+            return NotImplemented
+        loops = dict(self.loop_coeffs)
+        for name, coef in other.loop_coeffs:
+            loops[name] = loops.get(name, 0) + sign * coef
+        params = dict(self.param_coeffs)
+        for name, coef in other.param_coeffs:
+            params[name] = params.get(name, 0) + sign * coef
+        return IndexExpr(
+            tuple(sorted((k, v) for k, v in loops.items() if v)),
+            tuple(sorted((k, v) for k, v in params.items() if v)),
+            self.const + sign * other.const)
+
+    def __add__(self, other: "IndexExpr | int | str") -> "IndexExpr":
+        return self._combine(other, 1)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "IndexExpr | int | str") -> "IndexExpr":
+        return self._combine(other, -1)
+
+    def __rsub__(self, other: "IndexExpr | int | str") -> "IndexExpr":
+        return self.__neg__()._combine(other, 1)
+
+    def __neg__(self) -> "IndexExpr":
+        return IndexExpr(tuple((n, -c) for n, c in self.loop_coeffs),
+                         tuple((n, -c) for n, c in self.param_coeffs),
+                         -self.const)
+
+    def __mul__(self, factor: int) -> "IndexExpr":
+        if not isinstance(factor, int):
+            return NotImplemented
+        return IndexExpr(tuple((n, c * factor) for n, c in self.loop_coeffs),
+                         tuple((n, c * factor) for n, c in self.param_coeffs),
+                         self.const * factor)
+
+    __rmul__ = __mul__
+
+    def to_subscript(self) -> Subscript:
+        return Subscript(self.loop_coeffs, self.param_coeffs, self.const)
+
+def _as_subscript(value: "IndexExpr | int | str") -> Subscript:
+    if isinstance(value, IndexExpr):
+        return value.to_subscript()
+    if isinstance(value, int):
+        return Subscript(const=value)
+    if isinstance(value, str):
+        return Subscript(param_coeffs=((value, 1),))
+    raise TypeError(f"cannot use {value!r} as an array subscript")
+
+class E:
+    """Expression wrapper enabling ``+ - * /`` on IR expression nodes."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: "Expr | E | float | int | IndexExpr"):
+        if isinstance(node, E):
+            node = node.node
+        if isinstance(node, (int, float)) and not isinstance(node, bool):
+            node = Const(float(node))
+        if isinstance(node, IndexExpr):
+            raise TypeError("index expressions are subscripts, not arithmetic values")
+        self.node = node
+
+    def _bin(self, op: str, other: "E | Expr | float | int", flipped: bool = False) -> "E":
+        rhs = E(other).node
+        if flipped:
+            return E(BinOp(op, rhs, self.node))
+        return E(BinOp(op, self.node, rhs))
+
+    def __add__(self, other):
+        return self._bin("+", other)
+
+    def __radd__(self, other):
+        return self._bin("+", other, flipped=True)
+
+    def __sub__(self, other):
+        return self._bin("-", other)
+
+    def __rsub__(self, other):
+        return self._bin("-", other, flipped=True)
+
+    def __mul__(self, other):
+        return self._bin("*", other)
+
+    def __rmul__(self, other):
+        return self._bin("*", other, flipped=True)
+
+    def __truediv__(self, other):
+        return self._bin("/", other)
+
+    def __rtruediv__(self, other):
+        return self._bin("/", other, flipped=True)
+
+    def __neg__(self):
+        return E(BinOp("-", Const(0.0), self.node))
+
+class NestBuilder:
+    """Accumulates loops and statements, then builds an immutable LoopNest."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self._loops: list[Loop] = []
+        self._body: list[Statement] = []
+
+    # -- loops ----------------------------------------------------------------
+
+    def loop(self, index: str, lower: "int | str | Bound", upper: "int | str | Bound",
+             step: int = 1) -> IndexExpr:
+        self._loops.append(Loop(index, Bound.of(lower), Bound.of(upper), step))
+        return IndexExpr(((index, 1),))
+
+    def loops(self, *specs: Sequence) -> tuple[IndexExpr, ...]:
+        return tuple(self.loop(*spec) for spec in specs)
+
+    # -- expressions ----------------------------------------------------------
+
+    def ref(self, array: str, *subs: "IndexExpr | int | str") -> E:
+        return E(ArrayRef(array, tuple(_as_subscript(s) for s in subs)))
+
+    def scalar(self, name: str) -> E:
+        return E(ScalarVar(name))
+
+    def const(self, value: float) -> E:
+        return E(Const(float(value)))
+
+    def call(self, func: str, *args: "E | Expr | float") -> E:
+        return E(Call(func, tuple(E(a).node for a in args)))
+
+    # -- statements -----------------------------------------------------------
+
+    def assign(self, lhs: E, rhs: "E | Expr | float") -> None:
+        target = lhs.node if isinstance(lhs, E) else lhs
+        if not isinstance(target, (ArrayRef, ScalarVar)):
+            raise TypeError("assignment target must be an array reference or scalar")
+        self._body.append(Statement(target, E(rhs).node))
+
+    # -- finish ---------------------------------------------------------------
+
+    def build(self) -> LoopNest:
+        if not self._loops:
+            raise ValueError("a loop nest needs at least one loop")
+        if not self._body:
+            raise ValueError("a loop nest needs at least one statement")
+        return LoopNest(self.name, tuple(self._loops), tuple(self._body),
+                        self.description)

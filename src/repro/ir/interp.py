@@ -1,0 +1,245 @@
+"""A numpy-backed interpreter for loop nests.
+
+This is the semantics oracle of the project: property tests run a nest and
+its unroll-and-jammed version on identical inputs and require bit-identical
+arrays.  The interpreter also supports an access-trace callback used by the
+cache simulator.
+
+Conventions:
+
+* arrays are 0-based numpy float64 arrays; kernels are written accordingly;
+* subscripts may go negative or past the logical extent only if the caller
+  allocated padding (tests do);
+* scalar temporaries assigned in the body are private per unrolled copy,
+  mirroring the renaming a real unroller performs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, MutableMapping
+
+import numpy as np
+
+from repro.ir.nodes import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    LoopNest,
+    ScalarVar,
+    Statement,
+)
+
+TraceFn = Callable[[str, tuple[int, ...], bool], None]
+
+_INTRINSICS: dict[str, Callable[..., float]] = {
+    "sqrt": math.sqrt,
+    "abs": abs,
+    "exp": math.exp,
+    "sin": math.sin,
+    "cos": math.cos,
+    "min": min,
+    "max": max,
+    "sign": lambda a, b: math.copysign(a, b),
+}
+
+class InterpreterError(RuntimeError):
+    """Raised for malformed programs or missing bindings at run time."""
+
+def _eval_expr(expr: Expr, env: Mapping[str, int],
+               scalars: MutableMapping[str, float],
+               arrays: Mapping[str, np.ndarray],
+               trace: TraceFn | None) -> float:
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, ScalarVar):
+        if expr.name in scalars:
+            return scalars[expr.name]
+        if expr.name in env:
+            return float(env[expr.name])
+        raise InterpreterError(f"unbound scalar {expr.name!r}")
+    if isinstance(expr, ArrayRef):
+        idx = tuple(s.evaluate(env) for s in expr.subscripts)
+        if trace is not None:
+            trace(expr.array, idx, False)
+        try:
+            return float(arrays[expr.array][idx])
+        except KeyError:
+            raise InterpreterError(f"unbound array {expr.array!r}") from None
+        except IndexError:
+            raise InterpreterError(
+                f"{expr.array}{idx} out of bounds for shape "
+                f"{arrays[expr.array].shape}") from None
+    if isinstance(expr, BinOp):
+        left = _eval_expr(expr.left, env, scalars, arrays, trace)
+        right = _eval_expr(expr.right, env, scalars, arrays, trace)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right
+        raise InterpreterError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, Call):
+        fn = _INTRINSICS.get(expr.func)
+        if fn is None:
+            raise InterpreterError(f"unknown intrinsic {expr.func!r}")
+        args = [_eval_expr(a, env, scalars, arrays, trace) for a in expr.args]
+        return float(fn(*args))
+    raise InterpreterError(f"unknown expression node {expr!r}")
+
+def _exec_statement(stmt: Statement, env: Mapping[str, int],
+                    scalars: MutableMapping[str, float],
+                    arrays: Mapping[str, np.ndarray],
+                    trace: TraceFn | None) -> None:
+    value = _eval_expr(stmt.rhs, env, scalars, arrays, trace)
+    if isinstance(stmt.lhs, ScalarVar):
+        scalars[stmt.lhs.name] = value
+        return
+    idx = tuple(s.evaluate(env) for s in stmt.lhs.subscripts)
+    if trace is not None:
+        trace(stmt.lhs.array, idx, True)
+    try:
+        arrays[stmt.lhs.array][idx] = value
+    except IndexError:
+        raise InterpreterError(
+            f"{stmt.lhs.array}{idx} out of bounds for shape "
+            f"{arrays[stmt.lhs.array].shape}") from None
+
+def run_nest(nest: LoopNest, bindings: Mapping[str, int],
+             arrays: Mapping[str, np.ndarray],
+             scalars: MutableMapping[str, float] | None = None,
+             trace: TraceFn | None = None) -> None:
+    """Execute ``nest`` in place on ``arrays``.
+
+    ``bindings`` supplies values for symbolic size parameters.  ``scalars``
+    optionally seeds loop-invariant scalar inputs and receives final
+    temporary values.
+    """
+    scalars = scalars if scalars is not None else {}
+    env: dict[str, int] = dict(bindings)
+
+    def rec(level: int) -> None:
+        if level == nest.depth:
+            for stmt in nest.body:
+                _exec_statement(stmt, env, scalars, arrays, trace)
+            return
+        loop = nest.loops[level]
+        lo = loop.lower.evaluate(env)
+        hi = loop.upper.evaluate(env)
+        for value in range(lo, hi + 1, loop.step):
+            env[loop.index] = value
+            rec(level + 1)
+        env.pop(loop.index, None)
+
+    rec(0)
+
+def run_unrolled(nest: LoopNest, unroll: tuple[int, ...],
+                 bindings: Mapping[str, int],
+                 arrays: Mapping[str, np.ndarray],
+                 scalars: MutableMapping[str, float] | None = None,
+                 trace: TraceFn | None = None) -> None:
+    """Execute the unroll-and-jammed version of ``nest``.
+
+    ``unroll[k]`` is the *extra copies* count for loop k (the paper's u_k;
+    step becomes u_k + 1).  The innermost entry must be 0.  Execution order
+    matches real generated code: the jammed main nest over the aligned part
+    of each unrolled range, then rolled epilogues for the remainders
+    (outermost remainder last, exactly like textual epilogue loops).
+
+    Scalar temporaries written in the body are privatized per copy: copy k
+    uses its own instance, as the renaming unroller would produce.
+    """
+    if len(unroll) != nest.depth:
+        raise InterpreterError("unroll vector length must equal nest depth")
+    if unroll[-1] != 0:
+        raise InterpreterError("the innermost loop is never unrolled (u_n = 0)")
+    if any(u < 0 for u in unroll):
+        raise InterpreterError("negative unroll amounts are invalid")
+
+    scalars = scalars if scalars is not None else {}
+    env: dict[str, int] = dict(bindings)
+    temps = set(nest.scalar_temporaries())
+
+    def body_once(offsets: dict[str, int]) -> None:
+        local_env = dict(env)
+        for name, off in offsets.items():
+            local_env[name] = env[name] + off
+        key = tuple(sorted(offsets.items()))
+        copy_scalars = _CopyScalars(scalars, temps, key)
+        for stmt in nest.body:
+            _exec_statement(stmt, local_env, copy_scalars, arrays, trace)
+
+    def copies(level: int, u: tuple[int, ...], offsets: dict[str, int]) -> None:
+        """Run the jammed body: all offset combinations in textual order."""
+        if level == nest.depth:
+            body_once(offsets)
+            return
+        loop = nest.loops[level]
+        for k in range(u[level] + 1):
+            offsets[loop.index] = k
+            copies(level + 1, u, offsets)
+        offsets.pop(loop.index, None)
+
+    def rec(level: int, u: tuple[int, ...]) -> None:
+        if level == nest.depth:
+            copies(0, u, {})
+            return
+        loop = nest.loops[level]
+        lo = loop.lower.evaluate(env)
+        hi = loop.upper.evaluate(env)
+        step = (u[level] + 1) * loop.step
+        trip = max(hi - lo + 1, 0) // loop.step if loop.step else 0
+        blocks = trip // (u[level] + 1)
+        aligned_hi = lo + blocks * step - 1
+        for value in range(lo, aligned_hi + 1, step):
+            env[loop.index] = value
+            rec(level + 1, u)
+        if aligned_hi < hi:
+            rolled = u[:level] + (0,) + u[level + 1:]
+            for value in range(max(aligned_hi + 1, lo), hi + 1, loop.step):
+                env[loop.index] = value
+                rec(level + 1, rolled)
+        env.pop(loop.index, None)
+
+    rec(0, tuple(unroll))
+
+class _CopyScalars(dict):
+    """Scalar namespace for one unrolled copy.
+
+    Temporaries resolve to per-copy slots; everything else falls through to
+    the shared scalar environment.
+    """
+
+    def __init__(self, shared: MutableMapping[str, float], temps: set[str],
+                 copy_key: tuple):
+        super().__init__()
+        self._shared = shared
+        self._temps = temps
+        self._key = copy_key
+
+    def _slot(self, name: str) -> str:
+        return f"{name}@{self._key}"
+
+    def __contains__(self, name: object) -> bool:
+        if name in self._temps:
+            return self._slot(str(name)) in self._shared or str(name) in self._shared
+        return name in self._shared
+
+    def __getitem__(self, name: str) -> float:
+        if name in self._temps:
+            slot = self._slot(name)
+            if slot in self._shared:
+                return self._shared[slot]
+            return self._shared[name]
+        return self._shared[name]
+
+    def __setitem__(self, name: str, value: float) -> None:
+        if name in self._temps:
+            self._shared[self._slot(name)] = value
+        else:
+            self._shared[name] = value

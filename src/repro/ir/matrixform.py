@@ -1,0 +1,72 @@
+"""Extraction of the linear-algebra view of array references.
+
+The reuse model sees a reference as ``A[H i + c]`` where ``i`` is the
+iteration vector of the enclosing nest (outermost first), ``H`` an integer
+matrix (one row per array dimension) and ``c`` an integer constant vector.
+This module enumerates references with their textual positions (needed for
+register-reuse ordering) and produces (H, c) pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.ir.nodes import ArrayRef, LoopNest, Statement
+from repro.linalg import Matrix
+
+@dataclass(frozen=True)
+class RefOccurrence:
+    """One textual occurrence of an array reference inside a nest body.
+
+    ``position`` is the global textual order (statement order, LHS after the
+    RHS reads of the same statement, mirroring Fortran evaluation order).
+    """
+
+    ref: ArrayRef
+    stmt_index: int
+    position: int
+    is_write: bool
+
+    @property
+    def array(self) -> str:
+        return self.ref.array
+
+    def pretty(self) -> str:
+        role = "def" if self.is_write else "use"
+        return f"{self.ref.pretty()} [{role}@{self.position}]"
+
+def occurrences(nest: LoopNest) -> tuple[RefOccurrence, ...]:
+    """All array-reference occurrences in textual (evaluation) order."""
+    out: list[RefOccurrence] = []
+    position = 0
+    for stmt_index, stmt in enumerate(nest.body):
+        for ref in stmt.array_reads():
+            out.append(RefOccurrence(ref, stmt_index, position, is_write=False))
+            position += 1
+        for ref in stmt.array_writes():
+            out.append(RefOccurrence(ref, stmt_index, position, is_write=True))
+            position += 1
+    return tuple(out)
+
+def reference_matrix(ref: ArrayRef, index_names: tuple[str, ...]) -> Matrix:
+    """The subscript matrix H of ``ref`` w.r.t. the given iteration order."""
+    rows = []
+    for sub in ref.subscripts:
+        rows.append([Fraction(sub.coeff(name)) for name in index_names])
+    return Matrix(rows, ncols=len(index_names))
+
+def constant_vector(ref: ArrayRef) -> tuple[int, ...]:
+    """The integer part of the constant vector c."""
+    return tuple(sub.const for sub in ref.subscripts)
+
+def param_signature(ref: ArrayRef) -> tuple[tuple[tuple[str, int], ...], ...]:
+    """Symbolic (parameter) parts of each subscript.
+
+    Two references can only share reuse when these match; differing symbolic
+    offsets have unknown distance, so the analysis keeps them apart.
+    """
+    return tuple(sub.param_coeffs for sub in ref.subscripts)
+
+def statement_of(nest: LoopNest, occ: RefOccurrence) -> Statement:
+    return nest.body[occ.stmt_index]

@@ -1,0 +1,316 @@
+"""IR node definitions.
+
+All nodes are immutable dataclasses so they can be shared freely between the
+original and transformed versions of a nest, hashed into sets, and compared
+structurally in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence, Union
+
+# ---------------------------------------------------------------------------
+# Affine pieces
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Subscript:
+    """One array-subscript position: ``sum(coef * loop_index) + params + const``.
+
+    ``loop_coeffs`` maps loop-index names to integer coefficients (one row of
+    the subscript matrix H); ``param_coeffs`` maps symbolic size parameters
+    (e.g. ``N``) to integer coefficients; ``const`` is the integer offset
+    (one entry of the constant vector c).
+    """
+
+    loop_coeffs: tuple[tuple[str, int], ...] = ()
+    param_coeffs: tuple[tuple[str, int], ...] = ()
+    const: int = 0
+
+    @staticmethod
+    def of(loop_coeffs: Mapping[str, int] | None = None,
+           const: int = 0,
+           param_coeffs: Mapping[str, int] | None = None) -> "Subscript":
+        def _norm(mapping: Mapping[str, int] | None) -> tuple[tuple[str, int], ...]:
+            if not mapping:
+                return ()
+            return tuple(sorted((k, int(v)) for k, v in mapping.items() if v != 0))
+        return Subscript(_norm(loop_coeffs), _norm(param_coeffs), int(const))
+
+    def coeff(self, index_name: str) -> int:
+        for name, coef in self.loop_coeffs:
+            if name == index_name:
+                return coef
+        return 0
+
+    def shifted(self, offsets: Mapping[str, int]) -> "Subscript":
+        """The subscript after substituting ``index -> index + offset``."""
+        delta = sum(coef * offsets.get(name, 0) for name, coef in self.loop_coeffs)
+        if delta == 0:
+            return self
+        return Subscript(self.loop_coeffs, self.param_coeffs, self.const + delta)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        total = self.const
+        for name, coef in self.loop_coeffs:
+            total += coef * env[name]
+        for name, coef in self.param_coeffs:
+            total += coef * env[name]
+        return total
+
+    def loop_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.loop_coeffs)
+
+    def pretty(self) -> str:
+        parts = []
+        for name, coef in self.loop_coeffs:
+            if coef == 1:
+                parts.append(name)
+            elif coef == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{coef}*{name}")
+        for name, coef in self.param_coeffs:
+            if coef == 1:
+                parts.append(f"+{name}" if parts else name)
+            else:
+                parts.append(f"{coef:+d}*{name}" if parts else f"{coef}*{name}")
+        if self.const or not parts:
+            parts.append(f"{self.const:+d}" if parts else str(self.const))
+        text = ""
+        for piece in parts:
+            if text and not piece.startswith(("+", "-")):
+                text += "+" + piece
+            else:
+                text += piece
+        return text
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Const:
+    """A floating-point literal."""
+
+    value: float
+
+@dataclass(frozen=True)
+class ScalarVar:
+    """A scalar variable: a loop-body temporary or a loop-invariant input."""
+
+    name: str
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A subscripted array reference ``A(s1, s2, ...)``."""
+
+    array: str
+    subscripts: tuple[Subscript, ...]
+
+    def shifted(self, offsets: Mapping[str, int]) -> "ArrayRef":
+        return ArrayRef(self.array, tuple(s.shifted(offsets) for s in self.subscripts))
+
+    @property
+    def rank(self) -> int:
+        return len(self.subscripts)
+
+    def pretty(self) -> str:
+        inner = ", ".join(s.pretty() for s in self.subscripts)
+        return f"{self.array}({inner})"
+
+@dataclass(frozen=True)
+class BinOp:
+    """A binary floating-point operation (the flop unit of the balance model)."""
+
+    op: str  # one of + - * /
+    left: "Expr"
+    right: "Expr"
+
+    _VALID = ("+", "-", "*", "/")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._VALID:
+            raise ValueError(f"unsupported operator {self.op!r}")
+
+@dataclass(frozen=True)
+class Call:
+    """An intrinsic call (sqrt, abs, ...); costed as one flop per call."""
+
+    func: str
+    args: tuple["Expr", ...]
+
+Expr = Union[Const, ScalarVar, ArrayRef, BinOp, Call]
+
+def walk_expr(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and all sub-expressions, pre-order."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expr(expr.left)
+        yield from walk_expr(expr.right)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+
+def expr_array_refs(expr: Expr) -> list[ArrayRef]:
+    return [node for node in walk_expr(expr) if isinstance(node, ArrayRef)]
+
+def expr_flops(expr: Expr) -> int:
+    return sum(1 for node in walk_expr(expr) if isinstance(node, (BinOp, Call)))
+
+def shift_expr(expr: Expr, offsets: Mapping[str, int],
+               renames: Mapping[str, str] | None = None) -> Expr:
+    """Substitute ``index -> index + offset`` and rename scalar temporaries."""
+    renames = renames or {}
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, ScalarVar):
+        return ScalarVar(renames.get(expr.name, expr.name))
+    if isinstance(expr, ArrayRef):
+        return expr.shifted(offsets)
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, shift_expr(expr.left, offsets, renames),
+                     shift_expr(expr.right, offsets, renames))
+    if isinstance(expr, Call):
+        return Call(expr.func, tuple(shift_expr(a, offsets, renames) for a in expr.args))
+    raise TypeError(f"unknown expression node {expr!r}")
+
+# ---------------------------------------------------------------------------
+# Statements and loops
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Statement:
+    """An assignment ``lhs = rhs`` inside the innermost loop body."""
+
+    lhs: ArrayRef | ScalarVar
+    rhs: Expr
+
+    def array_reads(self) -> list[ArrayRef]:
+        return expr_array_refs(self.rhs)
+
+    def array_writes(self) -> list[ArrayRef]:
+        return [self.lhs] if isinstance(self.lhs, ArrayRef) else []
+
+    def flops(self) -> int:
+        return expr_flops(self.rhs)
+
+@dataclass(frozen=True)
+class Bound:
+    """An affine loop bound: ``const + sum(coef * param)``."""
+
+    const: int = 0
+    param_coeffs: tuple[tuple[str, int], ...] = ()
+
+    @staticmethod
+    def of(value: "int | str | Bound") -> "Bound":
+        if isinstance(value, Bound):
+            return value
+        if isinstance(value, int):
+            return Bound(const=value)
+        if isinstance(value, str):
+            return Bound(const=0, param_coeffs=((value, 1),))
+        raise TypeError(f"cannot make a Bound from {value!r}")
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.const + sum(coef * env[name] for name, coef in self.param_coeffs)
+
+    def plus(self, delta: int) -> "Bound":
+        return Bound(self.const + delta, self.param_coeffs)
+
+    def pretty(self) -> str:
+        parts = []
+        for name, coef in self.param_coeffs:
+            if coef == 1:
+                parts.append(name)
+            else:
+                parts.append(f"{coef}*{name}")
+        if self.const or not parts:
+            parts.append(f"{self.const:+d}" if parts else str(self.const))
+        text = ""
+        for piece in parts:
+            if text and not piece.startswith(("+", "-")):
+                text += "+" + piece
+            else:
+                text += piece
+        return text
+
+@dataclass(frozen=True)
+class Loop:
+    """A DO loop: ``for index in lower..upper step step``; outer loops first."""
+
+    index: str
+    lower: Bound
+    upper: Bound
+    step: int = 1
+
+    def trip_count(self, env: Mapping[str, int]) -> int:
+        span = self.upper.evaluate(env) - self.lower.evaluate(env) + 1
+        if span <= 0:
+            return 0
+        return (span + self.step - 1) // self.step
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A perfect nest: loops from outermost to innermost plus a statement body."""
+
+    name: str
+    loops: tuple[Loop, ...]
+    body: tuple[Statement, ...]
+    description: str = ""
+
+    @property
+    def depth(self) -> int:
+        return len(self.loops)
+
+    @property
+    def index_names(self) -> tuple[str, ...]:
+        return tuple(loop.index for loop in self.loops)
+
+    def loop_position(self, index_name: str) -> int:
+        return self.index_names.index(index_name)
+
+    def innermost(self) -> Loop:
+        return self.loops[-1]
+
+    def statements(self) -> tuple[Statement, ...]:
+        return self.body
+
+    def array_names(self) -> tuple[str, ...]:
+        names: list[str] = []
+        for stmt in self.body:
+            for ref in stmt.array_writes() + stmt.array_reads():
+                if ref.array not in names:
+                    names.append(ref.array)
+        return tuple(names)
+
+    def flops_per_iteration(self) -> int:
+        return sum(stmt.flops() for stmt in self.body)
+
+    def scalar_temporaries(self) -> tuple[str, ...]:
+        """Scalars assigned in the body (these are privatized when unrolling)."""
+        written = []
+        for stmt in self.body:
+            if isinstance(stmt.lhs, ScalarVar) and stmt.lhs.name not in written:
+                written.append(stmt.lhs.name)
+        return tuple(written)
+
+    def parameters(self) -> tuple[str, ...]:
+        """Symbolic size parameters appearing in bounds or subscripts."""
+        seen: list[str] = []
+
+        def _add(name: str) -> None:
+            if name not in seen:
+                seen.append(name)
+
+        for loop in self.loops:
+            for bound in (loop.lower, loop.upper):
+                for name, _ in bound.param_coeffs:
+                    _add(name)
+        for stmt in self.body:
+            for ref in stmt.array_writes() + stmt.array_reads():
+                for sub in ref.subscripts:
+                    for name, _ in sub.param_coeffs:
+                        _add(name)
+        return tuple(seen)

@@ -1,0 +1,288 @@
+"""A parser for the Fortran-flavoured loop syntax the printer emits.
+
+Closing the loop between :mod:`repro.ir.printer` and this parser gives the
+project a textual kernel format: examples can ship loops as strings, tests
+can round-trip random nests, and bug reports can paste code directly.
+
+Grammar (DO/ENDDO, one assignment per line, ``!`` comments)::
+
+    nest       := comment* do_loop
+    do_loop    := 'DO' IDENT '=' bound ',' bound (',' INT)? body 'ENDDO'
+    body       := (do_loop | assignment)+       -- perfect nests only
+    assignment := lvalue '=' expr
+    lvalue     := IDENT '(' subscript (',' subscript)* ')' | IDENT
+    expr       := term (('+'|'-') term)*
+    term       := factor (('*'|'/') factor)*
+    factor     := NUMBER | lvalue | call | '(' expr ')' | '-' factor
+    subscript  := affine combination of identifiers and integers
+
+Identifiers in subscripts that match an enclosing loop index are induction
+variables; anything else is a symbolic size parameter.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.ir.nodes import (
+    ArrayRef,
+    BinOp,
+    Bound,
+    Call,
+    Const,
+    Expr,
+    Loop,
+    LoopNest,
+    ScalarVar,
+    Statement,
+    Subscript,
+)
+
+class ParseError(ValueError):
+    """Syntax error with line context."""
+
+_TOKEN = re.compile(r"""
+    (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>[-+*/(),=])
+""", re.VERBOSE)
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+
+def _tokenize(line: str, lineno: int) -> list[_Token]:
+    tokens = []
+    pos = 0
+    while pos < len(line):
+        if line[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN.match(line, pos)
+        if not match:
+            raise ParseError(f"line {lineno}: cannot tokenize at "
+                             f"{line[pos:pos + 10]!r}")
+        kind = match.lastgroup or "op"
+        tokens.append(_Token(kind, match.group()))
+        pos = match.end()
+    return tokens
+
+class _LineParser:
+    """Recursive-descent parser over one tokenized line."""
+
+    def __init__(self, tokens: list[_Token], lineno: int,
+                 loop_indices: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+        self.lineno = lineno
+        self.loop_indices = loop_indices
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(f"line {self.lineno}: {message}")
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self, text: str | None = None, kind: str | None = None) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise self.error(f"unexpected end of line (wanted {text or kind})")
+        if text is not None and token.text != text:
+            raise self.error(f"expected {text!r}, found {token.text!r}")
+        if kind is not None and token.kind != kind:
+            raise self.error(f"expected {kind}, found {token.text!r}")
+        self.pos += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # -- affine subscripts ---------------------------------------------------
+
+    def parse_subscript(self) -> Subscript:
+        loops: dict[str, int] = {}
+        params: dict[str, int] = {}
+        const = 0
+        sign = 1
+        expect_term = True
+        while True:
+            token = self.peek()
+            if token is None or token.text in (",", ")"):
+                if expect_term:
+                    raise self.error("dangling sign in subscript")
+                break
+            if token.text in ("+", "-"):
+                self.take()
+                sign = 1 if token.text == "+" else -1
+                expect_term = True
+                continue
+            coef = sign
+            if token.kind == "number":
+                self.take()
+                value = int(token.text)
+                nxt = self.peek()
+                if nxt is not None and nxt.text == "*":
+                    self.take("*")
+                    name_tok = self.take(kind="ident")
+                    coef = sign * value
+                    target = loops if name_tok.text in self.loop_indices else params
+                    target[name_tok.text] = target.get(name_tok.text, 0) + coef
+                else:
+                    const += sign * value
+            elif token.kind == "ident":
+                self.take()
+                target = loops if token.text in self.loop_indices else params
+                target[token.text] = target.get(token.text, 0) + coef
+            else:
+                raise self.error(f"unexpected {token.text!r} in subscript")
+            sign = 1
+            expect_term = False
+        return Subscript.of(loops, const, params)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        node = self.parse_term()
+        while not self.at_end() and self.peek().text in ("+", "-"):
+            op = self.take().text
+            node = BinOp(op, node, self.parse_term())
+        return node
+
+    def parse_term(self) -> Expr:
+        node = self.parse_factor()
+        while not self.at_end() and self.peek().text in ("*", "/"):
+            op = self.take().text
+            node = BinOp(op, node, self.parse_factor())
+        return node
+
+    def parse_factor(self) -> Expr:
+        token = self.peek()
+        if token is None:
+            raise self.error("unexpected end of expression")
+        if token.text == "-":
+            self.take()
+            return BinOp("-", Const(0.0), self.parse_factor())
+        if token.text == "(":
+            self.take("(")
+            node = self.parse_expr()
+            self.take(")")
+            return node
+        if token.kind == "number":
+            self.take()
+            return Const(float(token.text))
+        if token.kind == "ident":
+            self.take()
+            nxt = self.peek()
+            if nxt is not None and nxt.text == "(":
+                return self.parse_ref_or_call(token.text)
+            return ScalarVar(token.text)
+        raise self.error(f"unexpected {token.text!r} in expression")
+
+    _INTRINSICS = ("sqrt", "abs", "exp", "sin", "cos", "min", "max", "sign")
+
+    def parse_ref_or_call(self, name: str) -> Expr:
+        self.take("(")
+        if name.lower() in self._INTRINSICS:
+            args = [self.parse_expr()]
+            while self.peek() is not None and self.peek().text == ",":
+                self.take(",")
+                args.append(self.parse_expr())
+            self.take(")")
+            return Call(name.lower(), tuple(args))
+        subs = [self.parse_subscript()]
+        while self.peek() is not None and self.peek().text == ",":
+            self.take(",")
+            subs.append(self.parse_subscript())
+        self.take(")")
+        return ArrayRef(name, tuple(subs))
+
+    # -- bounds --------------------------------------------------------------
+
+    def parse_bound(self) -> Bound:
+        sub = self.parse_subscript()
+        if sub.loop_coeffs:
+            raise self.error("loop bounds may not use induction variables")
+        return Bound(sub.const, sub.param_coeffs)
+
+def parse_nest(source: str, name: str = "parsed") -> LoopNest:
+    """Parse one perfect loop nest from DO-loop source text."""
+    lines = []
+    description = ""
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        stripped = raw.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("!"):
+            if not lines and not description:
+                description = stripped[1:].strip()
+            continue
+        lines.append((lineno, stripped))
+    if not lines:
+        raise ParseError("empty input")
+
+    loops: list[Loop] = []
+    body: list[Statement] = []
+    index_names: list[str] = []
+    open_loops = 0
+    closed = 0
+
+    for lineno, text in lines:
+        upper = text.upper()
+        if upper.startswith("DO "):
+            if body:
+                raise ParseError(
+                    f"line {lineno}: loop after statements (perfect nests "
+                    "only)")
+            if closed:
+                raise ParseError(f"line {lineno}: loop after ENDDO")
+            parser = _LineParser(_tokenize(text[3:], lineno), lineno,
+                                 index_names)
+            index = parser.take(kind="ident").text
+            parser.take("=")
+            lower = parser.parse_bound()
+            parser.take(",")
+            upper_bound = parser.parse_bound()
+            step = 1
+            if not parser.at_end():
+                parser.take(",")
+                step_tok = parser.take(kind="number")
+                step = int(step_tok.text)
+            if not parser.at_end():
+                raise ParseError(f"line {lineno}: trailing tokens after DO")
+            loops.append(Loop(index, lower, upper_bound, step))
+            index_names.append(index)
+            open_loops += 1
+        elif upper == "ENDDO":
+            closed += 1
+            if closed > open_loops:
+                raise ParseError(f"line {lineno}: unmatched ENDDO")
+        else:
+            if closed:
+                raise ParseError(
+                    f"line {lineno}: statement after ENDDO (perfect nests "
+                    "only)")
+            if not open_loops:
+                raise ParseError(f"line {lineno}: statement outside loops")
+            parser = _LineParser(_tokenize(text, lineno), lineno, index_names)
+            target_tok = parser.take(kind="ident")
+            if parser.peek() is not None and parser.peek().text == "(":
+                lhs = parser.parse_ref_or_call(target_tok.text)
+                if not isinstance(lhs, ArrayRef):
+                    raise ParseError(
+                        f"line {lineno}: cannot assign to a call")
+            else:
+                lhs = ScalarVar(target_tok.text)
+            parser.take("=")
+            rhs = parser.parse_expr()
+            if not parser.at_end():
+                raise ParseError(f"line {lineno}: trailing tokens after "
+                                 "assignment")
+            body.append(Statement(lhs, rhs))
+
+    if closed != open_loops:
+        raise ParseError(f"{open_loops - closed} unclosed DO loop(s)")
+    if not body:
+        raise ParseError("nest has no statements")
+    return LoopNest(name, tuple(loops), tuple(body), description)

@@ -1,0 +1,66 @@
+"""Fortran-flavoured pretty printing of loop nests.
+
+Used by the examples and by error messages; the output mirrors the DO-loop
+style the paper uses in its figures, which makes eyeballing the effect of
+unroll-and-jam straightforward.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    Loop,
+    LoopNest,
+    ScalarVar,
+)
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+def format_expr(expr: Expr, parent_prec: int = 0) -> str:
+    if isinstance(expr, Const):
+        if expr.value == int(expr.value):
+            return str(int(expr.value))
+        return repr(expr.value)
+    if isinstance(expr, ScalarVar):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return expr.pretty()
+    if isinstance(expr, Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = format_expr(expr.left, prec)
+        right = format_expr(expr.right, prec + (expr.op in ("-", "/")))
+        text = f"{left} {expr.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"unknown expression node {expr!r}")
+
+def format_loop_header(loop: Loop, indent: str) -> str:
+    header = f"{indent}DO {loop.index} = {loop.lower.pretty()}, {loop.upper.pretty()}"
+    if loop.step != 1:
+        header += f", {loop.step}"
+    return header
+
+def format_nest(nest: LoopNest) -> str:
+    """Render a nest as indented Fortran-style DO loops."""
+    lines = []
+    if nest.description:
+        lines.append(f"! {nest.description}")
+    indent = ""
+    for loop in nest.loops:
+        lines.append(format_loop_header(loop, indent))
+        indent += "  "
+    for stmt in nest.body:
+        lhs = stmt.lhs.pretty() if isinstance(stmt.lhs, ArrayRef) else stmt.lhs.name
+        lines.append(f"{indent}{lhs} = {format_expr(stmt.rhs)}")
+    for _ in nest.loops:
+        indent = indent[:-2]
+        lines.append(f"{indent}ENDDO")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Structural validation of loop nests for the analyses of the paper.
+
+Section 3.5 restricts the model to references with a *single induction
+variable per subscript position* (SIV) and *fully separable* subscripts
+(each induction variable appears in at most one subscript position of a
+reference).  In matrix terms, every row and every column of H has at most
+one non-zero entry.  The validators here enforce that, plus basic sanity
+(defined indices, positive ranks).
+"""
+
+from __future__ import annotations
+
+from repro.ir.matrixform import occurrences, reference_matrix
+from repro.ir.nodes import ArrayRef, LoopNest
+
+class ValidationError(ValueError):
+    """A nest violates the structural assumptions of the model."""
+
+def check_siv(ref: ArrayRef) -> list[str]:
+    """SIV check: each subscript mentions at most one induction variable."""
+    problems = []
+    for dim, sub in enumerate(ref.subscripts):
+        if len(sub.loop_coeffs) > 1:
+            problems.append(
+                f"{ref.pretty()}: subscript {dim} uses {len(sub.loop_coeffs)} "
+                "induction variables (SIV requires at most one)")
+    return problems
+
+def check_separable(ref: ArrayRef) -> list[str]:
+    """Separability: each induction variable in at most one subscript position."""
+    seen: dict[str, int] = {}
+    problems = []
+    for dim, sub in enumerate(ref.subscripts):
+        for name, _ in sub.loop_coeffs:
+            if name in seen:
+                problems.append(
+                    f"{ref.pretty()}: index {name} appears in subscripts "
+                    f"{seen[name]} and {dim} (not separable)")
+            seen[name] = dim
+    return problems
+
+def validate_nest(nest: LoopNest, require_siv: bool = True) -> None:
+    """Raise :class:`ValidationError` if the nest is malformed.
+
+    With ``require_siv=True`` (the default, matching the paper) references
+    must also satisfy the SIV + separability criteria.
+    """
+    problems: list[str] = []
+
+    names = list(nest.index_names)
+    if len(set(names)) != len(names):
+        problems.append(f"duplicate loop indices in nest {nest.name!r}")
+
+    known = set(names)
+    rank_by_array: dict[str, int] = {}
+    for occ in occurrences(nest):
+        ref = occ.ref
+        if ref.rank == 0:
+            problems.append(f"{ref.array}: zero-rank array reference")
+        expected = rank_by_array.setdefault(ref.array, ref.rank)
+        if ref.rank != expected:
+            problems.append(
+                f"{ref.array}: inconsistent rank ({ref.rank} vs {expected})")
+        for sub in ref.subscripts:
+            for loop_name, _ in sub.loop_coeffs:
+                if loop_name not in known:
+                    problems.append(
+                        f"{ref.pretty()}: unknown induction variable {loop_name}")
+        if require_siv:
+            problems.extend(check_siv(ref))
+            problems.extend(check_separable(ref))
+
+    for loop in nest.loops:
+        if loop.step <= 0:
+            problems.append(f"loop {loop.index}: non-positive step {loop.step}")
+
+    if problems:
+        raise ValidationError("; ".join(problems))
+
+def is_siv_separable(nest: LoopNest) -> bool:
+    """True when every reference satisfies the restrictions of section 3.5."""
+    try:
+        validate_nest(nest, require_siv=True)
+    except ValidationError:
+        return False
+    return True
+
+def reference_is_unit_structured(ref: ArrayRef, index_names: tuple[str, ...]) -> bool:
+    """True when H has at most one non-zero per row and per column."""
+    matrix = reference_matrix(ref, index_names)
+    for row in matrix.rows:
+        if sum(1 for x in row if x != 0) > 1:
+            return False
+    for j in range(matrix.ncols):
+        if sum(1 for x in matrix.column(j) if x != 0) > 1:
+            return False
+    return True

@@ -1,0 +1,12 @@
+"""The 19 test loops of Table 2, reconstructed in the IR.
+
+The paper's loops come from SPEC92, Perfect, NAS and local suites; we ship
+faithful reconstructions (loop structure, reference patterns, read/write
+mix) from their descriptions and the published kernels they name.  Each
+kernel carries the workload configuration (sizes, array shapes) used by the
+Figure 8/9 simulation harness.
+"""
+
+from repro.kernels.suite import Kernel, all_kernels, kernel_by_name
+
+__all__ = ["Kernel", "all_kernels", "kernel_by_name"]

@@ -1,0 +1,259 @@
+"""Definitions of the Table 2 test loops.
+
+Every kernel is a perfect affine nest written with the builder DSL.  The
+reconstructions preserve what the models care about: loop order, array
+reference patterns (stencils, strides, invariants), and the read/write mix.
+All loops are memory bound (loop balance above 1) and unroll-and-jam legal,
+matching the selection criteria of section 5.2.
+
+Array indexing is 0-based; loop bounds are chosen so subscripts stay inside
+the shapes that :meth:`Kernel.shapes` allocates (with halo padding where
+stencils need it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.ir.builder import NestBuilder
+from repro.ir.nodes import LoopNest
+
+@dataclass(frozen=True)
+class Kernel:
+    """One Table 2 entry: the nest plus its simulation workload."""
+
+    number: int
+    name: str
+    description: str
+    nest: LoopNest
+    bindings: dict[str, int]
+    shapes: dict[str, tuple[int, ...]]
+    siv: bool = True  # fits the section 3.5 reference class
+
+def _sq(n: int, pad: int = 4) -> tuple[int, int]:
+    return (n + pad, n + pad)
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+
+def jacobi(n: int = 120) -> Kernel:
+    """1: Jacobi relaxation -- compute the Jacobian of a matrix."""
+    b = NestBuilder("jacobi", "Compute Jacobian of a Matrix")
+    I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+    b.assign(b.ref("A", I, J),
+             (b.ref("B", I - 1, J) + b.ref("B", I + 1, J)
+              + b.ref("B", I, J - 1) + b.ref("B", I, J + 1)) * 0.25)
+    return Kernel(1, "jacobi", "Compute Jacobian of a Matrix", b.build(),
+                  {"N": n}, {"A": _sq(n), "B": _sq(n)})
+
+def afold(n: int = 120) -> Kernel:
+    """2: adjoint convolution; B(I+J) is the paper's rare non-SIV case."""
+    b = NestBuilder("afold", "Adjoint Convolution")
+    I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+    b.assign(b.ref("A", I),
+             b.ref("A", I) + b.ref("B", I + J) * b.ref("C", J))
+    return Kernel(2, "afold", "Adjoint Convolution", b.build(),
+                  {"N": n}, {"A": (n + 2,), "B": (2 * n + 2,), "C": (n + 2,)},
+                  siv=False)
+
+def btrix1(n: int = 14) -> Kernel:
+    """3: SPEC/NASA7/BTRIX loop 1 -- block-tridiagonal forward elimination."""
+    b = NestBuilder("btrix.1", "SPEC/NASA7/BTRIX")
+    J, K, I = b.loops(("J", 1, "N"), ("K", 0, "N"), ("I", 0, "N"))
+    b.assign(b.ref("S", J, K, I),
+             b.ref("S", J, K, I)
+             - b.ref("A", J - 1, K, I) * b.ref("S", J - 1, K, I)
+             - b.ref("B", J, K, I) * b.ref("S", J - 1, K, I))
+    return Kernel(3, "btrix.1", "SPEC/NASA7/BTRIX", b.build(), {"N": n},
+                  {"S": (n + 2,) * 3, "A": (n + 2,) * 3, "B": (n + 2,) * 3})
+
+def btrix2(n: int = 14) -> Kernel:
+    """4: SPEC/NASA7/BTRIX loop 2 -- back substitution sweep."""
+    b = NestBuilder("btrix.2", "SPEC/NASA7/BTRIX")
+    K, J, I = b.loops(("K", 0, "N"), ("J", 0, "N"), ("I", 0, "N"))
+    b.assign(b.ref("S", J, K, I),
+             b.ref("S", J, K, I) * b.ref("D", J, K)
+             + b.ref("C", J, K, I) * b.ref("S", J, K + 1, I))
+    return Kernel(4, "btrix.2", "SPEC/NASA7/BTRIX", b.build(), {"N": n},
+                  {"S": (n + 2,) * 3, "C": (n + 2,) * 3, "D": (n + 2, n + 2)})
+
+def btrix7(n: int = 14) -> Kernel:
+    """5: SPEC/NASA7/BTRIX loop 7 -- LU-style update with invariant pivots."""
+    b = NestBuilder("btrix.7", "SPEC/NASA7/BTRIX")
+    K, J, I = b.loops(("K", 1, "N"), ("J", 1, "N"), ("I", 0, "N"))
+    b.assign(b.ref("U", J, K, I),
+             b.ref("U", J, K, I)
+             - b.ref("L", J, K) * b.ref("U", J - 1, K, I)
+             - b.ref("M", J, K) * b.ref("U", J, K - 1, I))
+    return Kernel(5, "btrix.7", "SPEC/NASA7/BTRIX", b.build(), {"N": n},
+                  {"U": (n + 2,) * 3, "L": (n + 2, n + 2), "M": (n + 2, n + 2)})
+
+def collc2(n: int = 56) -> Kernel:
+    """6: Perfect/FLO52/COLLC -- grid coarsening with stride-2 reads."""
+    b = NestBuilder("collc.2", "Perfect/FLO52/COLLC")
+    I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+    b.assign(b.ref("W", I, J),
+             (b.ref("WF", 2 * I, 2 * J) + b.ref("WF", 2 * I + 1, 2 * J)
+              + b.ref("WF", 2 * I, 2 * J + 1)
+              + b.ref("WF", 2 * I + 1, 2 * J + 1)) * 0.25)
+    return Kernel(6, "collc.2", "Perfect/FLO52/COLLC", b.build(), {"N": n},
+                  {"W": _sq(n), "WF": (2 * n + 4, 2 * n + 4)})
+
+def cond7(n: int = 120) -> Kernel:
+    """7: local/SIMPLE/CONDUCT loop 7 -- heat conduction coefficients."""
+    b = NestBuilder("cond.7", "local/simple/conduct")
+    I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+    b.assign(b.ref("SIG", I, J),
+             (b.ref("T", I, J) + b.ref("T", I - 1, J))
+             * (b.ref("R", I, J) - b.ref("R", I - 1, J))
+             * b.ref("CK", I, J))
+    return Kernel(7, "cond.7", "local/simple/conduct", b.build(), {"N": n},
+                  {"SIG": _sq(n), "T": _sq(n), "R": _sq(n), "CK": _sq(n)})
+
+def cond9(n: int = 120) -> Kernel:
+    """8: local/SIMPLE/CONDUCT loop 9 -- energy update with 5-point data."""
+    b = NestBuilder("cond.9", "local/simple/conduct")
+    I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+    b.assign(b.ref("E", I, J),
+             b.ref("E", I, J)
+             + b.ref("SIG", I, J) * (b.ref("T", I + 1, J) - b.ref("T", I, J))
+             - b.ref("SIG", I, J - 1)
+             * (b.ref("T", I, J) - b.ref("T", I, J - 1)))
+    return Kernel(8, "cond.9", "local/simple/conduct", b.build(), {"N": n},
+                  {"E": _sq(n), "SIG": _sq(n), "T": _sq(n)})
+
+def dflux16(n: int = 120) -> Kernel:
+    """9: Perfect/FLO52/DFLUX loop 16 -- first dissipation flux sweep."""
+    b = NestBuilder("dflux.16", "Perfect/FLO52/DFLUX")
+    J, I = b.loops(("J", 1, "N"), ("I", 1, "N"))
+    b.assign(b.ref("FS", I, J),
+             (b.ref("W", I + 1, J) - b.ref("W", I, J))
+             * b.ref("RAD", I, J))
+    return Kernel(9, "dflux.16", "Perfect/FLO52/DFLUX", b.build(), {"N": n},
+                  {"FS": _sq(n), "W": _sq(n), "RAD": _sq(n)})
+
+def dflux17(n: int = 120) -> Kernel:
+    """10: Perfect/FLO52/DFLUX loop 17 -- fourth-difference dissipation."""
+    b = NestBuilder("dflux.17", "Perfect/FLO52/DFLUX")
+    J, I = b.loops(("J", 1, "N"), ("I", 2, "N"))
+    b.assign(b.ref("D", I, J),
+             b.ref("W", I + 1, J) - 3.0 * b.ref("W", I, J)
+             + 3.0 * b.ref("W", I - 1, J) - b.ref("W", I - 2, J))
+    return Kernel(10, "dflux.17", "Perfect/FLO52/DFLUX", b.build(), {"N": n},
+                  {"D": _sq(n), "W": _sq(n)})
+
+def dflux20(n: int = 120) -> Kernel:
+    """11: Perfect/FLO52/DFLUX loop 20 -- flux accumulation."""
+    b = NestBuilder("dflux.20", "Perfect/FLO52/DFLUX")
+    J, I = b.loops(("J", 1, "N"), ("I", 1, "N"))
+    b.assign(b.ref("RS", I, J),
+             b.ref("RS", I, J)
+             + b.ref("FS", I, J) - b.ref("FS", I - 1, J)
+             + b.ref("GS", I, J) - b.ref("GS", I, J - 1))
+    return Kernel(11, "dflux.20", "Perfect/FLO52/DFLUX", b.build(), {"N": n},
+                  {"RS": _sq(n), "FS": _sq(n), "GS": _sq(n)})
+
+def dmxpy0(n: int = 160) -> Kernel:
+    """12: LINPACK dmxpy, (J,I) order -- Y += M x, column sweeps."""
+    b = NestBuilder("dmxpy0", "Vector-Matrix Multiply")
+    J, I = b.loops(("J", 0, "N"), ("I", 0, "N"))
+    b.assign(b.ref("Y", I),
+             b.ref("Y", I) + b.ref("X", J) * b.ref("M", I, J))
+    return Kernel(12, "dmxpy0", "Vector-Matrix Multiply", b.build(), {"N": n},
+                  {"Y": (n + 2,), "X": (n + 2,), "M": _sq(n)})
+
+def dmxpy1(n: int = 160) -> Kernel:
+    """13: LINPACK dmxpy, (I,J) order -- Y += M x, row sweeps."""
+    b = NestBuilder("dmxpy1", "Vector-Matrix Multiply")
+    I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+    b.assign(b.ref("Y", I),
+             b.ref("Y", I) + b.ref("X", J) * b.ref("M", I, J))
+    return Kernel(13, "dmxpy1", "Vector-Matrix Multiply", b.build(), {"N": n},
+                  {"Y": (n + 2,), "X": (n + 2,), "M": _sq(n)})
+
+def gmtry3(n: int = 160) -> Kernel:
+    """14: SPEC/NASA7/GMTRY loop 3 -- Gaussian elimination update."""
+    b = NestBuilder("gmtry.3", "SPEC/NASA7/GMTRY")
+    I, J = b.loops(("I", 1, "N"), ("J", 0, "N"))
+    b.assign(b.ref("RM", I, J),
+             b.ref("RM", I, J)
+             - b.ref("RM", I - 1, J) * b.ref("PIV", I))
+    return Kernel(14, "gmtry.3", "SPEC/NASA7/GMTRY", b.build(), {"N": n},
+                  {"RM": _sq(n), "PIV": (n + 2,)})
+
+def mmjik(n: int = 40) -> Kernel:
+    """15: matrix multiply, JIK order."""
+    b = NestBuilder("mmjik", "Matrix-Matrix Multiply")
+    J, I, K = b.loops(("J", 0, "N"), ("I", 0, "N"), ("K", 0, "N"))
+    b.assign(b.ref("C", I, J),
+             b.ref("C", I, J) + b.ref("A", I, K) * b.ref("B", K, J))
+    return Kernel(15, "mmjik", "Matrix-Matrix Multiply", b.build(), {"N": n},
+                  {"A": _sq(n), "B": _sq(n), "C": _sq(n)})
+
+def mmjki(n: int = 40) -> Kernel:
+    """16: matrix multiply, JKI order (column-major friendly innermost)."""
+    b = NestBuilder("mmjki", "Matrix-Matrix Multiply")
+    J, K, I = b.loops(("J", 0, "N"), ("K", 0, "N"), ("I", 0, "N"))
+    b.assign(b.ref("C", I, J),
+             b.ref("C", I, J) + b.ref("A", I, K) * b.ref("B", K, J))
+    return Kernel(16, "mmjki", "Matrix-Matrix Multiply", b.build(), {"N": n},
+                  {"A": _sq(n), "B": _sq(n), "C": _sq(n)})
+
+def vpenta7(n: int = 120) -> Kernel:
+    """17: SPEC/NASA7/VPENTA loop 7 -- pentadiagonal back substitution."""
+    b = NestBuilder("vpenta.7", "SPEC/NASA7/VPENTA")
+    J, K = b.loops(("J", 0, "N"), ("K", 0, "N"))
+    b.assign(b.ref("F", K, J),
+             b.ref("F", K, J)
+             - b.ref("X", K, J) * b.ref("F", K, J + 1)
+             - b.ref("Y", K, J) * b.ref("F", K, J + 2))
+    return Kernel(17, "vpenta.7", "SPEC/NASA7/VPENTA", b.build(), {"N": n},
+                  {"F": _sq(n), "X": _sq(n), "Y": _sq(n)})
+
+def sor(n: int = 120) -> Kernel:
+    """18: successive over-relaxation sweep."""
+    b = NestBuilder("sor", "Successive Over Relaxation")
+    I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+    b.assign(b.ref("A", I, J),
+             0.25 * (b.ref("A", I - 1, J) + b.ref("A", I + 1, J)
+                     + b.ref("A", I, J - 1) + b.ref("A", I, J + 1))
+             * b.scalar("omega") + b.ref("A", I, J))
+    return Kernel(18, "sor", "Successive Over Relaxation", b.build(), {"N": n},
+                  {"A": _sq(n)})
+
+def shal(n: int = 96) -> Kernel:
+    """19: shallow-water kernel (SWIM loop 100: CU, CV, Z, H updates)."""
+    b = NestBuilder("shal", "Shallow Water Kernel")
+    I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+    b.assign(b.ref("CU", I, J),
+             0.5 * (b.ref("P", I, J) + b.ref("P", I - 1, J))
+             * b.ref("U", I, J))
+    b.assign(b.ref("CV", I, J),
+             0.5 * (b.ref("P", I, J) + b.ref("P", I, J - 1))
+             * b.ref("V", I, J))
+    b.assign(b.ref("H", I, J),
+             b.ref("P", I, J)
+             + 0.25 * (b.ref("U", I, J) * b.ref("U", I, J)
+                       + b.ref("V", I, J) * b.ref("V", I, J)))
+    return Kernel(19, "shal", "Shallow Water Kernel", b.build(), {"N": n},
+                  {"CU": _sq(n), "CV": _sq(n), "H": _sq(n), "P": _sq(n),
+                   "U": _sq(n), "V": _sq(n)})
+
+_FACTORIES: tuple[Callable[[], Kernel], ...] = (
+    jacobi, afold, btrix1, btrix2, btrix7, collc2, cond7, cond9,
+    dflux16, dflux17, dflux20, dmxpy0, dmxpy1, gmtry3, mmjik, mmjki,
+    vpenta7, sor, shal,
+)
+
+def all_kernels() -> list[Kernel]:
+    """The 19 Table 2 loops, in the paper's order."""
+    return [factory() for factory in _FACTORIES]
+
+def kernel_by_name(name: str) -> Kernel:
+    for factory in _FACTORIES:
+        kernel = factory()
+        if kernel.name == name:
+            return kernel
+    raise KeyError(f"unknown kernel {name!r}")

@@ -1,0 +1,146 @@
+"""Integer linear algebra: Hermite normal form and integer solvability.
+
+Reuse happens at whole iterations, so the group-reuse equations of the
+model are *integer* systems: ``H x = c2 - c1`` needs a solution in
+``L ∩ Z^n``, not merely in L.  This module supplies the exact machinery:
+column-style Hermite normal form over Z and integer system solving, used
+by :mod:`repro.reuse.group` to decide integrality without the decoupled
+(SIV-only) shortcut.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Sequence
+
+from repro.linalg.matrix import Matrix, Rational
+
+def _to_int_rows(matrix: Matrix) -> tuple[list[list[int]], list[int]]:
+    """Scale each row to integers; returns (rows, per-row scale factors)."""
+    rows = []
+    scales = []
+    for row in matrix.rows:
+        denom = 1
+        for x in row:
+            denom = denom * x.denominator // gcd(denom, x.denominator)
+        rows.append([int(x * denom) for x in row])
+        scales.append(denom)
+    return rows, scales
+
+def hermite_normal_form(matrix: Matrix) -> tuple[Matrix, Matrix]:
+    """Column-style HNF: returns (H, U) with ``matrix @ U = H``, U
+    unimodular, H lower-triangular-ish with non-negative pivots.
+
+    Entries of ``matrix`` must be integers (Fractions with denominator 1).
+    """
+    for row in matrix.rows:
+        for x in row:
+            if x.denominator != 1:
+                raise ValueError("HNF needs an integer matrix")
+    m, n = matrix.nrows, matrix.ncols
+    a = [[int(x) for x in row] for row in matrix.rows]
+    u = [[int(i == j) for j in range(n)] for i in range(n)]
+
+    def col_op(j: int, k: int, factor: int) -> None:
+        """column j -= factor * column k (in both a and u)."""
+        for i in range(m):
+            a[i][j] -= factor * a[i][k]
+        for i in range(n):
+            u[i][j] -= factor * u[i][k]
+
+    def col_swap(j: int, k: int) -> None:
+        for i in range(m):
+            a[i][j], a[i][k] = a[i][k], a[i][j]
+        for i in range(n):
+            u[i][j], u[i][k] = u[i][k], u[i][j]
+
+    def col_negate(j: int) -> None:
+        for i in range(m):
+            a[i][j] = -a[i][j]
+        for i in range(n):
+            u[i][j] = -u[i][j]
+
+    pivot_col = 0
+    for row in range(m):
+        if pivot_col >= n:
+            break
+        # Euclidean reduction across columns pivot_col..n-1 on this row.
+        while True:
+            nonzero = [j for j in range(pivot_col, n) if a[row][j] != 0]
+            if not nonzero:
+                break
+            j_min = min(nonzero, key=lambda j: abs(a[row][j]))
+            col_swap(pivot_col, j_min)
+            if a[row][pivot_col] < 0:
+                col_negate(pivot_col)
+            done = True
+            for j in range(pivot_col + 1, n):
+                if a[row][j] != 0:
+                    factor = a[row][j] // a[row][pivot_col]
+                    col_op(j, pivot_col, factor)
+                    if a[row][j] != 0:
+                        done = False
+            if done:
+                break
+        if a[row][pivot_col] != 0:
+            # Reduce earlier columns of this row modulo the pivot.
+            for j in range(pivot_col):
+                factor = a[row][j] // a[row][pivot_col]
+                if factor:
+                    col_op(j, pivot_col, factor)
+            pivot_col += 1
+    return Matrix(a), Matrix(u)
+
+def integer_solve(matrix: Matrix, rhs: Sequence[Rational]) -> tuple[int, ...] | None:
+    """An integer solution x of ``matrix @ x = rhs``, or None.
+
+    ``matrix`` may have rational entries; each equation is scaled to
+    integers first (which can also prove unsolvability when the scaled
+    right-hand side is fractional).
+    """
+    if len(rhs) != matrix.nrows:
+        raise ValueError("rhs length mismatch")
+    rows, scales = _to_int_rows(matrix)
+    b = []
+    for value, scale in zip(rhs, scales):
+        scaled = Fraction(value) * scale
+        if scaled.denominator != 1:
+            return None
+        b.append(int(scaled))
+    int_matrix = Matrix(rows, ncols=matrix.ncols)
+    hnf, unimod = hermite_normal_form(int_matrix)
+    # Solve hnf @ y = b by substitution; hnf columns beyond the pivots are
+    # zero.  Then x = unimod @ y.
+    n = matrix.ncols
+    y = [0] * n
+    residual = list(b)
+    col = 0
+    for row in range(matrix.nrows):
+        if col < n and hnf.entry(row, col) != 0:
+            pivot = int(hnf.entry(row, col))
+            if residual[row] % pivot:
+                return None
+            y[col] = residual[row] // pivot
+            for r2 in range(matrix.nrows):
+                residual[r2] -= y[col] * int(hnf.entry(r2, col))
+            col += 1
+        elif residual[row] != 0:
+            return None
+    if any(residual):
+        return None
+    x = unimod.matvec(y)
+    return tuple(int(v) for v in x)
+
+def integer_solvable(matrix: Matrix, rhs: Sequence[Rational]) -> bool:
+    return integer_solve(matrix, rhs) is not None
+
+def annihilator_rows(space_basis: tuple[tuple[Fraction, ...], ...],
+                     ambient: int) -> Matrix:
+    """Rows spanning the annihilator of a subspace: ``a`` with ``a·l = 0``
+    for every l in the span.  Used to express ``x ∈ L`` as equations."""
+    if not space_basis:
+        return Matrix.identity(ambient)
+    basis_matrix = Matrix(space_basis, ncols=ambient)
+    return Matrix(basis_matrix.nullspace(), ncols=ambient) \
+        if basis_matrix.nullspace() else Matrix([], ncols=ambient)

@@ -1,0 +1,213 @@
+"""Immutable exact rational matrices.
+
+Sizes in this project are tiny (loop depths <= 6, array ranks <= 4), so the
+implementation favours clarity and exactness over asymptotics: plain
+Gauss-Jordan elimination over :class:`fractions.Fraction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+Rational = int | Fraction
+
+def _frac(value: Rational) -> Fraction:
+    return value if isinstance(value, Fraction) else Fraction(value)
+
+def _freeze(rows: Iterable[Iterable[Rational]]) -> tuple[tuple[Fraction, ...], ...]:
+    return tuple(tuple(_frac(x) for x in row) for row in rows)
+
+@dataclass(frozen=True)
+class AffineSolution:
+    """The solution set of ``A x = b``.
+
+    ``particular`` is one solution; ``homogeneous`` is a basis of the kernel
+    of ``A``.  The full solution set is ``particular + span(homogeneous)``.
+    An inconsistent system is represented by :data:`NO_SOLUTION` (where
+    ``exists`` is False).
+    """
+
+    exists: bool
+    particular: tuple[Fraction, ...] = ()
+    homogeneous: tuple[tuple[Fraction, ...], ...] = ()
+
+    def is_unique(self) -> bool:
+        return self.exists and not self.homogeneous
+
+    def __bool__(self) -> bool:
+        return self.exists
+
+NO_SOLUTION = AffineSolution(exists=False)
+
+class Matrix:
+    """An immutable matrix over the rationals.
+
+    Rows are tuples of :class:`fractions.Fraction`.  All arithmetic is exact.
+    """
+
+    __slots__ = ("rows", "nrows", "ncols")
+
+    def __init__(self, rows: Iterable[Iterable[Rational]], ncols: int | None = None):
+        frozen = _freeze(rows)
+        if frozen:
+            width = len(frozen[0])
+            if any(len(row) != width for row in frozen):
+                raise ValueError("ragged rows in matrix")
+            if ncols is not None and ncols != width:
+                raise ValueError(f"ncols={ncols} does not match row width {width}")
+        else:
+            if ncols is None:
+                raise ValueError("empty matrix needs an explicit ncols")
+            width = ncols
+        object.__setattr__(self, "rows", frozen)
+        object.__setattr__(self, "nrows", len(frozen))
+        object.__setattr__(self, "ncols", width)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Matrix is immutable")
+
+    # -- construction helpers -------------------------------------------------
+
+    @staticmethod
+    def identity(n: int) -> "Matrix":
+        return Matrix([[Fraction(int(i == j)) for j in range(n)] for i in range(n)])
+
+    @staticmethod
+    def zero(nrows: int, ncols: int) -> "Matrix":
+        return Matrix([[Fraction(0)] * ncols for _ in range(nrows)], ncols=ncols)
+
+    @staticmethod
+    def from_columns(columns: Sequence[Sequence[Rational]], nrows: int | None = None) -> "Matrix":
+        if not columns:
+            if nrows is None:
+                raise ValueError("empty column list needs explicit nrows")
+            return Matrix([[] for _ in range(nrows)], ncols=0) if nrows else Matrix([], ncols=0)
+        height = len(columns[0])
+        if any(len(col) != height for col in columns):
+            raise ValueError("ragged columns")
+        return Matrix([[columns[j][i] for j in range(len(columns))] for i in range(height)],
+                      ncols=len(columns))
+
+    # -- basics ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Matrix) and self.rows == other.rows and self.ncols == other.ncols
+
+    def __hash__(self) -> int:
+        return hash((self.rows, self.ncols))
+
+    def __repr__(self) -> str:
+        body = "; ".join(" ".join(str(x) for x in row) for row in self.rows)
+        return f"Matrix({self.nrows}x{self.ncols}: {body})"
+
+    def row(self, i: int) -> tuple[Fraction, ...]:
+        return self.rows[i]
+
+    def column(self, j: int) -> tuple[Fraction, ...]:
+        return tuple(row[j] for row in self.rows)
+
+    def entry(self, i: int, j: int) -> Fraction:
+        return self.rows[i][j]
+
+    def is_zero(self) -> bool:
+        return all(x == 0 for row in self.rows for x in row)
+
+    def transpose(self) -> "Matrix":
+        return Matrix([self.column(j) for j in range(self.ncols)], ncols=self.nrows)
+
+    def with_zero_row(self, index: int) -> "Matrix":
+        """A copy of this matrix whose ``index``-th row is zeroed.
+
+        Used to build the *spatial* subscript matrix H_S: with column-major
+        storage the first (fastest-varying) array dimension is dropped when
+        testing for spatial reuse.
+        """
+        rows = [tuple(Fraction(0) for _ in row) if i == index else row
+                for i, row in enumerate(self.rows)]
+        return Matrix(rows, ncols=self.ncols)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def matvec(self, vector: Sequence[Rational]) -> tuple[Fraction, ...]:
+        if len(vector) != self.ncols:
+            raise ValueError(f"vector length {len(vector)} != ncols {self.ncols}")
+        vec = [_frac(x) for x in vector]
+        return tuple(sum((row[j] * vec[j] for j in range(self.ncols)), Fraction(0))
+                     for row in self.rows)
+
+    def matmul(self, other: "Matrix") -> "Matrix":
+        if self.ncols != other.nrows:
+            raise ValueError("dimension mismatch in matmul")
+        return Matrix(
+            [[sum((self.rows[i][k] * other.rows[k][j] for k in range(self.ncols)), Fraction(0))
+              for j in range(other.ncols)]
+             for i in range(self.nrows)],
+            ncols=other.ncols)
+
+    def stack(self, other: "Matrix") -> "Matrix":
+        """Vertical concatenation."""
+        if self.ncols != other.ncols:
+            raise ValueError("column mismatch in stack")
+        return Matrix(self.rows + other.rows, ncols=self.ncols)
+
+    # -- elimination ----------------------------------------------------------
+
+    def _rref(self) -> tuple[list[list[Fraction]], list[int]]:
+        """Reduced row echelon form; returns (rows, pivot column indices)."""
+        rows = [list(row) for row in self.rows]
+        pivots: list[int] = []
+        r = 0
+        for c in range(self.ncols):
+            pivot_row = next((i for i in range(r, len(rows)) if rows[i][c] != 0), None)
+            if pivot_row is None:
+                continue
+            rows[r], rows[pivot_row] = rows[pivot_row], rows[r]
+            inv = rows[r][c]
+            rows[r] = [x / inv for x in rows[r]]
+            for i in range(len(rows)):
+                if i != r and rows[i][c] != 0:
+                    factor = rows[i][c]
+                    rows[i] = [a - factor * b for a, b in zip(rows[i], rows[r])]
+            pivots.append(c)
+            r += 1
+            if r == len(rows):
+                break
+        return rows, pivots
+
+    def rref(self) -> "Matrix":
+        rows, _ = self._rref()
+        return Matrix(rows, ncols=self.ncols)
+
+    def rank(self) -> int:
+        _, pivots = self._rref()
+        return len(pivots)
+
+    def nullspace(self) -> tuple[tuple[Fraction, ...], ...]:
+        """A basis for ``{x : A x = 0}`` (possibly empty)."""
+        rows, pivots = self._rref()
+        free_cols = [c for c in range(self.ncols) if c not in pivots]
+        basis = []
+        for free in free_cols:
+            vec = [Fraction(0)] * self.ncols
+            vec[free] = Fraction(1)
+            for r, pc in enumerate(pivots):
+                vec[pc] = -rows[r][free]
+            basis.append(tuple(vec))
+        return tuple(basis)
+
+    def solve(self, rhs: Sequence[Rational]) -> AffineSolution:
+        """Solve ``A x = b`` over the rationals, returning the full set."""
+        if len(rhs) != self.nrows:
+            raise ValueError(f"rhs length {len(rhs)} != nrows {self.nrows}")
+        augmented = Matrix([list(row) + [_frac(rhs[i])] for i, row in enumerate(self.rows)],
+                           ncols=self.ncols + 1)
+        rows, pivots = augmented._rref()
+        if augmented.ncols - 1 in pivots:
+            return NO_SOLUTION
+        particular = [Fraction(0)] * self.ncols
+        for r, pc in enumerate(pivots):
+            particular[pc] = rows[r][-1]
+        return AffineSolution(exists=True, particular=tuple(particular),
+                              homogeneous=self.nullspace())

@@ -1,0 +1,40 @@
+"""Machine models and the trace-driven performance simulator.
+
+The paper evaluates on DEC Alpha and HP PA-RISC hardware; we substitute
+parameterized machine models (issue widths, cache geometry, miss penalty,
+register count, prefetch bandwidth) and a trace-driven simulator that
+charges exactly the costs the balance model reasons about.  See DESIGN.md
+for the substitution rationale.
+
+The simulator names are loaded lazily (PEP 562): the balance model needs
+only :class:`MachineModel`, and the simulator itself depends on the unroll
+machinery, which depends back on balance.
+"""
+
+from repro.machine.model import MachineModel
+from repro.machine.presets import dec_alpha, hp_pa_risc, prefetching_machine
+
+__all__ = [
+    "CacheSimulator",
+    "MachineModel",
+    "SimulationResult",
+    "dec_alpha",
+    "hp_pa_risc",
+    "prefetching_machine",
+    "simulate",
+]
+
+_LAZY = {
+    "CacheSimulator": ("repro.machine.cache", "CacheSimulator"),
+    "SimulationResult": ("repro.machine.simulator", "SimulationResult"),
+    "simulate": ("repro.machine.simulator", "simulate"),
+}
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        module_name, attr = _LAZY[name]
+        import importlib
+
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

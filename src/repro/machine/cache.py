@@ -1,0 +1,64 @@
+"""A set-associative LRU cache simulator (word-addressed).
+
+The balance model charges for main-memory accesses; the simulator verifies
+those charges against an actual address stream.  Geometry comes from the
+:class:`repro.machine.model.MachineModel`: capacity and line size in
+double-precision words, LRU replacement within each set.
+"""
+
+from __future__ import annotations
+
+from repro.machine.model import MachineModel
+
+class CacheSimulator:
+    """Word-addressed set-associative cache with LRU replacement."""
+
+    def __init__(self, size_words: int, line_words: int, assoc: int = 1):
+        if size_words % (line_words * assoc):
+            raise ValueError("size must be a multiple of line * associativity")
+        self.line_words = line_words
+        self.assoc = assoc
+        self.num_sets = size_words // (line_words * assoc)
+        # Per set: list of tags, most-recently-used last.
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    @staticmethod
+    def for_machine(machine: MachineModel) -> "CacheSimulator":
+        return CacheSimulator(machine.cache_size_words,
+                              machine.cache_line_words, machine.cache_assoc)
+
+    def access(self, address: int) -> bool:
+        """Touch one word; returns True on hit."""
+        self.accesses += 1
+        line = address // self.line_words
+        set_idx = line % self.num_sets
+        tag = line // self.num_sets
+        ways = self._sets[set_idx]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            return True
+        self.misses += 1
+        ways.append(tag)
+        if len(ways) > self.assoc:
+            ways.pop(0)
+        return False
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    def miss_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset_counters(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+        self.reset_counters()

@@ -1,0 +1,84 @@
+"""The machine description consumed by the balance model and simulator.
+
+Section 3.1: a machine's *balance* is the rate at which it can move data
+from memory relative to the rate at which it retires floating-point
+operations, ``beta_M = M_rate / F_rate``.  Loops whose own balance exceeds
+beta_M are memory bound on that machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+@dataclass(frozen=True)
+class MachineModel:
+    """An ILP machine for the balance model and the simulator.
+
+    Rates are per cycle.  ``cache_line_words`` and ``cache_size_words`` are
+    in double-precision words (the paper assumes word size == fp precision,
+    section 3.1).  ``prefetch_bandwidth`` is the number of prefetches the
+    machine can issue per cycle (0 disables the prefetch term and makes
+    every main-memory access a full miss).
+    """
+
+    name: str
+    mem_issue: Fraction  # memory operations issued per cycle (M rate)
+    fp_issue: Fraction  # floating-point operations per cycle (F rate)
+    registers: int  # floating-point register file size
+    cache_size_words: int
+    cache_line_words: int
+    cache_assoc: int
+    miss_penalty: int  # cycles per unserviced main-memory access (lambda_m)
+    cache_access: int = 1  # cycles per cache hit (lambda_c)
+    prefetch_bandwidth: Fraction = Fraction(0)
+    #: pipeline latencies for the list-scheduler cost model
+    fp_latency: int = 3
+    divide_latency: int = 12
+    load_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.mem_issue <= 0 or self.fp_issue <= 0:
+            raise ValueError("issue rates must be positive")
+        if self.registers <= 0:
+            raise ValueError("register file must be non-empty")
+        if self.cache_line_words <= 0 or self.cache_size_words <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.cache_size_words % (self.cache_line_words * self.cache_assoc):
+            raise ValueError("cache size must be divisible by line*assoc")
+        if self.miss_penalty < 0 or self.cache_access <= 0:
+            raise ValueError("invalid latency parameters")
+
+    @property
+    def balance(self) -> Fraction:
+        """beta_M = M_rate / F_rate (section 3.1)."""
+        return Fraction(self.mem_issue) / Fraction(self.fp_issue)
+
+    @property
+    def miss_cost_ratio(self) -> Fraction:
+        """lambda_m / lambda_c: the memory-op equivalents of one miss."""
+        return Fraction(self.miss_penalty, self.cache_access)
+
+    def with_registers(self, registers: int) -> "MachineModel":
+        return MachineModel(
+            name=f"{self.name}-r{registers}",
+            mem_issue=self.mem_issue, fp_issue=self.fp_issue,
+            registers=registers,
+            cache_size_words=self.cache_size_words,
+            cache_line_words=self.cache_line_words,
+            cache_assoc=self.cache_assoc,
+            miss_penalty=self.miss_penalty,
+            cache_access=self.cache_access,
+            prefetch_bandwidth=self.prefetch_bandwidth)
+
+    def with_prefetch(self, bandwidth: Fraction) -> "MachineModel":
+        return MachineModel(
+            name=f"{self.name}-pf{bandwidth}",
+            mem_issue=self.mem_issue, fp_issue=self.fp_issue,
+            registers=self.registers,
+            cache_size_words=self.cache_size_words,
+            cache_line_words=self.cache_line_words,
+            cache_assoc=self.cache_assoc,
+            miss_penalty=self.miss_penalty,
+            cache_access=self.cache_access,
+            prefetch_bandwidth=Fraction(bandwidth))

@@ -1,0 +1,96 @@
+"""Machine presets standing in for the paper's evaluation hardware.
+
+The numbers are modelled on the published microarchitectures (Alpha 21064,
+PA-7100) at the granularity the balance model needs: issue rates, fp
+register count, on-chip data-cache geometry and an effective miss penalty.
+Absolute agreement with 1997 silicon is not the goal -- the *contrast*
+matters: the Alpha has a tiny on-chip cache and a painful miss, the
+PA-RISC a large low-penalty off-chip cache, so cache-aware unrolling
+matters far more on the former, which is exactly the Figure 8 vs Figure 9
+contrast.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.machine.model import MachineModel
+
+def dec_alpha() -> MachineModel:
+    """DEC Alpha 21064-like: dual issue (1 mem + 1 fp), 32 fp registers,
+    8KB direct-mapped data cache (1024 doubles), 32-byte lines, ~24-cycle
+    miss to the board cache/memory."""
+    return MachineModel(
+        name="dec-alpha-21064",
+        mem_issue=Fraction(1),
+        fp_issue=Fraction(1),
+        registers=32,
+        cache_size_words=1024,
+        cache_line_words=4,
+        cache_assoc=1,
+        miss_penalty=24,
+        cache_access=1,
+        prefetch_bandwidth=Fraction(0),
+    )
+
+def hp_pa_risc() -> MachineModel:
+    """HP PA-7100-like: 1 load/store per cycle plus a fused multiply-add
+    pipe (2 flops/cycle, so beta_M = 0.5), 32 fp registers, large
+    low-latency off-chip cache (256K doubles, 32-byte lines), ~8-cycle
+    effective miss."""
+    return MachineModel(
+        name="hp-pa-7100",
+        mem_issue=Fraction(1),
+        fp_issue=Fraction(2),
+        registers=32,
+        cache_size_words=262144,
+        cache_line_words=4,
+        cache_assoc=1,
+        miss_penalty=8,
+        cache_access=1,
+        prefetch_bandwidth=Fraction(0),
+    )
+
+def prefetching_machine(bandwidth: Fraction = Fraction(1, 2)) -> MachineModel:
+    """A forward-looking design for the paper's future-work experiment:
+    Alpha-like core with a software-prefetch engine that can issue
+    ``bandwidth`` prefetches per cycle."""
+    return dec_alpha().with_prefetch(Fraction(bandwidth))
+
+def generous_register_machine(registers: int = 64) -> MachineModel:
+    """The 'larger register sets' variation discussed in section 6."""
+    return dec_alpha().with_registers(registers)
+
+def mips_r10k() -> MachineModel:
+    """MIPS R10000-like: out-of-order 4-issue (1 ld/st + 2 flops sustained),
+    64 physical fp registers, 32KB 2-way on-chip data cache, moderate miss
+    penalty to the L2."""
+    return MachineModel(
+        name="mips-r10k",
+        mem_issue=Fraction(1),
+        fp_issue=Fraction(2),
+        registers=64,
+        cache_size_words=4096,
+        cache_line_words=4,
+        cache_assoc=2,
+        miss_penalty=12,
+        cache_access=1,
+        prefetch_bandwidth=Fraction(0),
+    )
+
+def future_wide() -> MachineModel:
+    """The section-6 projection: wide ILP (2 mem + 4 fp per cycle), a big
+    register file and a software-prefetch engine -- the machine class the
+    paper argues will need exactly this kind of transformation."""
+    return MachineModel(
+        name="future-wide",
+        mem_issue=Fraction(2),
+        fp_issue=Fraction(4),
+        registers=128,
+        cache_size_words=8192,
+        cache_line_words=8,
+        cache_assoc=4,
+        miss_penalty=40,
+        cache_access=1,
+        prefetch_bandwidth=Fraction(1),
+    )

@@ -1,0 +1,237 @@
+"""Trace-driven performance simulation of loop nests (Figures 8/9 substrate).
+
+The simulator walks the iteration space of a nest (original or
+unroll-and-jammed, including remainder iterations), feeds the issued memory
+accesses through the cache simulator, and charges cycles per innermost
+body execution:
+
+    cycles += max(mem_ops / mem_issue, flops / fp_issue, 1)
+              + misses * miss_penalty  (less what prefetching hides)
+              + spill traffic when register pressure exceeds the file
+
+Scalar replacement is honoured through a :class:`ScalarReplacementPlan`:
+register-resident references issue no memory access.  Remainder iterations
+run progressively less-unrolled variants of the body, exactly like the
+epilogue loops of real generated code (and like the reference
+interpreter in :mod:`repro.ir.interp`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from repro.ir.matrixform import occurrences
+from repro.ir.nodes import LoopNest
+from repro.machine.cache import CacheSimulator
+from repro.machine.model import MachineModel
+from repro.unroll.prefetch import plan_prefetch
+from repro.unroll.scalar_replacement import (
+    ScalarReplacementPlan,
+    plan_scalar_replacement,
+)
+from repro.unroll.space import UnrollVector
+from repro.unroll.transform import unroll_and_jam
+
+#: Extra memory operations charged per iteration per register beyond the
+#: machine's file (one store + one reload of a spilled value).
+SPILL_OPS_PER_EXCESS_REGISTER = 2
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Cycle-level outcome of one simulated nest execution."""
+
+    name: str
+    cycles: Fraction
+    flops: int
+    memory_ops: int
+    cache_accesses: int
+    cache_misses: int
+    iterations: int
+    spill_ops: int
+    #: demand misses that actually stalled (prefetch fills excluded)
+    stall_misses: int = 0
+    prefetch_ops: int = 0
+
+    @property
+    def cycles_float(self) -> float:
+        return float(self.cycles)
+
+    def normalized_to(self, baseline: "SimulationResult") -> float:
+        if baseline.cycles == 0:
+            return 0.0
+        return float(self.cycles / baseline.cycles)
+
+class _Layout:
+    """Column-major array layout over one flat word-addressed space."""
+
+    def __init__(self, shapes: Mapping[str, tuple[int, ...]],
+                 line_words: int):
+        self.bases: dict[str, int] = {}
+        self.strides: dict[str, tuple[int, ...]] = {}
+        cursor = 0
+        for name in sorted(shapes):
+            shape = shapes[name]
+            strides = []
+            stride = 1
+            for extent in shape:
+                strides.append(stride)
+                stride *= extent
+            self.bases[name] = cursor
+            self.strides[name] = tuple(strides)
+            size = stride
+            # Line-align each array so conflict behaviour is deterministic.
+            cursor += ((size + line_words - 1) // line_words) * line_words
+
+    def address(self, array: str, indices: tuple[int, ...]) -> int:
+        strides = self.strides[array]
+        base = self.bases[array]
+        return base + sum(i * s for i, s in zip(indices, strides))
+
+class _BodyVariant:
+    """One unroll variant of the body with its precompiled cost."""
+
+    def __init__(self, nest: LoopNest, u: UnrollVector, machine: MachineModel,
+                 scalar_replace: bool, software_prefetch: bool):
+        self.body_nest = unroll_and_jam(nest, u).main if any(u) else nest
+        if scalar_replace:
+            plan = plan_scalar_replacement(self.body_nest)
+        else:
+            occs = occurrences(self.body_nest)
+            plan = ScalarReplacementPlan(
+                nest=self.body_nest,
+                memory_positions=frozenset(o.position for o in occs),
+                registers=0,
+                total_references=len(occs))
+        self.flops = self.body_nest.flops_per_iteration()
+        self.issued = [occ for occ in occurrences(self.body_nest)
+                       if plan.issues_memory_op(occ.position)]
+        self.registers = plan.registers
+        excess = max(self.registers - machine.registers, 0)
+        self.spill_ops = excess * SPILL_OPS_PER_EXCESS_REGISTER
+        ops = len(self.issued) + self.spill_ops
+        self.memory_ops = ops
+        self.issue_cycles = max(Fraction(ops) / machine.mem_issue,
+                                Fraction(self.flops) / machine.fp_issue,
+                                Fraction(1))
+        self.prefetch_map = {}
+        self.inner_index = self.body_nest.loops[-1].index
+        if software_prefetch:
+            prefetch = plan_prefetch(self.body_nest, machine, plan)
+            self.prefetch_map = prefetch.by_position()
+
+def simulate(nest: LoopNest, machine: MachineModel,
+             bindings: Mapping[str, int],
+             shapes: Mapping[str, tuple[int, ...]],
+             unroll: UnrollVector | None = None,
+             scalar_replace: bool = True,
+             software_prefetch: bool = False,
+             name: str | None = None) -> SimulationResult:
+    """Simulate ``nest`` (optionally unroll-and-jammed by ``unroll``).
+
+    ``shapes`` gives each array's extents; iteration bounds come from
+    ``bindings``.  With ``scalar_replace=False`` every reference issues a
+    memory operation (the untransformed compiler baseline).  With
+    ``software_prefetch=True`` the section-6 prefetch plan is applied:
+    prefetch instructions consume memory-issue slots but their misses do
+    not stall, and the prefetched lines turn later demand misses into
+    hits.
+    """
+    if unroll is None:
+        unroll = tuple(0 for _ in range(nest.depth))
+    if len(unroll) != nest.depth or (unroll and unroll[-1] != 0):
+        raise ValueError(f"bad unroll vector {unroll} for nest {nest.name}")
+
+    variants: dict[UnrollVector, _BodyVariant] = {}
+
+    def variant(u: UnrollVector) -> _BodyVariant:
+        if u not in variants:
+            variants[u] = _BodyVariant(nest, u, machine, scalar_replace,
+                                       software_prefetch)
+        return variants[u]
+
+    cache = CacheSimulator.for_machine(machine)
+    layout = _Layout(shapes, machine.cache_line_words)
+
+    cycles = Fraction(0)
+    flops = 0
+    memory_ops = 0
+    iterations = 0
+    spill_total = 0
+    prefetch_total = 0
+    stall_miss_total = 0
+    last_prefetched_line: dict[int, int] = {}
+    env: dict[str, int] = dict(bindings)
+
+    def run_body(body: _BodyVariant) -> None:
+        nonlocal cycles, flops, memory_ops, iterations, spill_total, \
+            prefetch_total, stall_miss_total
+        iterations += 1
+        misses = 0
+        prefetches = 0
+        for occ in body.issued:
+            candidate = body.prefetch_map.get(occ.position)
+            if candidate is not None:
+                future_env = dict(env)
+                future_env[body.inner_index] += candidate.distance
+                addr = layout.address(
+                    occ.array,
+                    tuple(s.evaluate(future_env) for s in occ.ref.subscripts))
+                line = addr // machine.cache_line_words
+                if (not candidate.per_line
+                        or last_prefetched_line.get(occ.position) != line):
+                    cache.access(addr)  # fill; a prefetch miss never stalls
+                    last_prefetched_line[occ.position] = line
+                    prefetches += 1
+            idx = tuple(s.evaluate(env) for s in occ.ref.subscripts)
+            if not cache.access(layout.address(occ.array, idx)):
+                misses += 1
+        ops = body.memory_ops + prefetches
+        issue_cycles = max(Fraction(ops) / machine.mem_issue,
+                           Fraction(body.flops) / machine.fp_issue,
+                           Fraction(1))
+        hidden = machine.prefetch_bandwidth * issue_cycles
+        stall = max(Fraction(misses) - hidden, Fraction(0)) * machine.miss_penalty
+        cycles += issue_cycles + stall
+        flops += body.flops
+        memory_ops += ops
+        spill_total += body.spill_ops
+        prefetch_total += prefetches
+        stall_miss_total += misses
+
+    def rec(level: int, u: UnrollVector) -> None:
+        if level == nest.depth:
+            run_body(variant(u))
+            return
+        loop = nest.loops[level]
+        lo = loop.lower.evaluate(env)
+        hi = loop.upper.evaluate(env)
+        step = (u[level] + 1) * loop.step
+        trip = max(hi - lo + 1, 0) // loop.step
+        blocks = trip // (u[level] + 1)
+        aligned_hi = lo + blocks * step - 1
+        for value in range(lo, aligned_hi + 1, step):
+            env[loop.index] = value
+            rec(level + 1, u)
+        if aligned_hi < hi:
+            rolled = u[:level] + (0,) + u[level + 1:]
+            for value in range(max(aligned_hi + 1, lo), hi + 1, loop.step):
+                env[loop.index] = value
+                rec(level + 1, rolled)
+        env.pop(loop.index, None)
+
+    rec(0, tuple(unroll))
+    return SimulationResult(
+        name=name or (nest.name if not any(unroll)
+                      else f"{nest.name}_uj{'x'.join(str(x + 1) for x in unroll)}"),
+        cycles=cycles,
+        flops=flops,
+        memory_ops=memory_ops,
+        cache_accesses=cache.accesses,
+        cache_misses=cache.misses,
+        iterations=iterations,
+        spill_ops=spill_total,
+        stall_misses=stall_miss_total,
+        prefetch_ops=prefetch_total,
+    )

@@ -1,0 +1,48 @@
+"""The Wolf-Lam linear-algebra data-reuse model (section 3.4 of the paper).
+
+References are partitioned into *uniformly generated sets* (same array, same
+subscript matrix H).  Reuse questions become linear algebra:
+
+* self-temporal reuse space  R_ST = ker(H)
+* self-spatial  reuse space  R_SS = ker(H_S), H_S = H with its first row
+  zeroed (column-major storage: the first array dimension is contiguous)
+* group-temporal: two references r1, r2 reuse each other iff
+  ``H x = c2 - c1`` has a solution x in the localized space L
+* group-spatial: the same with H_S and the constant difference truncated in
+  the first dimension
+
+The partitions (GTS, GSS) and the per-UGS memory-cost formula (Equation 1)
+live here; everything is exact rational arithmetic.
+"""
+
+from repro.reuse.ugs import UniformlyGeneratedSet, partition_ugs
+from repro.reuse.selfreuse import self_spatial_space, self_temporal_space
+from repro.reuse.group import (
+    GroupSolution,
+    group_spatial_partition,
+    group_spatial_solution,
+    group_temporal_partition,
+    group_temporal_solution,
+)
+from repro.reuse.locality import (
+    LocalitySummary,
+    innermost_localized_space,
+    nest_memory_cost,
+    ugs_memory_cost,
+)
+
+__all__ = [
+    "GroupSolution",
+    "LocalitySummary",
+    "UniformlyGeneratedSet",
+    "group_spatial_partition",
+    "group_spatial_solution",
+    "group_temporal_partition",
+    "group_temporal_solution",
+    "innermost_localized_space",
+    "nest_memory_cost",
+    "partition_ugs",
+    "self_spatial_space",
+    "self_temporal_space",
+    "ugs_memory_cost",
+]

@@ -1,0 +1,84 @@
+"""Partitioning references into uniformly generated sets (Definition 1).
+
+Two references belong to the same UGS when they name the same array and
+share the subscript matrix H *and* the symbolic (parameter) parts of their
+constant vectors.  The last condition is an engineering refinement: the
+paper's constant vectors are integer, so two references whose offsets differ
+by an unknown symbolic amount (``A(I)`` vs ``A(I+N)``) cannot have a known
+reuse distance and must not share a set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.ir.matrixform import (
+    RefOccurrence,
+    constant_vector,
+    occurrences,
+    param_signature,
+    reference_matrix,
+)
+from repro.ir.nodes import LoopNest
+from repro.linalg import Matrix
+
+@dataclass(frozen=True)
+class UniformlyGeneratedSet:
+    """One UGS: the shared (array, H) plus the member occurrences.
+
+    Members are stored in lexicographically increasing order of their
+    constant vectors (ties broken by textual position), the order every
+    table algorithm of the paper assumes.
+    """
+
+    array: str
+    matrix: Matrix  # H, one row per array dimension
+    members: tuple[RefOccurrence, ...]
+    index_names: tuple[str, ...]
+
+    @cached_property
+    def spatial_matrix(self) -> Matrix:
+        """H_S: first (contiguous, column-major) dimension dropped."""
+        return self.matrix.with_zero_row(0)
+
+    def constants(self) -> list[tuple[int, ...]]:
+        return [constant_vector(m.ref) for m in self.members]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def pretty(self) -> str:
+        refs = ", ".join(m.pretty() for m in self.members)
+        return f"UGS[{self.array}: {refs}]"
+
+def _ugs_key(occ: RefOccurrence, index_names: tuple[str, ...]):
+    return (occ.array,
+            reference_matrix(occ.ref, index_names),
+            param_signature(occ.ref))
+
+def partition_ugs(nest: LoopNest) -> list[UniformlyGeneratedSet]:
+    """Partition all occurrences of a nest into uniformly generated sets.
+
+    The result is ordered by first textual appearance; members inside each
+    set follow lexicographic constant-vector order.
+    """
+    index_names = nest.index_names
+    groups: dict[object, list[RefOccurrence]] = {}
+    order: list[object] = []
+    for occ in occurrences(nest):
+        key = _ugs_key(occ, index_names)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(occ)
+
+    sets = []
+    for key in order:
+        members = sorted(groups[key],
+                         key=lambda o: (constant_vector(o.ref), o.position))
+        array, matrix, _ = key
+        sets.append(UniformlyGeneratedSet(array, matrix, tuple(members),
+                                          index_names))
+    return sets

@@ -1,0 +1,31 @@
+"""Supporting loop transformations.
+
+Unroll-and-jam rarely runs alone: the frameworks the paper builds on
+(Wolf-Lam) and compares against (Wolf, Maydan & Chen) combine it with loop
+*permutation*, and real front ends normalize loops first.  This package
+supplies those passes over the same IR:
+
+* :mod:`repro.transforms.interchange` -- legality-checked loop permutation
+  plus a locality-driven loop-order search (memory-order a la Wolf-Lam /
+  McKinley-Carr-Tseng), and the combined permute-then-unroll optimization
+  of the Wolf-Maydan-Chen comparison.
+* :mod:`repro.transforms.normalize` -- shift loops to zero lower bounds.
+"""
+
+from repro.transforms.interchange import (
+    InterchangeError,
+    best_loop_order,
+    legal_permutations,
+    permute,
+    permutation_is_legal,
+)
+from repro.transforms.normalize import normalize_nest
+
+__all__ = [
+    "InterchangeError",
+    "best_loop_order",
+    "legal_permutations",
+    "normalize_nest",
+    "permutation_is_legal",
+    "permute",
+]

@@ -1,0 +1,135 @@
+"""Loop distribution (fission) and loop fusion.
+
+Distribution splits a multi-statement nest into a sequence of smaller
+nests, one per strongly-connected component of the statement dependence
+graph (the classic pi-block construction), in a topological order of the
+inter-block dependences.  Fusion is the inverse: two adjacent nests with
+identical loop structure merge when no *fusion-preventing* dependence
+(one that fusion would reverse) exists between their bodies.
+
+Both passes matter to this project because unroll-and-jam operates on
+perfect nests: distribution carves multi-statement bodies into pieces the
+balance model can treat independently, and fusion re-combines loops whose
+bodies share reuse.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.dependence.export import statement_graph
+from repro.dependence.graph import build_dependence_graph
+from repro.dependence.siv import STAR
+from repro.ir.nodes import Loop, LoopNest
+
+class DistributionError(ValueError):
+    """The requested distribution/fusion is malformed or illegal."""
+
+def distribute(nest: LoopNest) -> list[LoopNest]:
+    """Split ``nest`` into per-pi-block nests in dependence order.
+
+    Statements in one strongly-connected component (a recurrence) stay
+    together; components are emitted in a topological order that respects
+    every inter-component dependence, preferring original textual order
+    among independent components.
+    """
+    graph = build_dependence_graph(nest, include_input=False)
+    stmt_graph = statement_graph(graph, include_input=False)
+    # Scalar temporaries are invisible to the array dependence graph but
+    # thread values between statements: keep every statement touching the
+    # same temporary in one block (conservative; scalar expansion could
+    # relax this).
+    temps = set(nest.scalar_temporaries())
+    users: dict[str, list[int]] = {}
+    from repro.ir.nodes import ScalarVar, walk_expr
+
+    for index, stmt in enumerate(nest.body):
+        touched = {node.name for node in walk_expr(stmt.rhs)
+                   if isinstance(node, ScalarVar) and node.name in temps}
+        if isinstance(stmt.lhs, ScalarVar) and stmt.lhs.name in temps:
+            touched.add(stmt.lhs.name)
+        for name in touched:
+            users.setdefault(name, []).append(index)
+    for indices in users.values():
+        for a, b in zip(indices, indices[1:]):
+            stmt_graph.add_edge(a, b)
+            stmt_graph.add_edge(b, a)
+    condensation = nx.condensation(stmt_graph)
+    # Deterministic topological order: lexicographic by the smallest
+    # original statement index in each block.
+    order = list(nx.lexicographical_topological_sort(
+        condensation,
+        key=lambda n: min(condensation.nodes[n]["members"])))
+    pieces = []
+    for serial, block in enumerate(order):
+        members = sorted(condensation.nodes[block]["members"])
+        body = tuple(nest.body[i] for i in members)
+        pieces.append(LoopNest(
+            name=f"{nest.name}_d{serial}",
+            loops=nest.loops,
+            body=body,
+            description=(nest.description + " " if nest.description else "")
+            + f"[distributed block {members}]",
+        ))
+    return pieces
+
+def _loops_compatible(a: tuple[Loop, ...], b: tuple[Loop, ...]) -> bool:
+    return a == b
+
+def fusion_preventing(first: LoopNest, second: LoopNest) -> bool:
+    """Would fusing ``second`` into ``first`` reverse a dependence?
+
+    The classic test: build the fused body and look at dependences from a
+    ``second`` statement to a ``first`` statement that are carried with a
+    *positive* distance -- in the fused loop the ``first`` statement would
+    consume a value before the ``second`` produced it (or vice versa for
+    backward deps at negative distance from first to second).
+    """
+    fused = fuse_unchecked(first, second)
+    boundary = len(first.body)
+    graph = build_dependence_graph(fused, include_input=False)
+    for dep in graph:
+        if dep.src.stmt_index >= boundary and dep.dst.stmt_index < boundary:
+            # In the original sequence every access of ``first`` precedes
+            # every access of ``second``; a fused-loop dependence flowing
+            # second -> first is carried backward relative to that order,
+            # i.e. fusion would reverse it.  (Loop-independent edges in
+            # this direction cannot arise: textual order inside the fused
+            # body already puts ``first`` before ``second``.)
+            return True
+    return False
+
+def fuse_unchecked(first: LoopNest, second: LoopNest) -> LoopNest:
+    if not _loops_compatible(first.loops, second.loops):
+        raise DistributionError(
+            f"cannot fuse {first.name} and {second.name}: loop structures "
+            "differ")
+    return LoopNest(
+        name=f"{first.name}+{second.name}",
+        loops=first.loops,
+        body=first.body + second.body,
+        description="[fused]",
+    )
+
+def fuse(first: LoopNest, second: LoopNest) -> LoopNest:
+    """Fuse two adjacent same-structure nests; raises on illegality."""
+    if fusion_preventing(first, second):
+        raise DistributionError(
+            f"fusing {first.name} and {second.name} would reverse a "
+            "dependence")
+    return fuse_unchecked(first, second)
+
+def maximal_fusion(nests: list[LoopNest]) -> list[LoopNest]:
+    """Greedy pairwise fusion of an adjacent sequence (typed fusion not
+    needed: bodies keep their order)."""
+    if not nests:
+        return []
+    result = [nests[0]]
+    for nest in nests[1:]:
+        last = result[-1]
+        if _loops_compatible(last.loops, nest.loops) \
+                and not fusion_preventing(last, nest):
+            result[-1] = fuse_unchecked(last, nest)
+        else:
+            result.append(nest)
+    return result

@@ -1,0 +1,134 @@
+"""Loop interchange / permutation with dependence-based legality.
+
+A permutation of a perfect nest is legal iff every dependence distance
+vector remains lexicographically positive after permuting its entries
+(unknown ``*`` entries are treated as possibly negative, conservatively).
+The locality search scores every legal order with the Wolf-Lam Equation-1
+cost of the would-be-innermost localized space and picks the cheapest --
+"memory order" in the McKinley-Carr-Tseng sense.
+
+Only rectangular nests are handled: our IR's bounds depend on symbolic
+parameters but never on other loop indices, so permutation needs no bound
+rewriting.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import permutations as iter_permutations
+from typing import Sequence
+
+from repro.dependence.graph import DependenceGraph, build_dependence_graph
+from repro.dependence.siv import STAR
+from repro.ir.nodes import LoopNest
+from repro.reuse.locality import nest_memory_cost
+
+class InterchangeError(ValueError):
+    """An illegal or malformed permutation request."""
+
+def _lex_sign(values: Sequence[int]) -> int:
+    for value in values:
+        if value > 0:
+            return 1
+        if value < 0:
+            return -1
+    return 0
+
+def _violates(distance: Sequence, order: Sequence[int]) -> bool:
+    """Does some *realized* distance of this oriented dependence become
+    lexicographically negative under the permutation?
+
+    The realized distances of an oriented edge are exactly the
+    lexicographically non-negative instantiations of its vector (an edge
+    points forward in time by construction).  Lexicographic comparisons
+    depend only on entry signs, so instantiating every ``*`` over
+    {-1, 0, 1} is an exact check of the sign abstraction.
+    """
+    star_positions = [i for i, d in enumerate(distance) if d == STAR]
+    if not star_positions:
+        concrete = list(distance)
+        return _lex_sign(concrete) >= 0 and \
+            _lex_sign([concrete[level] for level in order]) < 0
+
+    from itertools import product
+
+    for signs in product((-1, 0, 1), repeat=len(star_positions)):
+        concrete = list(distance)
+        for pos, sign in zip(star_positions, signs):
+            concrete[pos] = sign
+        if _lex_sign(concrete) < 0:
+            continue  # not a realized instance of this oriented edge
+        if _lex_sign([concrete[level] for level in order]) < 0:
+            return True
+    return False
+
+def permutation_is_legal(nest: LoopNest, order: Sequence[int],
+                         graph: DependenceGraph | None = None) -> bool:
+    """Is the permutation (new outer-to-inner order of old levels) legal?"""
+    if sorted(order) != list(range(nest.depth)):
+        raise InterchangeError(f"{order!r} is not a permutation of "
+                               f"0..{nest.depth - 1}")
+    if graph is None:
+        graph = build_dependence_graph(nest, include_input=False)
+    for dep in graph:
+        if dep.is_input:
+            continue
+        if _violates(dep.distance, order):
+            return False
+    return True
+
+def permute(nest: LoopNest, order: Sequence[int],
+            graph: DependenceGraph | None = None,
+            check: bool = True) -> LoopNest:
+    """Apply a loop permutation; raises :class:`InterchangeError` when the
+    permutation cannot be proven legal (pass ``check=False`` to force)."""
+    if check and not permutation_is_legal(nest, order, graph):
+        raise InterchangeError(
+            f"permutation {tuple(order)} violates a dependence of "
+            f"{nest.name}")
+    loops = tuple(nest.loops[level] for level in order)
+    suffix = "".join(loops[k].index for k in range(len(loops)))
+    return LoopNest(
+        name=f"{nest.name}_perm{suffix.lower()}",
+        loops=loops,
+        body=nest.body,
+        description=(nest.description + " " if nest.description else "")
+        + f"[permuted {tuple(order)}]",
+    )
+
+def legal_permutations(nest: LoopNest) -> list[tuple[int, ...]]:
+    """All legal loop orders of the nest (identity always included)."""
+    graph = build_dependence_graph(nest, include_input=False)
+    orders = []
+    for order in iter_permutations(range(nest.depth)):
+        if order == tuple(range(nest.depth)):
+            orders.append(order)
+        elif permutation_is_legal(nest, order, graph):
+            orders.append(order)
+    return orders
+
+def best_loop_order(nest: LoopNest, line_size: int = 4,
+                    trip: int = 100) -> tuple[tuple[int, ...], Fraction]:
+    """The legal loop order with the lowest Equation-1 memory cost.
+
+    Returns (order, cost).  Ties break toward the original order, then
+    lexicographically -- a stable, predictable choice.
+    """
+    best: tuple[Fraction, int, tuple[int, ...]] | None = None
+    identity = tuple(range(nest.depth))
+    for order in legal_permutations(nest):
+        candidate = permute(nest, order, check=False)
+        cost, _ = nest_memory_cost(candidate, line_size=line_size, trip=trip)
+        key = (cost, 0 if order == identity else 1, order)
+        if best is None or key < best:
+            best = key
+    assert best is not None  # identity is always legal
+    return best[2], best[0]
+
+def memory_order(nest: LoopNest, line_size: int = 4,
+                 trip: int = 100) -> LoopNest:
+    """Permute the nest into its best (legal) memory order."""
+    order, _ = best_loop_order(nest, line_size=line_size, trip=trip)
+    if order == tuple(range(nest.depth)):
+        return nest
+    return permute(nest, order, check=False)

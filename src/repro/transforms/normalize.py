@@ -1,0 +1,98 @@
+"""Loop normalization: shift every loop to a zero lower bound.
+
+Front ends hand dependence analyzers normalized loops; the pass rewrites
+``DO I = lo, hi`` into ``DO I = 0, hi - lo`` and substitutes ``I + lo``
+into every subscript and bound use.  Bounds in this IR are affine in
+symbolic parameters, so the substitution stays closed under the Subscript
+representation.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    ArrayRef,
+    BinOp,
+    Bound,
+    Call,
+    Expr,
+    Loop,
+    LoopNest,
+    ScalarVar,
+    Statement,
+    Subscript,
+)
+
+def _shift_subscript(sub: Subscript, shifts: dict[str, Bound]) -> Subscript:
+    """Substitute ``index -> index + lo`` for every normalized loop."""
+    const = sub.const
+    params = dict(sub.param_coeffs)
+    for name, coef in sub.loop_coeffs:
+        shift = shifts.get(name)
+        if shift is None:
+            continue
+        const += coef * shift.const
+        for pname, pcoef in shift.param_coeffs:
+            params[pname] = params.get(pname, 0) + coef * pcoef
+    return Subscript(sub.loop_coeffs,
+                     tuple(sorted((k, v) for k, v in params.items() if v)),
+                     const)
+
+def _shift_expr(expr: Expr, shifts: dict[str, Bound]) -> Expr:
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(expr.array,
+                        tuple(_shift_subscript(s, shifts)
+                              for s in expr.subscripts))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _shift_expr(expr.left, shifts),
+                     _shift_expr(expr.right, shifts))
+    if isinstance(expr, Call):
+        return Call(expr.func,
+                    tuple(_shift_expr(a, shifts) for a in expr.args))
+    return expr
+
+def normalize_nest(nest: LoopNest) -> LoopNest:
+    """Return an equivalent nest whose loops all start at 0 with step 1.
+
+    Loops already normalized are left untouched; non-unit steps are
+    rejected (source nests in this project always have step 1 -- steps
+    appear only after unroll-and-jam, which is applied *after* analysis).
+    """
+    shifts: dict[str, Bound] = {}
+    loops = []
+    for loop in nest.loops:
+        if loop.step != 1:
+            raise ValueError(
+                f"cannot normalize loop {loop.index} with step {loop.step}")
+        if loop.lower.const == 0 and not loop.lower.param_coeffs:
+            loops.append(loop)
+            continue
+        shifts[loop.index] = loop.lower
+        new_upper_params = dict(loop.upper.param_coeffs)
+        for name, coef in loop.lower.param_coeffs:
+            new_upper_params[name] = new_upper_params.get(name, 0) - coef
+        loops.append(Loop(
+            loop.index,
+            Bound(0),
+            Bound(loop.upper.const - loop.lower.const,
+                  tuple(sorted((k, v) for k, v in new_upper_params.items()
+                               if v))),
+            1))
+    if not shifts:
+        return nest
+    body = []
+    for stmt in nest.body:
+        rhs = _shift_expr(stmt.rhs, shifts)
+        if isinstance(stmt.lhs, ScalarVar):
+            lhs: ArrayRef | ScalarVar = stmt.lhs
+        else:
+            lhs = ArrayRef(stmt.lhs.array,
+                           tuple(_shift_subscript(s, shifts)
+                                 for s in stmt.lhs.subscripts))
+        body.append(Statement(lhs, rhs))
+    return LoopNest(
+        name=f"{nest.name}_norm",
+        loops=tuple(loops),
+        body=tuple(body),
+        description=(nest.description + " " if nest.description else "")
+        + "[normalized]",
+    )

@@ -1,0 +1,113 @@
+"""Scalar expansion: turn loop-body temporaries into arrays.
+
+A scalar temporary threads a value between statements and thereby welds
+them into one pi-block (see :mod:`repro.transforms.distribution`).
+Expanding the scalar into an array indexed by the iteration vector removes
+that constraint, at the cost of memory -- the classic enabling transform
+for distribution and vectorization.
+
+Only *privatizable* temporaries are expanded: within each iteration the
+temporary must be written before it is read (no loop-carried scalar
+values).  Carried scalars raise :class:`ExpansionError`.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Expr,
+    LoopNest,
+    ScalarVar,
+    Statement,
+    Subscript,
+)
+
+class ExpansionError(ValueError):
+    """A temporary cannot be expanded (its value crosses iterations)."""
+
+def expansion_array_name(scalar: str) -> str:
+    return f"{scalar}__exp"
+
+def _check_privatizable(nest: LoopNest, temps: set[str]) -> None:
+    written: set[str] = set()
+    for stmt in nest.body:
+        for node in _walk(stmt.rhs):
+            if isinstance(node, ScalarVar) and node.name in temps \
+                    and node.name not in written:
+                raise ExpansionError(
+                    f"temporary {node.name!r} is read before it is written "
+                    "in the loop body (loop-carried value); cannot expand")
+        if isinstance(stmt.lhs, ScalarVar) and stmt.lhs.name in temps:
+            written.add(stmt.lhs.name)
+
+def _walk(expr: Expr):
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from _walk(expr.left)
+        yield from _walk(expr.right)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from _walk(arg)
+
+def _index_subscripts(nest: LoopNest) -> tuple[Subscript, ...]:
+    return tuple(Subscript.of({name: 1}) for name in nest.index_names)
+
+def _rewrite(expr: Expr, temps: set[str],
+             subscripts: tuple[Subscript, ...]) -> Expr:
+    if isinstance(expr, ScalarVar) and expr.name in temps:
+        return ArrayRef(expansion_array_name(expr.name), subscripts)
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _rewrite(expr.left, temps, subscripts),
+                     _rewrite(expr.right, temps, subscripts))
+    if isinstance(expr, Call):
+        return Call(expr.func,
+                    tuple(_rewrite(a, temps, subscripts) for a in expr.args))
+    return expr
+
+def expand_scalars(nest: LoopNest,
+                   only: set[str] | None = None) -> LoopNest:
+    """Expand the nest's (privatizable) temporaries into arrays.
+
+    ``only`` restricts the expansion to a subset of temporaries.  The
+    expansion arrays are named ``<temp>__exp`` and are indexed by the full
+    iteration vector; callers executing the result must allocate them
+    (trip-count extents per dimension).
+    """
+    temps = set(nest.scalar_temporaries())
+    if only is not None:
+        temps &= only
+    if not temps:
+        return nest
+    _check_privatizable(nest, temps)
+    subscripts = _index_subscripts(nest)
+    body = []
+    for stmt in nest.body:
+        rhs = _rewrite(stmt.rhs, temps, subscripts)
+        if isinstance(stmt.lhs, ScalarVar) and stmt.lhs.name in temps:
+            lhs: ArrayRef | ScalarVar = ArrayRef(
+                expansion_array_name(stmt.lhs.name), subscripts)
+        else:
+            lhs = stmt.lhs if isinstance(stmt.lhs, ScalarVar) \
+                else ArrayRef(stmt.lhs.array, stmt.lhs.subscripts)
+        body.append(Statement(lhs, rhs))
+    return LoopNest(
+        name=f"{nest.name}_exp",
+        loops=nest.loops,
+        body=tuple(body),
+        description=(nest.description + " " if nest.description else "")
+        + f"[scalars expanded: {', '.join(sorted(temps))}]",
+    )
+
+def expansion_shapes(nest: LoopNest, bindings: dict[str, int],
+                     margin: int = 1) -> dict[str, tuple[int, ...]]:
+    """Extents for the expansion arrays under concrete loop bounds."""
+    shapes = {}
+    extents = []
+    for loop in nest.loops:
+        hi = loop.upper.evaluate(bindings)
+        extents.append(hi + margin + 1)
+    for temp in nest.scalar_temporaries():
+        shapes[expansion_array_name(temp)] = tuple(extents)
+    return shapes

@@ -1,0 +1,39 @@
+"""Unroll-and-jam driven by uniformly generated sets (section 4).
+
+This package is the paper's contribution:
+
+* :mod:`repro.unroll.space` -- unroll vectors and the bounded unroll space
+* :mod:`repro.unroll.merge` -- the merge-point solver: the unroll offset at
+  which copies of two references fall into the same reuse group (§4.2)
+* :mod:`repro.unroll.streams` -- exact group/stream counting on the
+  (leader, offset) lattice, *without materializing unrolled code*
+* :mod:`repro.unroll.tables` -- the precomputed tables (GTSTable, GSSTable,
+  RRSTable, RLTable; Figures 2, 3, 5, 7)
+* :mod:`repro.unroll.rrs` -- register-reuse sets and mergeable RRSs (Fig 4)
+* :mod:`repro.unroll.transform` -- the actual unroll-and-jam rewriting
+* :mod:`repro.unroll.safety` -- legality bounds from dependence distances
+* :mod:`repro.unroll.scalar_replacement` -- which references stay in
+  registers after the transform
+* :mod:`repro.unroll.optimize` -- loop selection and the balance search
+  (§4.5)
+"""
+
+from repro.unroll.space import UnrollSpace, UnrollVector
+from repro.unroll.merge import MergeSolution, solve_merge
+from repro.unroll.tables import UnrollTables, build_tables
+from repro.unroll.transform import unroll_and_jam
+from repro.unroll.safety import max_safe_unroll
+from repro.unroll.optimize import OptimizationResult, choose_unroll
+
+__all__ = [
+    "MergeSolution",
+    "OptimizationResult",
+    "UnrollSpace",
+    "UnrollTables",
+    "UnrollVector",
+    "build_tables",
+    "choose_unroll",
+    "max_safe_unroll",
+    "solve_merge",
+    "unroll_and_jam",
+]

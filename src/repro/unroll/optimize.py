@@ -1,0 +1,102 @@
+"""Choosing unroll amounts (section 4.5).
+
+The driver: pick the (at most two) loops with the best locality as scored
+by Equation 1, bound each dimension by safety and the configured limit,
+build the tables, and search the whole box for the unroll vector that
+brings loop balance closest to machine balance without exceeding the
+register file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.balance import loop_balance, objective
+from repro.balance.loop_balance import BalanceBreakdown
+from repro.dependence.graph import build_dependence_graph
+from repro.ir.nodes import LoopNest
+from repro.machine.model import MachineModel
+from repro.reuse.locality import loop_locality_scores
+from repro.unroll.safety import safe_unroll_bounds
+from repro.unroll.space import DEFAULT_BOUND, UnrollSpace, UnrollVector, body_copies
+from repro.unroll.tables import UnrollTables, build_tables
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of the unroll search for one nest."""
+
+    nest: LoopNest
+    unroll: UnrollVector
+    breakdown: BalanceBreakdown
+    objective: Fraction
+    feasible: bool  # register constraint satisfied at the chosen vector
+    space: UnrollSpace
+    tables: UnrollTables
+    safety: tuple[int, ...]
+    candidates: tuple[int, ...]  # loop levels considered for unrolling
+
+    @property
+    def balance(self) -> Fraction:
+        return self.breakdown.balance
+
+def select_candidate_loops(nest: LoopNest, safety: tuple[int, ...],
+                           max_loops: int = 2,
+                           line_size: int = 4) -> tuple[int, ...]:
+    """The loops to unroll: best locality first (section 4.5), restricted
+    to outer loops that safety allows to move at all."""
+    scores = loop_locality_scores(nest, line_size=line_size)
+    usable = [level for level in range(nest.depth - 1) if safety[level] > 0]
+    ranked = sorted(usable, key=lambda lv: (-scores[lv], lv))
+    chosen = ranked[:max_loops]
+    return tuple(sorted(chosen))
+
+def search_space(tables: UnrollTables, machine: MachineModel,
+                 include_cache: bool = True) -> tuple[UnrollVector, bool]:
+    """Exhaustive search of the (precomputed) table for the best vector.
+
+    Prefers register-feasible vectors; among those, minimizes the balance
+    objective, breaking ties toward fewer body copies then lexicographic
+    order.  Falls back to the no-unroll vector when nothing is feasible.
+    """
+    best_u: UnrollVector | None = None
+    best_key: tuple | None = None
+    for u in tables.space:
+        point = tables.point(u)
+        if point.registers > machine.registers:
+            continue
+        key = (objective(point, machine, include_cache), body_copies(u), u)
+        if best_key is None or key < best_key:
+            best_key, best_u = key, u
+    if best_u is None:
+        return tuple(0 for _ in range(tables.nest.depth)), False
+    return best_u, True
+
+def choose_unroll(nest: LoopNest, machine: MachineModel,
+                  bound: int = DEFAULT_BOUND, max_loops: int = 2,
+                  include_cache: bool = True,
+                  trip: int = 100) -> OptimizationResult:
+    """End-to-end unroll-and-jam decision for one nest (the paper's
+    algorithm: tables from uniformly generated sets, then an O(bound^2)
+    search)."""
+    graph = build_dependence_graph(nest, include_input=False)
+    safety = safe_unroll_bounds(nest, graph)
+    line_size = machine.cache_line_words
+    candidates = select_candidate_loops(nest, safety, max_loops, line_size)
+    bounds = tuple(min(bound, safety[level]) for level in candidates)
+    space = UnrollSpace(nest.depth, candidates, bounds)
+    tables = build_tables(nest, space, line_size=line_size, trip=trip)
+    chosen, feasible = search_space(tables, machine, include_cache)
+    point = tables.point(chosen)
+    breakdown = loop_balance(point, machine, include_cache)
+    return OptimizationResult(
+        nest=nest,
+        unroll=chosen,
+        breakdown=breakdown,
+        objective=abs(breakdown.balance - machine.balance),
+        feasible=feasible,
+        space=space,
+        tables=tables,
+        safety=safety,
+        candidates=candidates,
+    )

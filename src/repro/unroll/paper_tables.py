@@ -1,0 +1,161 @@
+"""Literal implementations of the paper's table algorithms (Figs 2, 3, 5).
+
+The production tables in :mod:`repro.unroll.tables` count reuse groups
+exactly on the copy lattice.  This module instead transcribes the paper's
+pseudocode: leaders sorted lexicographically, pairwise merge points
+``r-hat``, per-offset decrements over *windows* between consecutive
+superleader merge points, and the box-summing ``Sum`` function.  Both
+styles are cross-tested; they agree on the reference class the paper
+targets.
+
+Two documented divergences of the paper's scheme (surfaced by this
+reproduction and pinned by tests):
+
+* **Mixed-sign merge offsets.**  The pseudocode only applies a merge whose
+  offset vector lies in the unroll space (component-wise non-negative).
+  Two references whose copies meet at a mixed-sign offset difference --
+  e.g. constants (0,0) and (1,-2) under a two-loop unroll -- do merge in
+  the actual unrolled code once both loops unroll far enough, which the
+  window scheme misses (it over-counts groups).  The exact lattice count
+  handles this.
+* **Definition copies along unused dimensions.**  Per section 4.1 the
+  unroll vector is projected onto the dimensions the UGS references, so
+  textually identical copies are not counted.  For *stores* that is an
+  undercount of memory operations (scalar replacement cannot delete a
+  definition); the production RRS table counts them.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+
+from repro.ir.matrixform import RefOccurrence, constant_vector
+from repro.linalg import VectorSpace
+from repro.reuse.group import group_spatial_partition, group_temporal_partition
+from repro.reuse.ugs import UniformlyGeneratedSet
+from repro.unroll.merge import solve_merge
+from repro.unroll.rrs import compute_mrrs, compute_rrs
+from repro.unroll.space import UnrollSpace, UnrollVector, dominates
+from repro.unroll.streams import used_dims
+
+class PaperTable:
+    """The paper's per-offset table plus its ``Sum`` query (Figure 2)."""
+
+    def __init__(self, space: UnrollSpace, reduced_dims: tuple[int, ...]):
+        self.space = space
+        #: positions (within space.dims) the UGS actually uses; offsets are
+        #: projected onto these per section 4.1.
+        self.reduced_positions = tuple(space.dims.index(d)
+                                       for d in reduced_dims)
+        bounds = [space.bounds[pos] for pos in self.reduced_positions]
+        self.entries: dict[tuple[int, ...], int] = {
+            offset: 0
+            for offset in product(*(range(b + 1) for b in bounds))}
+
+    def initialize(self, value: int) -> None:
+        for offset in self.entries:
+            self.entries[offset] = value
+
+    def project(self, u: UnrollVector) -> tuple[int, ...]:
+        reduced_full = self.space.project(u)
+        return tuple(reduced_full[pos] for pos in self.reduced_positions)
+
+    def decrement_window(self, lo: tuple[int, ...],
+                         hi_exclusive: tuple[int, ...] | None,
+                         amount: int = 1) -> None:
+        """Subtract over the up-set of ``lo`` minus the up-set of
+        ``hi_exclusive`` (the paper's 'between the newly computed value and
+        the previous superleader's merge point')."""
+        for offset in self.entries:
+            if not dominates(offset, lo):
+                continue
+            if hi_exclusive is not None and dominates(offset, hi_exclusive):
+                continue
+            self.entries[offset] -= amount
+
+    def sum(self, u: UnrollVector) -> int:
+        """Figure 2's Sum: accumulate entries over offsets <= u."""
+        target = self.project(u)
+        total = 0
+        for offset, value in self.entries.items():
+            if dominates(target, offset):
+                total += value
+        return total
+
+def _merge_point(ugs: UniformlyGeneratedSet, smaller: RefOccurrence,
+                 greater: RefOccurrence, reduced_dims: tuple[int, ...],
+                 localized: VectorSpace,
+                 spatial: bool) -> tuple[int, ...] | None:
+    """r-hat for a leader pair, or None when copies never merge inside the
+    unroll space (non-negative offsets only, per the paper)."""
+    delta = tuple(g - s for s, g in zip(constant_vector(smaller.ref),
+                                        constant_vector(greater.ref)))
+    sol = solve_merge(ugs.matrix, delta, reduced_dims, localized,
+                      spatial=spatial)
+    if sol is None:
+        return None
+    if any(k < 0 for k in sol.offset):
+        return None  # outside the unroll space: the paper drops it
+    return sol.offset
+
+def compute_table(ugs: UniformlyGeneratedSet, leaders: list[RefOccurrence],
+                  space: UnrollSpace, localized: VectorSpace,
+                  spatial: bool = False) -> PaperTable:
+    """Figure 2's ComputeTable over one set of group leaders.
+
+    Leaders must be in lexicographically increasing constant order.  For
+    each leader t the superleaders s < t are considered smallest first;
+    each in-space merge point subtracts one over the window down to the
+    previous superleader's merge point.
+    """
+    reduced_dims = used_dims(ugs.matrix, space.dims, spatial)
+    table = PaperTable(space, reduced_dims)
+    table.initialize(len(leaders))
+    for t_idx in range(1, len(leaders)):
+        previous: tuple[int, ...] | None = None
+        for s_idx in range(t_idx):
+            point = _merge_point(ugs, leaders[s_idx], leaders[t_idx],
+                                 reduced_dims, localized, spatial)
+            if point is None:
+                continue
+            table.decrement_window(point, previous)
+            previous = point if previous is None else tuple(
+                min(a, b) for a, b in zip(previous, point))
+    return table
+
+def gts_table(ugs: UniformlyGeneratedSet, space: UnrollSpace,
+              localized: VectorSpace) -> PaperTable:
+    """Figure 2: ComputeGTSTable for one uniformly generated set."""
+    groups = group_temporal_partition(ugs, localized)
+    leaders = [group[0] for group in groups]
+    return compute_table(ugs, leaders, space, localized, spatial=False)
+
+def gss_table(ugs: UniformlyGeneratedSet, space: UnrollSpace,
+              localized: VectorSpace,
+              line_size: int | None = None) -> PaperTable:
+    """Figure 3: ComputeGSSTable -- identical to Figure 2 with H_S."""
+    groups = group_spatial_partition(ugs, localized, line_size)
+    leaders = [group[0] for group in groups]
+    return compute_table(ugs, leaders, space, localized, spatial=True)
+
+def rrs_table(ugs: UniformlyGeneratedSet, space: UnrollSpace) -> PaperTable:
+    """Figure 5: ComputeRRSTable.
+
+    Register-reuse-set leaders are split into mergeable sets (Figure 4);
+    ComputeTable runs within each MRRS (copies of RRSs in different
+    mergeable sets never merge) and the per-offset entries add up.
+    """
+    inner = VectorSpace.spanned_by_axes([ugs.matrix.ncols - 1],
+                                        ugs.matrix.ncols)
+    reduced_dims = used_dims(ugs.matrix, space.dims, spatial=False)
+    combined = PaperTable(space, reduced_dims)
+    combined.initialize(0)
+    for mrrs in compute_mrrs(compute_rrs(ugs)):
+        leaders = sorted((rrs.leader for rrs in mrrs.sets),
+                         key=lambda occ: (constant_vector(occ.ref),
+                                          occ.position))
+        part = compute_table(ugs, leaders, space, inner, spatial=False)
+        for offset, value in part.entries.items():
+            combined.entries[offset] += value
+    return combined

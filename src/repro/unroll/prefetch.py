@@ -1,0 +1,120 @@
+"""Software prefetching (the section 6 future-work direction).
+
+The balance model of section 3.2 already *accounts* for prefetches; this
+pass actually plans them: every issued load whose stream misses (no
+self-temporal reuse in the innermost loop) gets a prefetch ``distance``
+iterations ahead, where the distance covers the miss latency at the loop's
+steady-state issue rate.  Self-spatial streams only need one prefetch per
+cache line; the simulator issues those at line boundaries.
+
+The plan is consumed by :func:`repro.machine.simulator.simulate` via its
+``software_prefetch`` flag: prefetch instructions occupy memory-issue
+slots (they are real instructions) but their misses do not stall, and the
+lines they pull in turn later demand misses into hits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.ir.nodes import LoopNest
+from repro.machine.model import MachineModel
+from repro.reuse.selfreuse import has_self_spatial, has_self_temporal
+from repro.reuse.ugs import partition_ugs
+from repro.unroll.scalar_replacement import (
+    ScalarReplacementPlan,
+    plan_scalar_replacement,
+)
+from repro.unroll.streams import is_analyzable, stream_chains
+
+@dataclass(frozen=True)
+class PrefetchCandidate:
+    """One planned prefetch: the textual position of the load it covers."""
+
+    position: int
+    distance: int  # innermost iterations ahead
+    per_line: bool  # only issue when crossing a cache line
+
+@dataclass(frozen=True)
+class PrefetchPlan:
+    """All prefetches for one loop body."""
+
+    nest: LoopNest
+    candidates: tuple[PrefetchCandidate, ...]
+    distance: int
+
+    def by_position(self) -> dict[int, PrefetchCandidate]:
+        return {c.position: c for c in self.candidates}
+
+    @property
+    def prefetches_per_iteration(self) -> Fraction:
+        """Model-level prefetch instruction count (per-line ones
+        amortized by the line size are counted as 1 here and discounted by
+        the caller that knows the line size)."""
+        return Fraction(len(self.candidates))
+
+def prefetch_distance(nest: LoopNest, machine: MachineModel,
+                      sr_plan: ScalarReplacementPlan | None = None) -> int:
+    """Iterations of lead time needed to hide one miss: ceil(lambda_m /
+    cycles-per-iteration) at the balance model's issue estimate."""
+    sr_plan = sr_plan if sr_plan is not None else plan_scalar_replacement(nest)
+    flops = max(nest.flops_per_iteration(), 1)
+    cycles = max(Fraction(sr_plan.memory_ops) / machine.mem_issue,
+                 Fraction(flops) / machine.fp_issue,
+                 Fraction(1))
+    return max(1, math.ceil(machine.miss_penalty / cycles))
+
+def plan_prefetch(nest: LoopNest, machine: MachineModel,
+                  sr_plan: ScalarReplacementPlan | None = None) -> PrefetchPlan:
+    """Plan prefetches for every issued load that can miss.
+
+    Stores are not prefetched (write buffers hide them in this model);
+    innermost-invariant streams never miss after their first touch.
+    """
+    sr_plan = sr_plan if sr_plan is not None else plan_scalar_replacement(nest)
+    distance = prefetch_distance(nest, machine, sr_plan)
+    inner_axis = nest.depth - 1
+    from repro.linalg import VectorSpace
+
+    localized = VectorSpace.spanned_by_axes([inner_axis], nest.depth)
+    zero = tuple(0 for _ in range(nest.depth))
+    candidates: list[PrefetchCandidate] = []
+    for ugs in partition_ugs(nest):
+        if not is_analyzable(ugs):
+            continue
+        if has_self_temporal(ugs.matrix, localized):
+            continue
+        per_line = has_self_spatial(ugs.matrix, localized)
+        summary = stream_chains(ugs, zero, dims=())
+        for chain in summary.chains:
+            if chain.hoisted:
+                continue
+            head_member = chain.nodes[0][0]
+            head = ugs.members[head_member]
+            if head.is_write:
+                continue
+            if not sr_plan.issues_memory_op(head.position):
+                continue
+            candidates.append(PrefetchCandidate(
+                position=head.position,
+                distance=distance,
+                per_line=per_line,
+            ))
+    return PrefetchPlan(nest=nest, candidates=tuple(candidates),
+                        distance=distance)
+
+def format_plan(plan: PrefetchPlan) -> str:
+    from repro.ir.matrixform import occurrences
+
+    occ_by_position = {o.position: o for o in occurrences(plan.nest)}
+    lines = [f"prefetch plan for {plan.nest.name} "
+             f"(distance {plan.distance} iterations):"]
+    if not plan.candidates:
+        lines.append("  (nothing to prefetch)")
+    for cand in plan.candidates:
+        ref = occ_by_position[cand.position].ref.pretty()
+        mode = "per line" if cand.per_line else "every iteration"
+        lines.append(f"  PREFETCH {ref} +{cand.distance} ({mode})")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Human-readable reports of the unroll-and-jam decision.
+
+Collects everything a compiler writer would want to see about one nest:
+the reuse structure, the candidate loops, the chosen vector with its
+balance breakdown and register budget, and the transformed code -- used by
+the command-line interface and the examples.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.balance import loop_balance
+from repro.ir.nodes import LoopNest
+from repro.ir.printer import format_nest
+from repro.machine.model import MachineModel
+from repro.machine.schedule import schedule_body
+from repro.reuse import (
+    innermost_localized_space,
+    partition_ugs,
+    ugs_memory_cost,
+)
+from repro.unroll.optimize import OptimizationResult, choose_unroll
+from repro.unroll.safety import UNBOUNDED
+from repro.unroll.scalar_replacement import plan_scalar_replacement
+from repro.unroll.sr_codegen import (
+    ScalarReplacementError,
+    format_scalar_replaced,
+    scalar_replace,
+)
+from repro.unroll.transform import unroll_and_jam
+
+def reuse_summary(nest: LoopNest, line_size: int = 4) -> str:
+    """Per-UGS reuse accounting of the original nest."""
+    localized = innermost_localized_space(nest)
+    lines = [f"Uniformly generated sets ({nest.name}):"]
+    for ugs in partition_ugs(nest):
+        summary = ugs_memory_cost(ugs, localized, line_size)
+        traits = []
+        if summary.self_temporal_dim:
+            traits.append("self-temporal")
+        if summary.self_spatial:
+            traits.append("self-spatial")
+        trait_text = ", ".join(traits) if traits else "no self reuse"
+        lines.append(
+            f"  {ugs.pretty()}")
+        lines.append(
+            f"    g_T={summary.g_t} g_S={summary.g_s} {trait_text}; "
+            f"Eq.1 cost {float(summary.cost):.3f} accesses/iter")
+    return "\n".join(lines)
+
+def _safety_text(bound: int) -> str:
+    return "unbounded" if bound >= UNBOUNDED else str(bound)
+
+def optimization_report(nest: LoopNest, machine: MachineModel,
+                        result: OptimizationResult | None = None,
+                        bound: int = 8,
+                        include_cache: bool = True,
+                        show_code: bool = True) -> str:
+    """The full decision report for one nest on one machine."""
+    if result is None:
+        result = choose_unroll(nest, machine, bound=bound,
+                               include_cache=include_cache)
+    point = result.tables.point(result.unroll)
+    breakdown = loop_balance(point, machine, include_cache)
+
+    lines = [f"=== unroll-and-jam report: {nest.name} on {machine.name} ==="]
+    if show_code:
+        lines.append("")
+        lines.append(format_nest(nest))
+    lines.append("")
+    lines.append(reuse_summary(nest, machine.cache_line_words))
+    lines.append("")
+    lines.append(f"machine balance beta_M = {float(machine.balance):.3f}, "
+                 f"{machine.registers} fp registers, "
+                 f"{machine.cache_line_words}-word lines, "
+                 f"miss penalty {machine.miss_penalty}")
+    safety = ", ".join(
+        f"{loop.index}:{_safety_text(s)}"
+        for loop, s in zip(nest.loops, result.safety))
+    lines.append(f"safety bounds: {safety}")
+    lines.append(f"candidate loops: "
+                 f"{[nest.loops[c].index for c in result.candidates]}")
+    lines.append("")
+    lines.append(f"chosen unroll vector: {result.unroll} "
+                 f"({'register-feasible' if result.feasible else 'fallback'})")
+    lines.append(f"  flops/iteration:      {point.flops}")
+    lines.append(f"  memory ops/iteration: {point.memory_ops}")
+    lines.append(f"  cache cost (Eq.1):    {float(point.cache_cost):.3f}")
+    lines.append(f"  registers:            {point.registers} / "
+                 f"{machine.registers}")
+    lines.append(f"  loop balance beta_L:  {float(breakdown.balance):.3f} "
+                 f"(objective {float(result.objective):.3f})")
+
+    main = unroll_and_jam(nest, result.unroll).main
+    sched = schedule_body(main, machine)
+    lines.append(f"  scheduled body:       makespan {sched.makespan} "
+                 f"cycles, steady-state II {float(sched.initiation_interval):.2f}")
+
+    if show_code and any(result.unroll):
+        lines.append("")
+        lines.append("transformed (jammed) loop:")
+        lines.append(format_nest(main))
+        try:
+            sr = scalar_replace(main)
+            lines.append("")
+            lines.append("after scalar replacement:")
+            lines.append(format_scalar_replaced(sr))
+        except ScalarReplacementError as err:
+            lines.append(f"(scalar replacement skipped: {err})")
+    return "\n".join(lines)

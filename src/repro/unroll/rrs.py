@@ -1,0 +1,96 @@
+"""Register-reuse sets and mergeable register-reuse sets (Figure 4, §4.3).
+
+For registers the localized space is the innermost loop only: scalar
+replacement keeps a value in a register across innermost iterations.  A
+GTS (w.r.t. that space) is walked in *flow order* -- the order in which its
+members touch any fixed memory location, i.e. lexicographically decreasing
+constant vectors, ties broken textually -- and split at definitions: a
+store produces a new value, so reuse never crosses it.  Each resulting
+register-reuse set (RRS) issues exactly one memory operation per iteration.
+
+RRS leaders are then grouped into *mergeable* register-reuse sets (MRRS):
+a maximal run of RRSs, in flow order, in which only the first may be led by
+a definition.  Copies of two RRSs can only merge under unroll-and-jam when
+they belong to the same MRRS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.matrixform import RefOccurrence, constant_vector
+from repro.linalg import VectorSpace
+from repro.reuse.group import group_temporal_partition
+from repro.reuse.ugs import UniformlyGeneratedSet
+
+def flow_key(occ: RefOccurrence):
+    """Sort key putting earlier touchers of a fixed location first."""
+    return (tuple(-c for c in constant_vector(occ.ref)), occ.position)
+
+@dataclass(frozen=True)
+class RegisterReuseSet:
+    """One RRS: members in flow order; the first member is the generator."""
+
+    members: tuple[RefOccurrence, ...]
+
+    @property
+    def leader(self) -> RefOccurrence:
+        return self.members[0]
+
+    @property
+    def led_by_definition(self) -> bool:
+        return self.leader.is_write
+
+    def pretty(self) -> str:
+        return "RRS[" + ", ".join(m.pretty() for m in self.members) + "]"
+
+@dataclass(frozen=True)
+class MergeableSet:
+    """An MRRS: RRSs whose copies may merge after unroll-and-jam."""
+
+    sets: tuple[RegisterReuseSet, ...]
+
+    @property
+    def superleader(self) -> RefOccurrence:
+        """The source of the value that flows through the whole set: the
+        generator of the earliest-touching RRS."""
+        return self.sets[0].leader
+
+def innermost_space(depth: int) -> VectorSpace:
+    return VectorSpace.spanned_by_axes([depth - 1], depth)
+
+def compute_rrs(ugs: UniformlyGeneratedSet) -> list[RegisterReuseSet]:
+    """Figure 4: split each innermost-localized GTS at definitions."""
+    localized = innermost_space(ugs.matrix.ncols)
+    sets: list[RegisterReuseSet] = []
+    for group in group_temporal_partition(ugs, localized):
+        ordered = sorted(group, key=flow_key)
+        current: list[RefOccurrence] = []
+        for occ in ordered:
+            if occ.is_write and current:
+                sets.append(RegisterReuseSet(tuple(current)))
+                current = [occ]
+            else:
+                current.append(occ)
+        if current:
+            sets.append(RegisterReuseSet(tuple(current)))
+    sets.sort(key=lambda s: flow_key(s.leader))
+    return sets
+
+def compute_mrrs(rrs_list: list[RegisterReuseSet]) -> list[MergeableSet]:
+    """Group RRSs (already in flow order) into mergeable runs.
+
+    A definition-led RRS may only open a run: value reuse cannot cross a
+    definition, so a def-led RRS arriving mid-run starts a new MRRS.
+    """
+    groups: list[MergeableSet] = []
+    current: list[RegisterReuseSet] = []
+    for rrs in rrs_list:
+        if rrs.led_by_definition and current:
+            groups.append(MergeableSet(tuple(current)))
+            current = [rrs]
+        else:
+            current.append(rrs)
+    if current:
+        groups.append(MergeableSet(tuple(current)))
+    return groups

@@ -1,0 +1,68 @@
+"""Legality bounds for unroll-and-jam (section 3.3's safety premise).
+
+Unroll-and-jam of loop l fuses iterations l, l+1, ..., l+u into one pass of
+the inner loops.  A dependence carried by loop l at distance δ whose inner
+distance component is lexicographically *negative* would be reversed by
+that fusion -- unless the fused block is too narrow to contain both
+endpoints, i.e. u + 1 <= δ.  The classic bound therefore is:
+
+    max safe unroll of loop l = min over violating dependences (δ - 1)
+
+with unknown-distance ("*") carriers forbidding unrolling entirely.  This
+matches the treatment the paper inherits from Callahan, Cocke & Kennedy.
+"""
+
+from __future__ import annotations
+
+from repro.dependence.graph import DependenceGraph, build_dependence_graph
+from repro.dependence.siv import STAR
+from repro.ir.nodes import LoopNest
+
+UNBOUNDED = 10 ** 9
+
+def _inner_part_can_be_negative(distance, level: int) -> bool:
+    """Is the distance sub-vector strictly inside level l possibly
+    lexicographically negative?"""
+    for entry in distance[level + 1:]:
+        if entry == STAR:
+            return True
+        if entry < 0:
+            return True
+        if entry > 0:
+            return False
+    return False
+
+def max_safe_unroll(nest: LoopNest, level: int,
+                    graph: DependenceGraph | None = None) -> int:
+    """The largest legal unroll amount for loop ``level`` (extra copies).
+
+    Returns :data:`UNBOUNDED` when no dependence constrains the loop.
+    Input dependences never constrain correctness and are ignored, matching
+    the paper's point that they are needed only for reuse analysis.
+    """
+    if graph is None:
+        graph = build_dependence_graph(nest, include_input=False)
+    bound = UNBOUNDED
+    for dep in graph:
+        if dep.is_input:
+            continue
+        carrier = dep.distance[level]
+        if carrier == STAR:
+            if _inner_part_can_be_negative(dep.distance, level):
+                return 0
+            continue
+        if carrier <= 0:
+            continue
+        if _inner_part_can_be_negative(dep.distance, level):
+            bound = min(bound, carrier - 1)
+    return bound
+
+def safe_unroll_bounds(nest: LoopNest,
+                       graph: DependenceGraph | None = None) -> tuple[int, ...]:
+    """Per-loop safety bounds (innermost entry is 0 by convention)."""
+    if graph is None:
+        graph = build_dependence_graph(nest, include_input=False)
+    bounds = [max_safe_unroll(nest, level, graph)
+              for level in range(nest.depth)]
+    bounds[-1] = 0
+    return tuple(bounds)

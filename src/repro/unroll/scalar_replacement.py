@@ -1,0 +1,80 @@
+"""Scalar replacement at the analysis level (sections 3.3 and 4.3).
+
+Scalar replacement keeps reused array values in registers so that only one
+memory operation per register-reuse chain survives.  This module computes
+the *plan* for a (possibly already unroll-and-jammed) nest: which textual
+references still issue memory operations, and how many registers the
+replaced values occupy.  The simulator and the cost models consume the
+plan; the underlying chain construction is shared with the unroll tables,
+so the plan provably agrees with what the tables predicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.matrixform import occurrences
+from repro.ir.nodes import LoopNest
+from repro.reuse.ugs import partition_ugs
+from repro.unroll.streams import conservative_chains, is_analyzable, stream_chains
+
+@dataclass(frozen=True)
+class ScalarReplacementPlan:
+    """Which occurrences touch memory after scalar replacement.
+
+    ``memory_positions`` holds the textual positions (see
+    :class:`repro.ir.matrixform.RefOccurrence`) that still issue a load or
+    store; every other array access comes from a register.
+    """
+
+    nest: LoopNest
+    memory_positions: frozenset[int]
+    registers: int
+    total_references: int
+
+    @property
+    def memory_ops(self) -> int:
+        return len(self.memory_positions)
+
+    @property
+    def removed(self) -> int:
+        return self.total_references - self.memory_ops
+
+    def issues_memory_op(self, position: int) -> bool:
+        return position in self.memory_positions
+
+def plan_scalar_replacement(nest: LoopNest) -> ScalarReplacementPlan:
+    """Build the plan by chaining each UGS at zero unroll.
+
+    Chain heads (generators and stores) keep their memory operation; every
+    other chain member reads its value from a register.  Register cost per
+    chain is innermost span + 1 (Callahan-Carr-Kennedy).
+    """
+    zero = tuple(0 for _ in range(nest.depth))
+    memory_positions: set[int] = set()
+    registers = 0
+    total = len(occurrences(nest))
+    for ugs in partition_ugs(nest):
+        if is_analyzable(ugs):
+            summary = stream_chains(ugs, zero, dims=())
+        else:
+            summary = conservative_chains(ugs, zero, dims=())
+        registers += summary.registers
+        for chain in summary.chains:
+            if chain.hoisted:
+                # Innermost-invariant: load hoisted above the loop, store
+                # sunk below it -- no per-iteration access.
+                continue
+            head_member = chain.nodes[0][0]
+            memory_positions.add(ugs.members[head_member].position)
+            # Stores inside a chain always write through to memory even
+            # when a later read reuses the value from a register.
+            for member_idx, _ in chain.nodes[1:]:
+                if ugs.members[member_idx].is_write:
+                    memory_positions.add(ugs.members[member_idx].position)
+    return ScalarReplacementPlan(
+        nest=nest,
+        memory_positions=frozenset(memory_positions),
+        registers=registers,
+        total_references=total,
+    )

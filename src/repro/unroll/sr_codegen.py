@@ -1,0 +1,307 @@
+"""Scalar-replacement code generation (Callahan-Carr-Kennedy).
+
+Where :mod:`repro.unroll.scalar_replacement` *plans* which references stay
+in registers, this module performs the rewrite: reused array values move
+into scalar temporaries that rotate across innermost iterations, with
+preloads before the innermost loop and store-backs after it.  The result
+is executable (see :func:`run_scalar_replaced`) and property-tested to be
+semantics-preserving, which pins down the meaning of every count the
+tables predict.
+
+Shape of the generated code for a chain  A(I) / A(I-2)  (span 2)::
+
+    DO J ...
+      A_t1 = A(lo-1)            ! prologue preloads
+      A_t2 = A(lo-2)
+      DO I = lo, hi
+        A_t0 = A(I)             ! head load (the one memory op)
+        ... uses read A_t0 / A_t2 ...
+        A_t2 = A_t1             ! rotation
+        A_t1 = A_t0
+      ENDDO
+    ENDDO
+
+Innermost-invariant chains hoist the load above the inner loop and sink
+the store below it (one register, zero per-iteration memory operations).
+
+Safety: the rewrite refuses arrays whose references split into several
+uniformly generated sets when any of them writes -- differently-shaped
+subscripts to one array may alias, and the reuse model does not see it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, MutableMapping
+
+import numpy as np
+
+from repro.ir.interp import InterpreterError, _eval_expr, _exec_statement
+from repro.ir.nodes import (
+    ArrayRef,
+    BinOp,
+    Bound,
+    Call,
+    Const,
+    Expr,
+    Loop,
+    LoopNest,
+    ScalarVar,
+    Statement,
+    Subscript,
+)
+from repro.reuse.ugs import partition_ugs
+from repro.unroll.streams import Chain, is_analyzable, stream_chains
+
+class ScalarReplacementError(ValueError):
+    """The nest cannot be safely scalar-replaced."""
+
+@dataclass(frozen=True)
+class ScalarReplacedNest:
+    """The rewritten loop: outer loops, per-outer-iteration prologue, the
+    innermost loop with a rewritten body plus rotation statements, and an
+    epilogue of sunk stores."""
+
+    original: LoopNest
+    outer_loops: tuple[Loop, ...]
+    prologue: tuple[Statement, ...]
+    inner_loop: Loop
+    body: tuple[Statement, ...]
+    rotations: tuple[Statement, ...]
+    epilogue: tuple[Statement, ...]
+    temporaries: tuple[str, ...]
+
+    @property
+    def memory_ops_per_iteration(self) -> int:
+        """Array references left inside the innermost body."""
+        count = 0
+        for stmt in self.body:
+            count += len(stmt.array_reads()) + len(stmt.array_writes())
+        return count
+
+def _substitute_inner(sub: Subscript, inner: str, value: Bound,
+                      shift: int) -> Subscript:
+    """Replace the innermost index by ``value + shift`` in a subscript."""
+    coef = sub.coeff(inner)
+    if coef == 0:
+        return sub.shifted({})
+    remaining = tuple((n, c) for n, c in sub.loop_coeffs if n != inner)
+    params = dict(sub.param_coeffs)
+    for name, pcoef in value.param_coeffs:
+        params[name] = params.get(name, 0) + coef * pcoef
+    const = sub.const + coef * (value.const + shift)
+    return Subscript(remaining,
+                     tuple(sorted((k, v) for k, v in params.items() if v)),
+                     const)
+
+def _ref_at_inner(ref: ArrayRef, inner: str, lower: Bound,
+                  shift: int) -> ArrayRef:
+    return ArrayRef(ref.array,
+                    tuple(_substitute_inner(s, inner, lower, shift)
+                          for s in ref.subscripts))
+
+class _Rewriter:
+    """Replaces planned array references with temporaries inside
+    expressions."""
+
+    def __init__(self, replacements: dict[int, str], sunk: set[int]):
+        self.replacements = replacements
+        self.sunk = sunk  # def positions whose store is sunk below the loop
+        self._cursor = 0
+
+    def rewrite_statement(self, stmt: Statement) -> tuple[str | None, Statement]:
+        """Rewrite one statement; returns (temp needing a store-through,
+        rewritten statement)."""
+        rhs = self._rewrite(stmt.rhs)
+        if isinstance(stmt.lhs, ArrayRef):
+            position = self._cursor
+            temp = self.replacements.get(position)
+            self._cursor += 1
+            if temp is not None:
+                store_through = temp if position not in self.sunk else None
+                return store_through, Statement(ScalarVar(temp), rhs)
+        return None, Statement(stmt.lhs, rhs)
+
+    def _rewrite(self, expr: Expr) -> Expr:
+        if isinstance(expr, ArrayRef):
+            temp = self.replacements.get(self._cursor)
+            self._cursor += 1
+            if temp is not None:
+                return ScalarVar(temp)
+            return expr
+        if isinstance(expr, BinOp):
+            left = self._rewrite(expr.left)
+            right = self._rewrite(expr.right)
+            return BinOp(expr.op, left, right)
+        if isinstance(expr, Call):
+            return Call(expr.func, tuple(self._rewrite(a) for a in expr.args))
+        return expr
+
+def _check_aliasing(nest: LoopNest) -> None:
+    sets_by_array: dict[str, list] = {}
+    for ugs in partition_ugs(nest):
+        sets_by_array.setdefault(ugs.array, []).append(ugs)
+    for array, sets in sets_by_array.items():
+        if len(sets) > 1 and any(m.is_write for s in sets for m in s.members):
+            raise ScalarReplacementError(
+                f"array {array} is referenced through {len(sets)} different "
+                "subscript shapes including writes; possible aliasing")
+
+def scalar_replace(nest: LoopNest) -> ScalarReplacedNest:
+    """Rewrite ``nest`` so reused array values live in rotating scalars.
+
+    Raises :class:`ScalarReplacementError` for nests outside the model
+    (potential aliasing between differently-shaped references).
+    """
+    _check_aliasing(nest)
+    inner = nest.loops[-1]
+    zero = tuple(0 for _ in range(nest.depth))
+
+    replacements: dict[int, str] = {}
+    sunk_defs: set[int] = set()
+    prologue: list[Statement] = []
+    head_loads: dict[int, list[Statement]] = {}  # stmt index -> loads
+    rotations: list[Statement] = []
+    epilogue: list[Statement] = []
+    temporaries: list[str] = []
+    temp_serial = 0
+
+    for ugs in partition_ugs(nest):
+        if not is_analyzable(ugs):
+            continue
+        summary = stream_chains(ugs, zero, dims=())
+        for chain in summary.chains:
+            members = [ugs.members[idx] for idx, _ in chain.nodes]
+            if chain.hoisted:
+                temp = f"{ugs.array.lower()}_h{temp_serial}"
+                temp_serial += 1
+                temporaries.append(temp)
+                by_position = sorted(members, key=lambda m: m.position)
+                for member in by_position:
+                    replacements[member.position] = temp
+                    if member.is_write:
+                        sunk_defs.add(member.position)
+                if not by_position[0].is_write:
+                    prologue.append(Statement(ScalarVar(temp),
+                                              by_position[0].ref))
+                if any(m.is_write for m in by_position):
+                    store_ref = next(m.ref for m in by_position if m.is_write)
+                    epilogue.append(Statement(store_ref, ScalarVar(temp)))
+                continue
+
+            depth = int(chain.span)
+            if depth == 0 and len(members) == 1:
+                continue  # nothing to reuse; leave the reference alone
+
+            base = f"{ugs.array.lower()}_t{temp_serial}"
+            temp_serial += 1
+            temps = [f"{base}_{k}" for k in range(depth + 1)]
+            temporaries.extend(temps)
+            head = members[0]
+            for member, time in zip(members, chain.times):
+                replacements[member.position] = temps[int(time)]
+            if head.is_write:
+                # The def statement keeps its store (store-through) and
+                # captures the value in t0; handled via replacements plus
+                # an explicit store appended by the body rewrite below.
+                pass
+            else:
+                head_loads.setdefault(head.stmt_index, []).append(
+                    Statement(ScalarVar(temps[0]), head.ref))
+            # Preload t_1..t_d with what the head touched 1..d iterations
+            # before the first one.
+            for k in range(1, depth + 1):
+                preload_ref = _ref_at_inner(head.ref, inner.index,
+                                            inner.lower, -k)
+                prologue.append(Statement(ScalarVar(temps[k]), preload_ref))
+            for k in range(depth, 0, -1):
+                rotations.append(Statement(ScalarVar(temps[k]),
+                                           ScalarVar(temps[k - 1])))
+
+    rewriter = _Rewriter(replacements, sunk_defs)
+    body: list[Statement] = []
+    for stmt_index, stmt in enumerate(nest.body):
+        body.extend(head_loads.get(stmt_index, ()))
+        replaced_def, rewritten = rewriter.rewrite_statement(stmt)
+        body.append(rewritten)
+        if replaced_def is not None:
+            # store-through: the def's value also goes to memory
+            assert isinstance(stmt.lhs, ArrayRef)
+            body.append(Statement(stmt.lhs, ScalarVar(replaced_def)))
+
+    return ScalarReplacedNest(
+        original=nest,
+        outer_loops=nest.loops[:-1],
+        prologue=tuple(prologue),
+        inner_loop=inner,
+        body=tuple(body),
+        rotations=tuple(rotations),
+        epilogue=tuple(epilogue),
+        temporaries=tuple(temporaries),
+    )
+
+def run_scalar_replaced(sr: ScalarReplacedNest, bindings: Mapping[str, int],
+                        arrays: Mapping[str, np.ndarray],
+                        scalars: MutableMapping[str, float] | None = None) -> None:
+    """Execute the scalar-replaced loop on numpy arrays."""
+    scalars = scalars if scalars is not None else {}
+    env: dict[str, int] = dict(bindings)
+
+    def run_inner() -> None:
+        for stmt in sr.prologue:
+            _exec_statement(stmt, env, scalars, arrays, None)
+        lo = sr.inner_loop.lower.evaluate(env)
+        hi = sr.inner_loop.upper.evaluate(env)
+        for value in range(lo, hi + 1, sr.inner_loop.step):
+            env[sr.inner_loop.index] = value
+            for stmt in sr.body:
+                _exec_statement(stmt, env, scalars, arrays, None)
+            for stmt in sr.rotations:
+                _exec_statement(stmt, env, scalars, arrays, None)
+        env.pop(sr.inner_loop.index, None)
+        for stmt in sr.epilogue:
+            _exec_statement(stmt, env, scalars, arrays, None)
+
+    def rec(level: int) -> None:
+        if level == len(sr.outer_loops):
+            run_inner()
+            return
+        loop = sr.outer_loops[level]
+        lo = loop.lower.evaluate(env)
+        hi = loop.upper.evaluate(env)
+        for value in range(lo, hi + 1, loop.step):
+            env[loop.index] = value
+            rec(level + 1)
+        env.pop(loop.index, None)
+
+    rec(0)
+
+def format_scalar_replaced(sr: ScalarReplacedNest) -> str:
+    """Fortran-style rendering of the rewritten loop."""
+    from repro.ir.printer import format_expr, format_loop_header
+
+    lines = []
+    indent = ""
+    for loop in sr.outer_loops:
+        lines.append(format_loop_header(loop, indent))
+        indent += "  "
+
+    def emit(stmt: Statement, ind: str) -> None:
+        lhs = stmt.lhs.pretty() if isinstance(stmt.lhs, ArrayRef) else stmt.lhs.name
+        lines.append(f"{ind}{lhs} = {format_expr(stmt.rhs)}")
+
+    for stmt in sr.prologue:
+        emit(stmt, indent)
+    lines.append(format_loop_header(sr.inner_loop, indent))
+    for stmt in sr.body:
+        emit(stmt, indent + "  ")
+    for stmt in sr.rotations:
+        emit(stmt, indent + "  ")
+    lines.append(f"{indent}ENDDO")
+    for stmt in sr.epilogue:
+        emit(stmt, indent)
+    for _ in sr.outer_loops:
+        indent = indent[:-2]
+        lines.append(f"{indent}ENDDO")
+    return "\n".join(lines)

@@ -1,0 +1,220 @@
+"""The precomputed unroll tables (Figures 2, 3, 5 and 7 of the paper).
+
+For every quantity the paper tabulates -- group-temporal sets, group-spatial
+sets, register-reuse sets and register pressure -- we store a table of
+*per-offset increments* T[u'] whose box sum over ``u' <= u`` yields the
+value at unroll vector u (the paper's ``Sum`` function, Figure 2).  The
+increments are obtained by Mobius inversion of the exact lattice counts of
+:mod:`repro.unroll.streams`; the box-sum identity is exact by construction
+and cross-checked against the brute-force baseline in the test suite.
+
+Once built, answering "what are M, R, g_T, g_S at unroll u?" costs a table
+lookup -- no unrolled data structure is ever materialized, which is the
+efficiency claim against Wolf, Maydan & Chen's approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import product
+from typing import Callable
+
+from repro.ir.nodes import LoopNest
+from repro.linalg import VectorSpace
+from repro.reuse.locality import innermost_localized_space
+from repro.reuse.selfreuse import has_self_spatial, localized_temporal_dim
+from repro.reuse.ugs import UniformlyGeneratedSet, partition_ugs
+from repro.unroll.space import UnrollSpace, UnrollVector, body_copies
+from repro.unroll.streams import (
+    conservative_chains,
+    conservative_group_count,
+    group_count,
+    group_count_spatial,
+    is_analyzable,
+    pairwise_merges,
+    spatial_relations,
+    stream_chains,
+)
+
+class OffsetTable:
+    """Per-offset increments over the unroll box, queried by box sum.
+
+    ``table[u'] = T(u')`` such that ``sum(T(u') for u' <= u) = count(u)``;
+    entries may be negative (merges remove groups).
+    """
+
+    def __init__(self, dims: tuple[int, ...], bounds: tuple[int, ...],
+                 increments: dict[tuple[int, ...], Fraction]):
+        self.dims = dims
+        self.bounds = bounds
+        self.increments = increments
+
+    @staticmethod
+    def from_counts(space: UnrollSpace,
+                    count: Callable[[UnrollVector], Fraction | int]) -> "OffsetTable":
+        """Mobius inversion of ``count`` over the box: the increment at u'
+        is the inclusion-exclusion difference over u's lower neighbours."""
+        cache: dict[tuple[int, ...], Fraction] = {}
+
+        def counted(reduced: tuple[int, ...]) -> Fraction:
+            if any(c < 0 for c in reduced):
+                return Fraction(0)
+            if reduced not in cache:
+                cache[reduced] = Fraction(count(space.embed(reduced)))
+            return cache[reduced]
+
+        increments: dict[tuple[int, ...], Fraction] = {}
+        ndims = len(space.dims)
+        for reduced in product(*(range(b + 1) for b in space.bounds)):
+            total = Fraction(0)
+            for signs in product((0, 1), repeat=ndims):
+                neighbour = tuple(r - s for r, s in zip(reduced, signs))
+                parity = -1 if sum(signs) % 2 else 1
+                total += parity * counted(neighbour)
+            increments[reduced] = total
+        return OffsetTable(space.dims, space.bounds, increments)
+
+    def box_sum(self, reduced: tuple[int, ...]) -> Fraction:
+        """The paper's Sum (Figure 2): accumulate increments over u' <= u."""
+        total = Fraction(0)
+        for offset, inc in self.increments.items():
+            if all(o <= r for o, r in zip(offset, reduced)):
+                total += inc
+        return total
+
+@dataclass(frozen=True)
+class UgsTables:
+    """All four tables for one uniformly generated set."""
+
+    ugs: UniformlyGeneratedSet
+    base_cost: Fraction  # Equation-1 base factor (self reuse w.r.t. L)
+    gts: OffsetTable
+    gss: OffsetTable
+    rrs: OffsetTable
+    registers: OffsetTable
+
+@dataclass(frozen=True)
+class UnrollPoint:
+    """Model quantities at one unroll vector."""
+
+    u: UnrollVector
+    flops: Fraction
+    memory_ops: Fraction
+    registers: Fraction
+    gts: Fraction
+    gss: Fraction
+    cache_cost: Fraction  # main-memory accesses per unrolled iteration
+
+class UnrollTables:
+    """Precomputed model of a nest over an unroll space (section 4).
+
+    Build once with :func:`build_tables`; every query is then a table
+    lookup.  ``point(u)`` aggregates the per-UGS tables into the quantities
+    the balance objective needs.
+    """
+
+    def __init__(self, nest: LoopNest, space: UnrollSpace, line_size: int,
+                 trip: int, per_ugs: list[UgsTables]):
+        self.nest = nest
+        self.space = space
+        self.line_size = line_size
+        self.trip = trip
+        self.per_ugs = per_ugs
+        self._base_flops = Fraction(nest.flops_per_iteration())
+        self._points: dict[UnrollVector, UnrollPoint] = {}
+
+    def point(self, u: UnrollVector) -> UnrollPoint:
+        if u not in self._points:
+            self._points[u] = self._compute_point(u)
+        return self._points[u]
+
+    def _compute_point(self, u: UnrollVector) -> UnrollPoint:
+        if not self.space.contains(u):
+            raise ValueError(f"unroll vector {u} outside the table space")
+        reduced = self.space.project(u)
+        flops = self._base_flops * body_copies(u)
+        memory_ops = Fraction(0)
+        registers = Fraction(0)
+        gts_total = Fraction(0)
+        gss_total = Fraction(0)
+        cache_cost = Fraction(0)
+        line = Fraction(self.line_size)
+        for entry in self.per_ugs:
+            g_t = entry.gts.box_sum(reduced)
+            g_s = entry.gss.box_sum(reduced)
+            memory_ops += entry.rrs.box_sum(reduced)
+            registers += entry.registers.box_sum(reduced)
+            gts_total += g_t
+            gss_total += g_s
+            cache_cost += entry.base_cost * (g_s + (g_t - g_s) / line)
+        return UnrollPoint(u, flops, memory_ops, registers, gts_total,
+                           gss_total, cache_cost)
+
+    def all_points(self) -> list[UnrollPoint]:
+        return [self.point(u) for u in self.space]
+
+def _equation1_base(ugs: UniformlyGeneratedSet, localized: VectorSpace,
+                    line_size: int, trip: int) -> Fraction:
+    k = localized_temporal_dim(ugs.matrix, localized)
+    if k > 0:
+        return Fraction(1, trip ** k)
+    if has_self_spatial(ugs.matrix, localized):
+        return Fraction(1, line_size)
+    return Fraction(1)
+
+def build_tables(nest: LoopNest, space: UnrollSpace, line_size: int = 4,
+                 trip: int = 100,
+                 localized: VectorSpace | None = None) -> UnrollTables:
+    """Build the GTS/GSS/RRS/RL tables for every UGS of ``nest``.
+
+    ``localized`` is the cache-localized space (default: innermost loop).
+    Register analysis always uses the innermost loop, per section 4.3.
+    """
+    localized = localized if localized is not None else innermost_localized_space(nest)
+    inner = VectorSpace.spanned_by_axes([nest.depth - 1], nest.depth)
+    per_ugs: list[UgsTables] = []
+    for ugs in partition_ugs(nest):
+        base = _equation1_base(ugs, localized, line_size, trip)
+        if is_analyzable(ugs):
+            merges_t = pairwise_merges(ugs, space.dims, localized,
+                                       spatial=False)
+            relations_s = spatial_relations(ugs, space.dims, localized)
+            merges_r = pairwise_merges(ugs, space.dims, inner, spatial=False)
+
+            def count_gts(u, _ugs=ugs, _m=merges_t):
+                return group_count(_ugs, u, space.dims, localized,
+                                   spatial=False, merges=_m)
+
+            def count_gss(u, _ugs=ugs, _r=relations_s):
+                return group_count_spatial(_ugs, u, space.dims, localized,
+                                           line_size, relations=_r)
+
+            def count_rrs(u, _ugs=ugs, _m=merges_r):
+                return stream_chains(_ugs, u, space.dims, merges=_m).memory_ops
+
+            def count_reg(u, _ugs=ugs, _m=merges_r):
+                return stream_chains(_ugs, u, space.dims, merges=_m).registers
+        else:
+            def count_gts(u, _ugs=ugs):
+                return conservative_group_count(_ugs, u, space.dims)
+
+            def count_gss(u, _ugs=ugs):
+                return conservative_group_count(_ugs, u, space.dims,
+                                                spatial=True)
+
+            def count_rrs(u, _ugs=ugs):
+                return conservative_chains(_ugs, u, space.dims).memory_ops
+
+            def count_reg(u, _ugs=ugs):
+                return conservative_chains(_ugs, u, space.dims).registers
+
+        per_ugs.append(UgsTables(
+            ugs=ugs,
+            base_cost=base,
+            gts=OffsetTable.from_counts(space, count_gts),
+            gss=OffsetTable.from_counts(space, count_gss),
+            rrs=OffsetTable.from_counts(space, count_rrs),
+            registers=OffsetTable.from_counts(space, count_reg),
+        ))
+    return UnrollTables(nest, space, line_size, trip, per_ugs)

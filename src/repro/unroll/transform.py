@@ -1,0 +1,93 @@
+"""The unroll-and-jam source transformation.
+
+``unroll_and_jam(nest, u)`` produces the *jammed main nest*: each unrolled
+loop's step becomes ``u_k + 1`` and the body holds one shifted copy per
+offset combination, in lexicographic offset order (matching the textual
+order a real unroller emits).  Scalar temporaries are renamed per copy.
+
+The returned :class:`UnrolledNest` keeps the original nest and the unroll
+vector so interpreters and printers can also produce the remainder
+(epilogue) iterations; ``repro.ir.interp.run_unrolled`` executes main +
+epilogues in real-code order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.ir.nodes import (
+    ArrayRef,
+    Loop,
+    LoopNest,
+    ScalarVar,
+    Statement,
+    shift_expr,
+)
+from repro.unroll.space import UnrollVector, body_copies
+
+class TransformError(ValueError):
+    """Raised for malformed unroll requests."""
+
+@dataclass(frozen=True)
+class UnrolledNest:
+    """An unroll-and-jammed nest: the jammed steady-state nest plus the
+    provenance needed for epilogue generation and re-analysis."""
+
+    main: LoopNest
+    original: LoopNest
+    unroll: UnrollVector
+
+    @property
+    def copies(self) -> int:
+        return body_copies(self.unroll)
+
+def _copy_suffix(offsets: dict[str, int]) -> str:
+    live = [(name, off) for name, off in offsets.items() if off]
+    if not live:
+        return ""
+    return "__" + "_".join(f"{name}{off}" for name, off in live)
+
+def jam_body(nest: LoopNest, u: UnrollVector) -> tuple[Statement, ...]:
+    """The jammed statement list: one shifted copy of the body per offset."""
+    temps = nest.scalar_temporaries()
+    statements: list[Statement] = []
+    index_names = nest.index_names
+    for combo in product(*(range(u_k + 1) for u_k in u)):
+        offsets = dict(zip(index_names, combo))
+        suffix = _copy_suffix(offsets)
+        renames = {t: t + suffix for t in temps} if suffix else {}
+        for stmt in nest.body:
+            rhs = shift_expr(stmt.rhs, offsets, renames)
+            if isinstance(stmt.lhs, ScalarVar):
+                lhs: ArrayRef | ScalarVar = ScalarVar(
+                    renames.get(stmt.lhs.name, stmt.lhs.name))
+            else:
+                lhs = stmt.lhs.shifted(offsets)
+            statements.append(Statement(lhs, rhs))
+    return tuple(statements)
+
+def unroll_and_jam(nest: LoopNest, u: UnrollVector) -> UnrolledNest:
+    """Apply unroll-and-jam with unroll vector u (extra copies per loop).
+
+    The innermost entry must be 0; legality is the caller's concern (use
+    :func:`repro.unroll.safety.max_safe_unroll`).
+    """
+    if len(u) != nest.depth:
+        raise TransformError("unroll vector length must match nest depth")
+    if any(x < 0 for x in u):
+        raise TransformError("unroll amounts must be non-negative")
+    if u[-1] != 0:
+        raise TransformError("the innermost loop is never unroll-and-jammed")
+
+    loops = tuple(
+        Loop(loop.index, loop.lower, loop.upper, loop.step * (u_k + 1))
+        for loop, u_k in zip(nest.loops, u))
+    main = LoopNest(
+        name=f"{nest.name}_uj{'x'.join(str(x + 1) for x in u)}",
+        loops=loops,
+        body=jam_body(nest, u),
+        description=(nest.description + " " if nest.description else "")
+        + f"[unroll-and-jam {u}]",
+    )
+    return UnrolledNest(main=main, original=nest, unroll=u)

@@ -1,0 +1,115 @@
+"""CLI tests (driving main() in-process and capturing stdout)."""
+
+import pytest
+
+from repro.cli import main
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+class TestKernelsAndShow:
+    def test_kernels_lists_all(self, capsys):
+        code, out = run_cli(capsys, "kernels")
+        assert code == 0
+        for name in ("jacobi", "mmjik", "shal"):
+            assert name in out
+
+    def test_show_kernel(self, capsys):
+        code, out = run_cli(capsys, "show", "jacobi")
+        assert code == 0
+        assert "DO I" in out and "B(I-1, J)" in out.replace(" ", "") \
+            or "B(I-1" in out.replace(" ", "")
+
+    def test_show_file(self, capsys, tmp_path):
+        path = tmp_path / "loop.f"
+        path.write_text("DO I = 0, N\n  A(I) = B(I) * 2\nENDDO\n")
+        code, out = run_cli(capsys, "show", str(path))
+        assert code == 0
+        assert "A(I)" in out
+
+    def test_unknown_nest_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["show", "not-a-kernel"])
+
+class TestAnalyzeOptimize:
+    def test_analyze_kernel(self, capsys):
+        code, out = run_cli(capsys, "analyze", "dmxpy1")
+        assert code == 0
+        assert "loop balance" in out
+        assert "Uniformly generated sets" in out
+
+    def test_optimize_kernel(self, capsys):
+        code, out = run_cli(capsys, "optimize", "dmxpy1", "--bound", "4",
+                            "--quiet")
+        assert code == 0
+        assert "chosen unroll vector" in out
+        assert "beta_L" in out
+
+    def test_optimize_file(self, capsys, tmp_path):
+        path = tmp_path / "loop.f"
+        path.write_text(
+            "DO J = 0, N\n  DO I = 0, M\n    A(J) = A(J) + B(I)\n"
+            "  ENDDO\nENDDO\n")
+        code, out = run_cli(capsys, "optimize", str(path), "--machine", "pa",
+                            "--bound", "4")
+        assert code == 0
+        assert "chosen unroll vector" in out
+        assert "transformed" in out or "(0, 0)" in out
+
+    def test_no_cache_flag(self, capsys):
+        code, out = run_cli(capsys, "optimize", "jacobi", "--no-cache",
+                            "--bound", "2", "--quiet")
+        assert code == 0
+
+    def test_bad_machine_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "jacobi", "--machine", "cray"])
+
+class TestSimulate:
+    def test_explicit_unroll(self, capsys):
+        code, out = run_cli(capsys, "simulate", "dmxpy1", "--unroll", "3,0")
+        assert code == 0
+        assert "normalized time" in out
+
+    def test_file_kernel_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "/tmp/nope.f"])
+
+class TestExperiments:
+    def test_table1_small(self, capsys):
+        code, out = run_cli(capsys, "table1", "--routines", "60")
+        assert code == 0
+        assert "Table 1" in out and "90%-100%" in out
+
+class TestNewCommands:
+    def test_prefetch_plan(self, capsys):
+        code, out = run_cli(capsys, "prefetch", "jacobi")
+        assert code == 0
+        assert "PREFETCH" in out
+
+    def test_export_text(self, capsys):
+        code, out = run_cli(capsys, "export", "gmtry.3")
+        assert code == 0
+        assert "flow" in out
+
+    def test_export_dot(self, capsys):
+        code, out = run_cli(capsys, "export", "gmtry.3", "--format", "dot")
+        assert code == 0
+        assert out.startswith("digraph")
+
+    def test_export_no_input(self, capsys):
+        _, full = run_cli(capsys, "export", "jacobi")
+        _, lean = run_cli(capsys, "export", "jacobi", "--no-input")
+        assert len(lean) <= len(full)
+
+    def test_distribute(self, capsys):
+        code, out = run_cli(capsys, "distribute", "shal")
+        assert code == 0
+        assert "3 pi-block" in out
+
+    def test_schedule(self, capsys):
+        code, out = run_cli(capsys, "schedule", "dmxpy1", "--unroll", "2,0")
+        assert code == 0
+        assert "initiation interval" in out

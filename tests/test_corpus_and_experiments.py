@@ -1,0 +1,121 @@
+"""Corpus generator and experiment-driver tests (shape assertions for the
+paper's claims, on reduced workloads for speed)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.dependence import build_dependence_graph
+from repro.experiments.ablation import run_bruteforce_parity
+from repro.experiments.figures import evaluate_kernel, format_figure, run_figure
+from repro.experiments.table1 import run_table1, summarize_reports
+from repro.experiments.table2 import format_table2, run_table2
+from repro.ir.validate import validate_nest
+from repro.kernels.suite import cond9, dmxpy1, jacobi, mmjik
+from repro.machine import dec_alpha, hp_pa_risc
+
+SMALL = CorpusConfig(routines=120, seed=7)
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = generate_corpus(SMALL)
+        b = generate_corpus(SMALL)
+        assert [n.name for n in a] == [n.name for n in b]
+        assert a[0].body == b[0].body
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(CorpusConfig(routines=30, seed=1))
+        b = generate_corpus(CorpusConfig(routines=30, seed=2))
+        assert any(x.body != y.body for x, y in zip(a, b))
+
+    def test_routines_are_valid_nests(self):
+        for nest in generate_corpus(SMALL):
+            validate_nest(nest, require_siv=False)
+
+    def test_depth_and_statement_bounds(self):
+        for nest in generate_corpus(SMALL):
+            assert 1 <= nest.depth <= SMALL.max_depth
+            assert 1 <= len(nest.body) <= SMALL.max_statements
+
+class TestTable1:
+    def test_input_dependences_dominate(self):
+        """The paper's headline: most dependence-graph space is input
+        dependences the UGS model never computes."""
+        report = run_table1(SMALL)
+        assert report.total_input_share > 0.5
+        assert report.space_saved_fraction > 0.5
+
+    def test_band_counts_partition_routines(self):
+        report = run_table1(SMALL)
+        assert sum(report.band_counts) == report.routines_with_deps
+        assert report.routines_with_deps <= report.routines_total
+
+    def test_report_format_contains_all_bands(self):
+        text = run_table1(SMALL).format()
+        for label in ("0%", "90%-100%", "total input dependences"):
+            assert label in text
+
+    def test_summarize_empty(self):
+        report = summarize_reports([], routines_total=0)
+        assert report.total_input_share == 0.0
+        assert report.space_saved_fraction == 0.0
+
+    def test_consistency_with_direct_count(self):
+        corpus = generate_corpus(SMALL)
+        total = 0
+        inputs = 0
+        for nest in corpus:
+            graph = build_dependence_graph(nest)
+            if graph.total_count:
+                total += graph.total_count
+                inputs += graph.input_count
+        report = run_table1(SMALL)
+        assert report.total_dependences == total
+        assert report.total_input == inputs
+
+class TestTable2:
+    def test_rows_cover_suite(self):
+        rows = run_table2()
+        assert len(rows) == 19
+        assert all(row.original_balance > 1 for row in rows)
+
+    def test_format(self):
+        text = format_table2(run_table2())
+        assert "mmjik" in text and "Table 2" in text
+
+class TestFigures:
+    def test_cache_model_never_loses_to_original(self):
+        """On the Alpha, the Cache configuration must improve (or match)
+        every evaluated kernel -- no pessimization."""
+        for kernel in (jacobi(48), dmxpy1(64), cond9(48)):
+            row = evaluate_kernel(kernel, dec_alpha(), bound=4)
+            assert row.normalized_cache <= 1.02, kernel.name
+
+    def test_alpha_cache_model_beats_no_cache_on_stencils(self):
+        """The Figure 8 signature: the cache-aware model wins where misses
+        dominate (large stencils on the small-cache machine)."""
+        row = evaluate_kernel(jacobi(120), dec_alpha(), bound=4)
+        assert row.normalized_cache < row.normalized_no_cache
+
+    def test_pa_risc_models_agree_when_cache_is_big(self):
+        """The Figure 9 signature: with the working set cached, both models
+        perform the same."""
+        row = evaluate_kernel(jacobi(48), hp_pa_risc(), bound=4)
+        assert row.normalized_cache == pytest.approx(row.normalized_no_cache,
+                                                     abs=0.05)
+
+    def test_run_figure_and_format(self):
+        rows = run_figure(dec_alpha(), bound=2, kernels=[dmxpy1(48),
+                                                         mmjik(16)])
+        text = format_figure(rows, "Figure 8")
+        assert "dmxpy1" in text and "MEAN" in text
+
+class TestAblationParity:
+    def test_table_matches_bruteforce_on_subset(self):
+        rows = run_bruteforce_parity(dec_alpha(), bound=2,
+                                     kernels=[jacobi(48), dmxpy1(48),
+                                              mmjik(16)])
+        for row in rows:
+            assert row.objectives_match, row.name
+            assert row.bodies_materialized == 0 or row.bodies_materialized > 0

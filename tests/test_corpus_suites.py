@@ -1,0 +1,51 @@
+"""Suite-flavoured corpora and the per-suite Table 1 breakdown."""
+
+from repro.corpus.generator import SUITE_PROFILES, generate_suite_corpora
+from repro.experiments.table1 import format_suite_breakdown, run_table1_by_suite
+from repro.ir.validate import validate_nest
+from repro.machine.presets import future_wide, mips_r10k
+
+class TestSuiteCorpora:
+    def test_four_suites(self):
+        corpora = generate_suite_corpora(40)
+        assert set(corpora) == set(SUITE_PROFILES) == {
+            "spec92", "perfect", "nas", "local"}
+
+    def test_deterministic(self):
+        a = generate_suite_corpora(30)
+        b = generate_suite_corpora(30)
+        for suite in a:
+            assert [n.body for n in a[suite]] == [n.body for n in b[suite]]
+
+    def test_suites_differ(self):
+        corpora = generate_suite_corpora(30)
+        bodies = {suite: tuple(str(n.body) for n in nests)
+                  for suite, nests in corpora.items()}
+        assert len(set(bodies.values())) == 4
+
+    def test_routines_valid(self):
+        for nests in generate_suite_corpora(25).values():
+            for nest in nests:
+                validate_nest(nest, require_siv=False)
+
+class TestSuiteBreakdown:
+    def test_input_share_dominates_in_every_suite(self):
+        reports = run_table1_by_suite(80)
+        for suite, report in reports.items():
+            assert report.total_input_share > 0.5, suite
+
+    def test_format(self):
+        text = format_suite_breakdown(run_table1_by_suite(50))
+        for suite in SUITE_PROFILES:
+            assert suite in text
+
+class TestNewPresets:
+    def test_mips_is_valid_and_balanced_at_half(self):
+        m = mips_r10k()
+        assert float(m.balance) == 0.5
+        assert m.cache_assoc == 2
+
+    def test_future_wide_has_prefetch(self):
+        m = future_wide()
+        assert m.prefetch_bandwidth == 1
+        assert m.registers == 128

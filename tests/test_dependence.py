@@ -1,0 +1,180 @@
+"""Tests for the SIV dependence tests and the dependence graph."""
+
+import pytest
+
+from repro.dependence import build_dependence_graph, subscript_pair_test
+from repro.dependence.graph import Dependence
+from repro.dependence.siv import STAR, merge_constraints
+from repro.dependence.stats import graph_size_report
+from repro.ir.builder import NestBuilder
+from repro.ir.nodes import Subscript
+
+def sub(coeffs=None, const=0, params=None):
+    return Subscript.of(coeffs or {}, const, params)
+
+class TestSubscriptPairs:
+    def test_ziv_equal(self):
+        entry = subscript_pair_test(sub(const=3), sub(const=3))
+        assert not entry.proven_independent
+        assert entry.constraints == ()
+
+    def test_ziv_unequal(self):
+        assert subscript_pair_test(sub(const=3), sub(const=4)).proven_independent
+
+    def test_strong_siv_distance(self):
+        # A(I+2) then A(I): same element when the second ref runs 2 later.
+        entry = subscript_pair_test(sub({"I": 1}, 2), sub({"I": 1}, 0))
+        assert entry.constraints == (("I", 2),)
+
+    def test_strong_siv_negative_distance(self):
+        entry = subscript_pair_test(sub({"I": 1}, 0), sub({"I": 1}, 3))
+        assert entry.constraints == (("I", -3),)
+
+    def test_strong_siv_non_integer_independent(self):
+        entry = subscript_pair_test(sub({"I": 2}, 1), sub({"I": 2}, 0))
+        assert entry.proven_independent
+
+    def test_strong_siv_scaled(self):
+        entry = subscript_pair_test(sub({"I": 2}, 4), sub({"I": 2}, 0))
+        assert entry.constraints == (("I", 2),)
+
+    def test_weak_zero(self):
+        entry = subscript_pair_test(sub({"I": 1}), sub(const=5))
+        assert entry.constraints == (("I", STAR),)
+
+    def test_weak_crossing_divisible(self):
+        entry = subscript_pair_test(sub({"I": 1}), sub({"I": -1}, 4))
+        assert entry.constraints == (("I", STAR),)
+
+    def test_weak_crossing_independent(self):
+        entry = subscript_pair_test(sub({"I": 2}), sub({"I": -2}, 3))
+        assert entry.proven_independent
+
+    def test_gcd_independent(self):
+        entry = subscript_pair_test(sub({"I": 2}), sub({"I": 4}, 1))
+        assert entry.proven_independent
+
+    def test_param_mismatch_constant_subscripts(self):
+        entry = subscript_pair_test(sub(params={"N": 1}), sub(const=0))
+        assert entry.proven_independent
+
+    def test_param_match(self):
+        entry = subscript_pair_test(sub({"I": 1}, 0, {"N": 1}),
+                                    sub({"I": 1}, 1, {"N": 1}))
+        assert entry.constraints == (("I", -1),)
+
+    def test_different_variables_conservative(self):
+        entry = subscript_pair_test(sub({"I": 1}), sub({"J": 1}))
+        assert dict(entry.constraints) == {"I": STAR, "J": STAR}
+
+class TestMergeConstraints:
+    def test_contradiction_is_independent(self):
+        entries = [subscript_pair_test(sub({"I": 1}, 1), sub({"I": 1}, 0)),
+                   subscript_pair_test(sub({"I": 1}, 2), sub({"I": 1}, 0))]
+        assert merge_constraints(entries, ("I",)) is None
+
+    def test_star_refined_by_exact(self):
+        entries = [subscript_pair_test(sub({"I": 1}), sub(const=0)),
+                   subscript_pair_test(sub({"I": 1}, 1), sub({"I": 1}, 0))]
+        assert merge_constraints(entries, ("I",)) == (1,)
+
+    def test_free_loops_are_star(self):
+        entries = [subscript_pair_test(sub({"J": 1}, 0), sub({"J": 1}, 0))]
+        assert merge_constraints(entries, ("I", "J")) == (STAR, 0)
+
+def stencil_nest():
+    # A(I,J) = B(I,J) + B(I,J-1) + B(I-1,J)
+    b = NestBuilder("stencil")
+    I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+    b.assign(b.ref("A", I, J),
+             b.ref("B", I, J) + b.ref("B", I, J - 1) + b.ref("B", I - 1, J))
+    return b.build()
+
+def inplace_sweep_nest():
+    # A(I) = A(I-1) + A(I)   (flow + anti/output mix)
+    b = NestBuilder("sweep")
+    I = b.loop("I", 1, "N")
+    b.assign(b.ref("A", I), b.ref("A", I - 1) + b.ref("A", I))
+    return b.build()
+
+class TestGraph:
+    def test_stencil_has_only_input_deps_on_b(self):
+        graph = build_dependence_graph(stencil_nest())
+        kinds = {e.kind for e in graph.edges_for_array("B")}
+        assert kinds == {"input"}
+        # pairs: (B(I,J),B(I,J-1)) dist (0,1); (B(I,J),B(I-1,J)) dist (1,0);
+        # (B(I,J-1),B(I-1,J)) dist (1,-1)
+        assert len(graph.edges_for_array("B")) == 3
+
+    def test_stencil_input_distances(self):
+        graph = build_dependence_graph(stencil_nest())
+        dists = sorted(e.distance for e in graph.edges_for_array("B"))
+        assert dists == [(0, 1), (1, -1), (1, 0)]
+
+    def test_stencil_a_has_no_self_dep(self):
+        graph = build_dependence_graph(stencil_nest())
+        assert graph.edges_for_array("A") == []
+
+    def test_sweep_kinds(self):
+        graph = build_dependence_graph(inplace_sweep_nest())
+        kinds = sorted(e.kind for e in graph)
+        # A(I-1) read vs A(I) write: flow at distance 1;
+        # A(I) read vs A(I) write: anti at distance 0;
+        # A(I-1) vs A(I) reads: input at distance 1.
+        assert kinds == ["anti", "flow", "input"]
+
+    def test_direction_normalization(self):
+        graph = build_dependence_graph(inplace_sweep_nest())
+        flow = next(e for e in graph if e.kind == "flow")
+        assert flow.src.is_write and not flow.dst.is_write
+        assert flow.distance == (1,)
+
+    def test_without_input(self):
+        graph = build_dependence_graph(inplace_sweep_nest())
+        stripped = graph.without_input_dependences()
+        assert stripped.count("input") == 0
+        assert stripped.count() == graph.count() - graph.count("input")
+
+    def test_exclude_input_at_build_time(self):
+        full = build_dependence_graph(stencil_nest(), include_input=True)
+        lean = build_dependence_graph(stencil_nest(), include_input=False)
+        assert full.input_count == 3
+        assert lean.input_count == 0
+
+    def test_loop_invariant_reference_self_input_dep(self):
+        # A(J) in a (J, I) nest: reading the same element for every I.
+        b = NestBuilder("inv")
+        J, I = b.loops(("J", 0, "N"), ("I", 0, "M"))
+        b.assign(b.ref("C", J, I), b.ref("A", J))
+        graph = build_dependence_graph(b.build())
+        self_deps = [e for e in graph if e.src.position == e.dst.position]
+        assert len(self_deps) == 1
+        assert self_deps[0].kind == "input"
+        assert self_deps[0].distance == (0, STAR)
+
+    def test_carrier_level(self):
+        graph = build_dependence_graph(inplace_sweep_nest())
+        flow = next(e for e in graph if e.kind == "flow")
+        assert flow.carrier_level() == 0
+        anti = next(e for e in graph if e.kind == "anti")
+        assert anti.carrier_level() is None
+        assert anti.is_loop_independent()
+
+class TestSizeReport:
+    def test_report_counts(self):
+        report = graph_size_report(build_dependence_graph(stencil_nest()))
+        assert report.total_edges == 3
+        assert report.input_edges == 3
+        assert report.input_fraction == 1.0
+        assert report.non_input_edges == 0
+
+    def test_bytes_accounting(self):
+        report = graph_size_report(build_dependence_graph(stencil_nest()))
+        per_edge = 12 + 4 * 2
+        assert report.edge_bytes() == 3 * per_edge
+        assert report.bytes_saved() == 3 * per_edge
+
+    def test_pretty_smoke(self):
+        graph = build_dependence_graph(inplace_sweep_nest())
+        for edge in graph:
+            assert isinstance(edge.pretty(), str)

@@ -1,0 +1,87 @@
+"""Tests for dependence-graph exports (networkx, DOT, summaries)."""
+
+import networkx as nx
+
+from repro.dependence import build_dependence_graph
+from repro.dependence.export import (
+    dependence_cycles,
+    statement_graph,
+    summarize,
+    to_dot,
+    to_networkx,
+)
+from repro.ir.builder import NestBuilder
+
+def recurrence_nest():
+    # A(I) = A(I-1) + B(I): flow recurrence on statement 0
+    b = NestBuilder("rec")
+    I = b.loop("I", 1, "N")
+    b.assign(b.ref("A", I), b.ref("A", I - 1) + b.ref("B", I))
+    return b.build()
+
+def pipeline_nest():
+    # S0 writes T, S1 reads T: forward statement dependence, no cycle
+    b = NestBuilder("pipe")
+    I = b.loop("I", 0, "N")
+    b.assign(b.ref("T", I), b.ref("A", I) * 2.0)
+    b.assign(b.ref("C", I), b.ref("T", I) + 1.0)
+    return b.build()
+
+class TestNetworkx:
+    def test_nodes_cover_occurrences(self):
+        graph = build_dependence_graph(recurrence_nest())
+        g = to_networkx(graph)
+        # A(I-1) read, B(I) read, A(I) write
+        assert g.number_of_nodes() == 3
+
+    def test_edge_attributes(self):
+        graph = build_dependence_graph(recurrence_nest())
+        g = to_networkx(graph)
+        kinds = {data["kind"] for _, _, data in g.edges(data=True)}
+        assert "flow" in kinds
+
+    def test_input_filter(self):
+        graph = build_dependence_graph(recurrence_nest())
+        full = to_networkx(graph, include_input=True)
+        lean = to_networkx(graph, include_input=False)
+        assert lean.number_of_edges() <= full.number_of_edges()
+
+class TestStatementGraph:
+    def test_pipeline_edge(self):
+        graph = build_dependence_graph(pipeline_nest())
+        g = statement_graph(graph)
+        assert g.has_edge(0, 1)
+        assert "flow" in g[0][1]["kinds"]
+
+    def test_recurrence_self_edge(self):
+        graph = build_dependence_graph(recurrence_nest())
+        g = statement_graph(graph)
+        assert g.has_edge(0, 0)
+
+class TestCycles:
+    def test_recurrence_detected(self):
+        graph = build_dependence_graph(recurrence_nest())
+        assert dependence_cycles(graph) == [[0]]
+
+    def test_pipeline_acyclic(self):
+        graph = build_dependence_graph(pipeline_nest())
+        assert dependence_cycles(graph) == []
+
+class TestDotAndSummary:
+    def test_dot_contains_edges(self):
+        graph = build_dependence_graph(recurrence_nest())
+        dot = to_dot(graph)
+        assert dot.startswith("digraph")
+        assert "flow" in dot
+        assert "->" in dot
+
+    def test_dot_parses_with_networkx_pydot_free(self):
+        # structural sanity only: balanced braces, one line per edge
+        graph = build_dependence_graph(pipeline_nest())
+        dot = to_dot(graph)
+        assert dot.count("{") == dot.count("}")
+
+    def test_summary_mentions_counts(self):
+        graph = build_dependence_graph(recurrence_nest())
+        text = summarize(graph)
+        assert "flow" in text and "recurrence" in text

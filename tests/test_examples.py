@@ -1,0 +1,33 @@
+"""Every shipped example must run cleanly end to end (subprocess smoke
+tests with output sanity checks)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ("Semantics check", []),
+    "matmul_tuning.py": ("simulated", []),
+    "stencil_pipeline.py": ("speedup", []),
+    "dependence_savings.py": ("Table 1", ["150"]),
+    "machine_comparison.py": ("beta_M", []),
+    "prefetch_future.py": ("staircase", []),
+}
+
+@pytest.mark.parametrize("script,expected,args",
+                         [(k, v[0], v[1]) for k, v in CASES.items()],
+                         ids=list(CASES))
+def test_example_runs(script, expected, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout
+
+def test_all_examples_covered():
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    assert shipped == set(CASES)

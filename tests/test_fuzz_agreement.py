@@ -1,0 +1,61 @@
+"""Seeded adversarial fuzz of the central invariant: tables == brute force
+on strided, permuted-subscript, two-unrolled-dim nests."""
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import measure_unrolled
+from repro.ir.builder import NestBuilder
+from repro.unroll.space import UnrollSpace
+from repro.unroll.tables import build_tables
+
+FIELDS = ("gts", "gss", "memory_ops", "registers", "cache_cost", "flops")
+
+def adversarial_nest(rng: random.Random, name: str):
+    b = NestBuilder(name)
+    I, J, K = b.loops(("I", 4, 20), ("J", 4, 20), ("K", 4, 20))
+    idx = [I, J, K]
+    for _ in range(rng.randint(1, 3)):
+        terms = []
+        for _ in range(rng.randint(1, 4)):
+            arr = rng.choice(["A", "B"])
+            perm = rng.sample(range(3), 2)
+            c1 = rng.choice([1, 1, 1, 2, -1])
+            c2 = rng.choice([1, 1, 2])
+            o1, o2 = rng.randint(-3, 3), rng.randint(-3, 3)
+            terms.append(b.ref(arr, c1 * idx[perm[0]] + o1,
+                               c2 * idx[perm[1]] + o2))
+        rhs = terms[0]
+        for t in terms[1:]:
+            rhs = rhs + t
+        wsel = rng.sample(range(3), 2)
+        b.assign(b.ref(rng.choice(["A", "D"]),
+                       idx[wsel[0]] + rng.randint(-1, 1), idx[wsel[1]]), rhs)
+    return b.build()
+
+@pytest.mark.parametrize("seed", range(12))
+def test_adversarial_agreement(seed):
+    rng = random.Random(1000 + seed)
+    nest = adversarial_nest(rng, f"fuzz{seed}")
+    space = UnrollSpace(3, (0, 1), (2, 2))
+    tables = build_tables(nest, space, line_size=4, trip=100)
+    for u in space:
+        predicted = tables.point(u)
+        measured = measure_unrolled(nest, u, line_size=4, trip=100)
+        for field in FIELDS:
+            assert getattr(predicted, field) == getattr(measured, field), \
+                (seed, u, field)
+
+@pytest.mark.parametrize("line_size", [1, 2, 4, 8, 16])
+def test_agreement_across_line_sizes(line_size):
+    """The spatial model must agree for any cache-line geometry."""
+    rng = random.Random(7)
+    nest = adversarial_nest(rng, "lines")
+    space = UnrollSpace(3, (0, 1), (2, 2))
+    tables = build_tables(nest, space, line_size=line_size, trip=100)
+    for u in space:
+        predicted = tables.point(u)
+        measured = measure_unrolled(nest, u, line_size=line_size, trip=100)
+        assert predicted.gss == measured.gss, (line_size, u)
+        assert predicted.cache_cost == measured.cache_cost, (line_size, u)

@@ -1,0 +1,130 @@
+"""Interpreter tests: direct execution and unrolled execution equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import NestBuilder
+from repro.ir.interp import InterpreterError, run_nest, run_unrolled
+
+def vector_sum_nest():
+    # A(J) = A(J) + B(I)  -- the paper's introduction example
+    b = NestBuilder("paper_intro")
+    J, I = b.loops(("J", 0, "N"), ("I", 0, "M"))
+    b.assign(b.ref("A", J), b.ref("A", J) + b.ref("B", I))
+    return b.build()
+
+def matmul_nest():
+    b = NestBuilder("mm")
+    J, I, K = b.loops(("J", 0, "N"), ("I", 0, "N"), ("K", 0, "N"))
+    b.assign(b.ref("C", I, J),
+             b.ref("C", I, J) + b.ref("A", I, K) * b.ref("B", K, J))
+    return b.build()
+
+class TestRunNest:
+    def test_vector_sum(self):
+        nest = vector_sum_nest()
+        arrays = {"A": np.zeros(4), "B": np.arange(3.0)}
+        run_nest(nest, {"N": 3, "M": 2}, arrays)
+        assert np.allclose(arrays["A"], [3.0, 3.0, 3.0, 3.0])
+
+    def test_matmul_matches_numpy(self):
+        nest = matmul_nest()
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((5, 5))
+        bm = rng.standard_normal((5, 5))
+        arrays = {"A": a.copy(), "B": bm.copy(), "C": np.zeros((5, 5))}
+        run_nest(nest, {"N": 4}, arrays)
+        assert np.allclose(arrays["C"], a @ bm)
+
+    def test_scalar_inputs(self):
+        b = NestBuilder("scaled")
+        I = b.loop("I", 0, 3)
+        b.assign(b.ref("A", I), b.scalar("alpha") * b.ref("B", I))
+        nest = b.build()
+        arrays = {"A": np.zeros(4), "B": np.ones(4)}
+        run_nest(nest, {}, arrays, scalars={"alpha": 2.5})
+        assert np.allclose(arrays["A"], 2.5)
+
+    def test_unbound_scalar_raises(self):
+        b = NestBuilder("bad")
+        I = b.loop("I", 0, 1)
+        b.assign(b.ref("A", I), b.scalar("nope"))
+        with pytest.raises(InterpreterError):
+            run_nest(b.build(), {}, {"A": np.zeros(2)})
+
+    def test_out_of_bounds_raises(self):
+        nest = vector_sum_nest()
+        with pytest.raises(InterpreterError):
+            run_nest(nest, {"N": 10, "M": 0}, {"A": np.zeros(2), "B": np.zeros(1)})
+
+    def test_trace_callback(self):
+        nest = vector_sum_nest()
+        events = []
+        arrays = {"A": np.zeros(2), "B": np.zeros(2)}
+        run_nest(nest, {"N": 1, "M": 1}, arrays,
+                 trace=lambda arr, idx, w: events.append((arr, idx, w)))
+        # per iteration: read A, read B, write A
+        assert len(events) == 4 * 3
+        assert events[0] == ("A", (0,), False)
+        assert events[2] == ("A", (0,), True)
+
+class TestRunUnrolled:
+    @pytest.mark.parametrize("u", [(0, 0), (1, 0), (2, 0), (3, 0)])
+    @pytest.mark.parametrize("n", [3, 4, 6])
+    def test_vector_sum_equivalence(self, u, n):
+        nest = vector_sum_nest()
+        arrays_ref = {"A": np.zeros(n + 1), "B": np.arange(5.0)}
+        arrays_unr = {k: v.copy() for k, v in arrays_ref.items()}
+        run_nest(nest, {"N": n, "M": 4}, arrays_ref)
+        run_unrolled(nest, u, {"N": n, "M": 4}, arrays_unr)
+        assert np.array_equal(arrays_ref["A"], arrays_unr["A"])
+
+    @pytest.mark.parametrize("u", [(1, 0, 0), (0, 1, 0), (2, 3, 0)])
+    def test_matmul_equivalence(self, u):
+        nest = matmul_nest()
+        rng = np.random.default_rng(1)
+        base = {
+            "A": rng.standard_normal((7, 7)),
+            "B": rng.standard_normal((7, 7)),
+            "C": np.zeros((7, 7)),
+        }
+        ref = {k: v.copy() for k, v in base.items()}
+        unr = {k: v.copy() for k, v in base.items()}
+        run_nest(nest, {"N": 6}, ref)
+        run_unrolled(nest, u, {"N": 6}, unr)
+        assert np.allclose(ref["C"], unr["C"])
+
+    def test_unroll_with_scalar_temp_privatization(self):
+        # t = B(I,J); A(I,J) = t * t  -- t must be private per copy
+        b = NestBuilder("temp")
+        I, J = b.loops(("I", 0, 5), ("J", 0, 5))
+        b.assign(b.scalar("t"), b.ref("B", I, J))
+        b.assign(b.ref("A", I, J), b.scalar("t") * b.scalar("t"))
+        nest = b.build()
+        rng = np.random.default_rng(2)
+        base = {"A": np.zeros((6, 6)), "B": rng.standard_normal((6, 6))}
+        ref = {k: v.copy() for k, v in base.items()}
+        unr = {k: v.copy() for k, v in base.items()}
+        run_nest(nest, {}, ref)
+        run_unrolled(nest, (3, 0), {}, unr)
+        assert np.allclose(ref["A"], unr["A"])
+
+    def test_rejects_inner_unroll(self):
+        with pytest.raises(InterpreterError):
+            run_unrolled(vector_sum_nest(), (0, 1), {"N": 1, "M": 1},
+                         {"A": np.zeros(2), "B": np.zeros(2)})
+
+    def test_rejects_bad_vector_length(self):
+        with pytest.raises(InterpreterError):
+            run_unrolled(vector_sum_nest(), (0,), {"N": 1, "M": 1},
+                         {"A": np.zeros(2), "B": np.zeros(2)})
+
+    def test_remainder_iterations_covered(self):
+        # N+1 = 5 iterations, unroll step 3 -> aligned 3 + epilogue 2
+        b = NestBuilder("count")
+        I, J = b.loops(("I", 0, 4), ("J", 0, 0))
+        b.assign(b.ref("A", I), b.ref("A", I) + 1.0)
+        nest = b.build()
+        arrays = {"A": np.zeros(5)}
+        run_unrolled(nest, (2, 0), {}, arrays)
+        assert np.allclose(arrays["A"], 1.0)

@@ -1,0 +1,103 @@
+"""Kernel-suite tests: structure, validity, runnability and analyzability
+of all 19 Table 2 loops."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import measure_unrolled
+from repro.ir.interp import run_nest, run_unrolled
+from repro.ir.validate import validate_nest
+from repro.kernels import all_kernels, kernel_by_name
+from repro.machine import dec_alpha
+from repro.unroll.optimize import choose_unroll
+from repro.unroll.safety import safe_unroll_bounds
+
+KERNELS = all_kernels()
+
+class TestRoster:
+    def test_nineteen_kernels(self):
+        assert len(KERNELS) == 19
+
+    def test_numbers_match_paper_order(self):
+        assert [k.number for k in KERNELS] == list(range(1, 20))
+
+    def test_names_unique(self):
+        names = [k.name for k in KERNELS]
+        assert len(set(names)) == 19
+
+    def test_lookup_by_name(self):
+        assert kernel_by_name("mmjik").number == 15
+        with pytest.raises(KeyError):
+            kernel_by_name("nope")
+
+    def test_expected_roster(self):
+        expected = ["jacobi", "afold", "btrix.1", "btrix.2", "btrix.7",
+                    "collc.2", "cond.7", "cond.9", "dflux.16", "dflux.17",
+                    "dflux.20", "dmxpy0", "dmxpy1", "gmtry.3", "mmjik",
+                    "mmjki", "vpenta.7", "sor", "shal"]
+        assert [k.name for k in KERNELS] == expected
+
+@pytest.mark.parametrize("kernel", KERNELS, ids=lambda k: k.name)
+class TestEveryKernel:
+    def test_structurally_valid(self, kernel):
+        validate_nest(kernel.nest, require_siv=kernel.siv)
+
+    def test_memory_bound_originally(self, kernel):
+        """Section 5.2 selection criterion: the loops are not balanced."""
+        machine = dec_alpha()
+        point = measure_unrolled(
+            kernel.nest, tuple(0 for _ in range(kernel.nest.depth)),
+            line_size=machine.cache_line_words)
+        from repro.balance import loop_balance
+        breakdown = loop_balance(point, machine)
+        assert breakdown.balance > machine.balance
+
+    def test_some_loop_is_unrollable(self, kernel):
+        bounds = safe_unroll_bounds(kernel.nest)
+        assert any(b > 0 for b in bounds[:-1])
+
+    def test_shapes_cover_subscripts(self, kernel):
+        """Interpreting at a reduced size must stay in bounds."""
+        n = 6
+        bindings = {name: n for name in kernel.bindings}
+        shapes = _scaled_shapes(kernel, n)
+        arrays = {name: np.zeros(shape) for name, shape in shapes.items()}
+        rng = np.random.default_rng(0)
+        for name in arrays:
+            arrays[name][...] = rng.standard_normal(arrays[name].shape)
+        run_nest(kernel.nest, bindings, arrays, scalars={"omega": 1.5})
+
+    def test_unroll_and_jam_preserves_semantics(self, kernel):
+        """The optimizer's chosen vector must not change results."""
+        machine = dec_alpha()
+        result = choose_unroll(kernel.nest, machine, bound=3)
+        n = 7
+        bindings = {name: n for name in kernel.bindings}
+        shapes = _scaled_shapes(kernel, n)
+        rng = np.random.default_rng(1)
+        base = {name: rng.standard_normal(shape)
+                for name, shape in shapes.items()}
+        ref = {k: v.copy() for k, v in base.items()}
+        out = {k: v.copy() for k, v in base.items()}
+        run_nest(kernel.nest, bindings, ref, scalars={"omega": 1.5})
+        run_unrolled(kernel.nest, result.unroll, bindings, out,
+                     scalars={"omega": 1.5})
+        for name in base:
+            assert np.allclose(ref[name], out[name]), name
+
+def _scaled_shapes(kernel, n):
+    """Shrink the kernel's shapes proportionally to bindings of size n."""
+    big_n = next(iter(kernel.bindings.values()))
+    shapes = {}
+    for name, shape in kernel.shapes.items():
+        scaled = []
+        for extent in shape:
+            # preserve padding structure: extent = a*big_n + pad
+            if extent >= 2 * big_n:
+                scaled.append(2 * n + (extent - 2 * big_n))
+            elif extent > big_n:
+                scaled.append(n + (extent - big_n))
+            else:
+                scaled.append(extent)
+        shapes[name] = tuple(scaled)
+    return shapes

@@ -1,0 +1,123 @@
+"""Integer lattice tests: HNF and integer solvability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import Matrix
+from repro.linalg.lattice import (
+    annihilator_rows,
+    hermite_normal_form,
+    integer_solvable,
+    integer_solve,
+)
+
+def mat(*rows):
+    return Matrix(rows)
+
+class TestHNF:
+    def test_identity_fixed(self):
+        h, u = hermite_normal_form(Matrix.identity(3))
+        assert h == Matrix.identity(3)
+
+    def test_product_invariant(self):
+        m = mat([2, 4, 4], [-6, 6, 12], [10, -4, -16])
+        h, u = hermite_normal_form(m)
+        assert m.matmul(u) == h
+
+    def test_unimodular(self):
+        m = mat([2, 4], [6, 8])
+        _, u = hermite_normal_form(m)
+        # |det U| = 1 for a 2x2
+        det = u.entry(0, 0) * u.entry(1, 1) - u.entry(0, 1) * u.entry(1, 0)
+        assert abs(det) == 1
+
+    def test_rejects_fractions(self):
+        from fractions import Fraction
+        with pytest.raises(ValueError):
+            hermite_normal_form(Matrix([[Fraction(1, 2)]]))
+
+class TestIntegerSolve:
+    def test_simple(self):
+        x = integer_solve(mat([2, 0], [0, 3]), [4, 9])
+        assert x == (2, 3)
+
+    def test_gcd_obstruction(self):
+        # 2a + 4b = 3 has no integer solution
+        assert integer_solve(mat([2, 4]), [3]) is None
+
+    def test_gcd_success(self):
+        x = integer_solve(mat([2, 4]), [6])
+        assert x is not None
+        assert 2 * x[0] + 4 * x[1] == 6
+
+    def test_coupled_system(self):
+        # x + y = 1, x - y = 1 -> x=1, y=0
+        x = integer_solve(mat([1, 1], [1, -1]), [1, 1])
+        assert x == (1, 0)
+
+    def test_coupled_fractional_only(self):
+        # x + y = 1, x - y = 0 -> x = y = 1/2: rational yes, integer no
+        assert mat([1, 1], [1, -1]).solve([1, 0])
+        assert integer_solve(mat([1, 1], [1, -1]), [1, 0]) is None
+
+    def test_inconsistent(self):
+        assert integer_solve(mat([1, 1], [1, 1]), [1, 2]) is None
+
+    def test_rational_matrix_scaled(self):
+        from fractions import Fraction
+        m = Matrix([[Fraction(1, 2), 0], [0, 1]])
+        x = integer_solve(m, [Fraction(3, 2), 2])
+        assert x == (3, 2)
+
+    def test_rational_rhs_unreachable(self):
+        from fractions import Fraction
+        assert integer_solve(mat([1]), [Fraction(1, 2)]) is None
+
+    def test_zero_matrix(self):
+        assert integer_solve(Matrix.zero(2, 2), [0, 0]) == (0, 0)
+        assert integer_solve(Matrix.zero(2, 2), [1, 0]) is None
+
+class TestAnnihilator:
+    def test_full_space_annihilator_empty(self):
+        from repro.linalg import VectorSpace
+        rows = annihilator_rows(VectorSpace.full(2).basis, 2)
+        assert rows.nrows == 0
+
+    def test_zero_space_annihilator_full(self):
+        rows = annihilator_rows((), 3)
+        assert rows == Matrix.identity(3)
+
+    def test_axis_span(self):
+        from repro.linalg import VectorSpace
+        space = VectorSpace.spanned_by_axes([1], 3)
+        rows = annihilator_rows(space.basis, 3)
+        # annihilator of e_1 span: everything orthogonal to e_1
+        for basis_vec in space.basis:
+            for row in rows.rows:
+                dot = sum(a * b for a, b in zip(row, basis_vec))
+                assert dot == 0
+
+small = st.integers(-6, 6)
+
+@st.composite
+def int_matrices(draw):
+    nrows = draw(st.integers(1, 3))
+    ncols = draw(st.integers(1, 3))
+    return Matrix([[draw(small) for _ in range(ncols)]
+                   for _ in range(nrows)])
+
+@settings(max_examples=60, deadline=None)
+@given(int_matrices())
+def test_hnf_product_property(m):
+    h, u = hermite_normal_form(m)
+    assert m.matmul(u) == h
+
+@settings(max_examples=60, deadline=None)
+@given(int_matrices(), st.data())
+def test_integer_solve_recovers_known_solution(m, data):
+    x = [data.draw(small) for _ in range(m.ncols)]
+    rhs = m.matvec(x)
+    found = integer_solve(m, rhs)
+    assert found is not None
+    assert m.matvec(found) == rhs

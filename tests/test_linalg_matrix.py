@@ -1,0 +1,142 @@
+"""Unit and property tests for the exact rational matrix type."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import Matrix
+
+def mat(*rows):
+    return Matrix(rows)
+
+class TestConstruction:
+    def test_rows_are_fractions(self):
+        m = mat([1, 2], [3, 4])
+        assert m.entry(0, 1) == Fraction(2)
+        assert isinstance(m.entry(0, 1), Fraction)
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2], [3]])
+
+    def test_empty_needs_ncols(self):
+        with pytest.raises(ValueError):
+            Matrix([])
+        assert Matrix([], ncols=3).nrows == 0
+
+    def test_identity(self):
+        eye = Matrix.identity(3)
+        assert eye.matvec([5, 6, 7]) == (5, 6, 7)
+
+    def test_from_columns_round_trip(self):
+        m = Matrix.from_columns([[1, 2], [3, 4], [5, 6]])
+        assert m.nrows == 2 and m.ncols == 3
+        assert m.column(2) == (5, 6)
+
+    def test_immutable(self):
+        m = mat([1])
+        with pytest.raises(AttributeError):
+            m.nrows = 7
+
+class TestArithmetic:
+    def test_matvec(self):
+        m = mat([1, 2], [0, 1])
+        assert m.matvec([3, 4]) == (11, 4)
+
+    def test_matvec_length_check(self):
+        with pytest.raises(ValueError):
+            mat([1, 2]).matvec([1])
+
+    def test_matmul(self):
+        a = mat([1, 2], [3, 4])
+        b = mat([0, 1], [1, 0])
+        assert a.matmul(b) == mat([2, 1], [4, 3])
+
+    def test_transpose(self):
+        assert mat([1, 2, 3]).transpose() == mat([1], [2], [3])
+
+    def test_stack(self):
+        assert mat([1, 2]).stack(mat([3, 4])) == mat([1, 2], [3, 4])
+
+    def test_with_zero_row(self):
+        m = mat([1, 2], [3, 4]).with_zero_row(0)
+        assert m == mat([0, 0], [3, 4])
+
+class TestElimination:
+    def test_rank_full(self):
+        assert mat([1, 0], [0, 1]).rank() == 2
+
+    def test_rank_deficient(self):
+        assert mat([1, 2], [2, 4]).rank() == 1
+
+    def test_nullspace_of_identity_is_empty(self):
+        assert Matrix.identity(4).nullspace() == ()
+
+    def test_nullspace_dimension(self):
+        m = mat([1, 1, 0], [0, 0, 1])
+        basis = m.nullspace()
+        assert len(basis) == 1
+        for vec in basis:
+            assert m.matvec(vec) == (0, 0)
+
+    def test_nullspace_of_zero_matrix_is_full(self):
+        assert len(Matrix.zero(2, 3).nullspace()) == 3
+
+class TestSolve:
+    def test_unique_solution(self):
+        sol = mat([2, 0], [0, 3]).solve([4, 9])
+        assert sol and sol.is_unique()
+        assert sol.particular == (2, 3)
+
+    def test_inconsistent(self):
+        sol = mat([1, 1], [1, 1]).solve([1, 2])
+        assert not sol
+
+    def test_underdetermined(self):
+        sol = mat([1, 1]).solve([3])
+        assert sol and not sol.is_unique()
+        assert len(sol.homogeneous) == 1
+
+    def test_rhs_length_check(self):
+        with pytest.raises(ValueError):
+            mat([1, 2]).solve([1, 2])
+
+    def test_rational_solution(self):
+        sol = mat([3]).solve([1])
+        assert sol.particular == (Fraction(1, 3),)
+
+small_ints = st.integers(min_value=-5, max_value=5)
+
+@st.composite
+def matrices(draw, max_dim=4):
+    nrows = draw(st.integers(1, max_dim))
+    ncols = draw(st.integers(1, max_dim))
+    rows = [[draw(small_ints) for _ in range(ncols)] for _ in range(nrows)]
+    return Matrix(rows)
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_nullspace_vectors_are_in_kernel(m):
+    for vec in m.nullspace():
+        assert all(x == 0 for x in m.matvec(vec))
+
+@settings(max_examples=60, deadline=None)
+@given(matrices())
+def test_rank_nullity(m):
+    assert m.rank() + len(m.nullspace()) == m.ncols
+
+@settings(max_examples=60, deadline=None)
+@given(matrices(), st.data())
+def test_solve_recovers_consistent_rhs(m, data):
+    x = [data.draw(small_ints) for _ in range(m.ncols)]
+    rhs = m.matvec(x)
+    sol = m.solve(rhs)
+    assert sol
+    assert m.matvec(sol.particular) == rhs
+
+@settings(max_examples=40, deadline=None)
+@given(matrices())
+def test_double_transpose_identity(m):
+    assert m.transpose().transpose() == m

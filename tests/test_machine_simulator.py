@@ -1,0 +1,174 @@
+"""Cache simulator and trace-driven loop simulator tests."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.builder import NestBuilder
+from repro.machine import MachineModel, dec_alpha, hp_pa_risc
+from repro.machine.cache import CacheSimulator
+from repro.machine.simulator import simulate
+
+class TestCacheSimulator:
+    def test_cold_miss_then_hit(self):
+        cache = CacheSimulator(64, 4, 1)
+        assert not cache.access(0)
+        assert cache.access(1)  # same line
+        assert cache.access(3)
+        assert not cache.access(4)  # next line
+
+    def test_direct_mapped_conflict(self):
+        cache = CacheSimulator(16, 4, 1)  # 4 sets
+        assert not cache.access(0)
+        assert not cache.access(16)  # maps to the same set, evicts
+        assert not cache.access(0)  # and is evicted in turn
+
+    def test_associativity_resolves_conflict(self):
+        cache = CacheSimulator(32, 4, 2)  # same 4 sets, 2-way
+        cache.access(0)
+        cache.access(16)
+        assert cache.access(0)
+        assert cache.access(16)
+
+    def test_lru_order(self):
+        cache = CacheSimulator(32, 4, 2)
+        cache.access(0)
+        cache.access(16)
+        cache.access(0)  # 16 is now LRU
+        cache.access(32)  # evicts 16
+        assert cache.access(0)
+        assert not cache.access(16)
+
+    def test_capacity_eviction(self):
+        cache = CacheSimulator(16, 4, 1)
+        for line in range(8):
+            cache.access(line * 4)
+        assert cache.misses == 8
+        assert not cache.access(0)
+
+    def test_counters_and_flush(self):
+        cache = CacheSimulator(16, 4, 1)
+        cache.access(0)
+        cache.access(0)
+        assert cache.accesses == 2 and cache.hits == 1
+        assert cache.miss_rate() == 0.5
+        cache.flush()
+        assert cache.accesses == 0
+        assert not cache.access(0)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheSimulator(15, 4, 1)
+
+def streaming_nest():
+    b = NestBuilder("stream")
+    I = b.loop("I", 0, "N")
+    b.assign(b.ref("A", I), b.ref("B", I) * 2.0)
+    return b.build()
+
+def small_machine(**overrides) -> MachineModel:
+    params = dict(name="tiny", mem_issue=Fraction(1), fp_issue=Fraction(1),
+                  registers=16, cache_size_words=64, cache_line_words=4,
+                  cache_assoc=1, miss_penalty=10)
+    params.update(overrides)
+    return MachineModel(**params)
+
+class TestSimulator:
+    def test_iteration_count(self):
+        res = simulate(streaming_nest(), small_machine(), {"N": 99},
+                       {"A": (104,), "B": (104,)})
+        assert res.iterations == 100
+
+    def test_streaming_miss_rate_is_one_per_line(self):
+        res = simulate(streaming_nest(), small_machine(), {"N": 99},
+                       {"A": (104,), "B": (104,)})
+        # two streams, one miss per 4-word line each
+        assert res.cache_misses == pytest.approx(2 * 100 / 4, abs=2)
+
+    def test_cycles_include_miss_penalty(self):
+        m = small_machine()
+        res = simulate(streaming_nest(), m, {"N": 99},
+                       {"A": (104,), "B": (104,)})
+        no_penalty = simulate(streaming_nest(), small_machine(miss_penalty=0),
+                              {"N": 99}, {"A": (104,), "B": (104,)})
+        assert res.cycles == no_penalty.cycles + 10 * res.cache_misses
+
+    def test_prefetch_hides_misses(self):
+        misses = simulate(streaming_nest(), small_machine(), {"N": 99},
+                          {"A": (104,), "B": (104,)})
+        hidden = simulate(streaming_nest(),
+                          small_machine(prefetch_bandwidth=Fraction(2)),
+                          {"N": 99}, {"A": (104,), "B": (104,)})
+        assert hidden.cycles < misses.cycles
+
+    def test_unrolled_iteration_decomposition(self):
+        """7 outer iterations at unroll 2 (step 3): 2 jammed blocks + 1
+        epilogue iteration, inner loop intact."""
+        b = NestBuilder("u")
+        I, J = b.loops(("I", 0, 6), ("J", 0, 4))
+        b.assign(b.ref("A", I, J), b.ref("A", I, J) + 1.0)
+        res = simulate(b.build(), small_machine(), {}, {"A": (10, 10)},
+                       unroll=(2, 0))
+        assert res.iterations == 2 * 5 + 1 * 5
+        assert res.flops == 7 * 5
+
+    def test_unroll_preserves_total_flops(self):
+        b = NestBuilder("mm")
+        J, I, K = b.loops(("J", 0, 10), ("I", 0, 10), ("K", 0, 10))
+        b.assign(b.ref("C", I, J),
+                 b.ref("C", I, J) + b.ref("A", I, K) * b.ref("B", K, J))
+        base = simulate(b.build(), small_machine(), {}, {
+            "A": (16, 16), "B": (16, 16), "C": (16, 16)})
+        for u in [(1, 0, 0), (2, 3, 0), (4, 1, 0)]:
+            unrolled = simulate(b.build(), small_machine(), {}, {
+                "A": (16, 16), "B": (16, 16), "C": (16, 16)}, unroll=u)
+            assert unrolled.flops == base.flops
+
+    def test_scalar_replacement_reduces_ops(self):
+        b = NestBuilder("reuse")
+        I = b.loop("I", 1, 63)
+        b.assign(b.ref("C", I), b.ref("A", I) + b.ref("A", I - 1))
+        with_sr = simulate(b.build(), small_machine(), {},
+                           {"A": (70,), "C": (70,)})
+        without = simulate(b.build(), small_machine(), {},
+                           {"A": (70,), "C": (70,)}, scalar_replace=False)
+        assert with_sr.memory_ops < without.memory_ops
+
+    def test_spill_penalty_applied(self):
+        """Unrolling far beyond the register file must cost spill traffic."""
+        b = NestBuilder("pressure")
+        I, J = b.loops(("I", 0, 20), ("J", 0, 20))
+        b.assign(b.ref("A", J), b.ref("A", J) + b.ref("B", I, J))
+        tiny = small_machine(registers=2)
+        res = simulate(b.build(), tiny, {}, {"A": (32,), "B": (32, 32)},
+                       unroll=(6, 0))
+        assert res.spill_ops > 0
+
+    def test_rejects_bad_unroll(self):
+        with pytest.raises(ValueError):
+            simulate(streaming_nest(), small_machine(), {"N": 3},
+                     {"A": (8,), "B": (8,)}, unroll=(1,))
+
+    def test_determinism(self):
+        a = simulate(streaming_nest(), small_machine(), {"N": 49},
+                     {"A": (54,), "B": (54,)})
+        b2 = simulate(streaming_nest(), small_machine(), {"N": 49},
+                      {"A": (54,), "B": (54,)})
+        assert a == b2
+
+    def test_normalization(self):
+        base = simulate(streaming_nest(), small_machine(), {"N": 99},
+                        {"A": (104,), "B": (104,)})
+        assert base.normalized_to(base) == 1.0
+
+class TestMachineContrast:
+    def test_alpha_pays_more_for_misses_than_pa(self):
+        """The Figure 8 vs 9 contrast at the simulator level: a working set
+        that thrashes the Alpha's cache fits comfortably in the PA's."""
+        b = NestBuilder("col")
+        J, I = b.loops(("J", 0, 63), ("I", 0, 63))
+        b.assign(b.ref("A", I, J), b.ref("A", I, J) + 1.0)
+        shapes = {"A": (70, 70)}
+        alpha = simulate(b.build(), dec_alpha(), {}, shapes)
+        pa = simulate(b.build(), hp_pa_risc(), {}, shapes)
+        assert alpha.cycles > pa.cycles

@@ -1,0 +1,67 @@
+"""Array-padding pass: suggestions and their simulated effect."""
+
+from repro.ir.builder import NestBuilder
+from repro.machine import dec_alpha
+from repro.machine.padding import (
+    apply_padding,
+    format_suggestions,
+    pad_leading_dimension,
+    suggest_padding,
+)
+from repro.machine.simulator import simulate
+
+def row_reuse_nest():
+    """Walks a row (fixed I, all J) then revisits it at the next I: column
+    stride decides whether the row survives in cache."""
+    b = NestBuilder("rows")
+    I, J = b.loops(("I", 1, 62), ("J", 0, 63))
+    b.assign(b.ref("A", I, J),
+             b.ref("B", I, J) + b.ref("B", I - 1, J))
+    return b.build()
+
+class TestSuggestions:
+    def test_power_of_two_extent_flagged(self):
+        machine = dec_alpha()  # 1024 words, 4-word lines, direct mapped
+        suggestions = suggest_padding({"A": (128, 64)}, machine)
+        s = suggestions[0]
+        assert s.changed
+        assert s.set_coverage_after > s.set_coverage_before
+        assert s.padded[0] % 4 == 0
+        assert (s.padded[0] // 4) % 2 == 1
+
+    def test_odd_line_extent_kept(self):
+        machine = dec_alpha()
+        suggestions = suggest_padding({"A": (132, 64)}, machine)
+        assert not suggestions[0].changed
+
+    def test_1d_arrays_untouched(self):
+        machine = dec_alpha()
+        suggestions = suggest_padding({"V": (1024,)}, machine)
+        assert not suggestions[0].changed
+
+    def test_pad_leading_dimension_minimal(self):
+        machine = dec_alpha()
+        assert pad_leading_dimension(128, machine) == 132
+        assert pad_leading_dimension(129, machine) == 132
+        assert pad_leading_dimension(132, machine) == 132
+
+    def test_format(self):
+        machine = dec_alpha()
+        text = format_suggestions(suggest_padding(
+            {"A": (128, 64), "V": (7,)}, machine))
+        assert "->" in text and "ok" in text
+
+class TestSimulatedEffect:
+    def test_padding_removes_conflict_misses(self):
+        """With a 128-word column stride on the 256-set Alpha cache, the
+        B row needed at I+1 was evicted by set conflicts; padding to 132
+        makes it survive."""
+        nest = row_reuse_nest()
+        machine = dec_alpha()
+        conflicted = {"A": (128, 64), "B": (128, 64)}
+        padded = apply_padding(conflicted, machine)
+        assert padded["B"][0] == 132
+        bad = simulate(nest, machine, {}, conflicted)
+        good = simulate(nest, machine, {}, padded)
+        assert good.cache_misses < bad.cache_misses * 0.8
+        assert good.cycles < bad.cycles

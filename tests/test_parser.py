@@ -1,0 +1,149 @@
+"""Parser tests including printer round-trips over the whole kernel suite."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.builder import NestBuilder
+from repro.ir.nodes import ArrayRef, BinOp, Call, Const, ScalarVar
+from repro.ir.parser import ParseError, parse_nest
+from repro.ir.printer import format_nest
+from repro.kernels import all_kernels
+
+class TestBasicParsing:
+    def test_simple_nest(self):
+        nest = parse_nest("""
+            ! a comment
+            DO I = 1, N
+              DO J = 0, M
+                A(I, J) = B(I, J-1) + 2
+              ENDDO
+            ENDDO
+        """)
+        assert nest.index_names == ("I", "J")
+        assert nest.description == "a comment"
+        assert nest.loops[0].upper.param_coeffs == (("N", 1),)
+        stmt = nest.body[0]
+        assert isinstance(stmt.lhs, ArrayRef)
+        assert stmt.lhs.subscripts[0].coeff("I") == 1
+        read = stmt.rhs.left
+        assert read.subscripts[1].const == -1
+
+    def test_strided_subscripts(self):
+        nest = parse_nest("""
+            DO I = 0, N
+              A(2*I+1) = B(3*I - 2)
+            ENDDO
+        """)
+        assert nest.body[0].lhs.subscripts[0].coeff("I") == 2
+        assert nest.body[0].lhs.subscripts[0].const == 1
+        assert nest.body[0].rhs.subscripts[0].coeff("I") == 3
+        assert nest.body[0].rhs.subscripts[0].const == -2
+
+    def test_param_subscript(self):
+        nest = parse_nest("""
+            DO I = 0, N
+              A(I + N) = B(I)
+            ENDDO
+        """)
+        assert nest.body[0].lhs.subscripts[0].param_coeffs == (("N", 1),)
+
+    def test_step_and_scalar_statement(self):
+        nest = parse_nest("""
+            DO I = 0, 20, 2
+              t = B(I) * alpha
+              A(I) = t + t
+            ENDDO
+        """)
+        assert nest.loops[0].step == 2
+        assert isinstance(nest.body[0].lhs, ScalarVar)
+        assert nest.scalar_temporaries() == ("t",)
+
+    def test_intrinsic_call(self):
+        nest = parse_nest("""
+            DO I = 0, 9
+              A(I) = sqrt(B(I)) + abs(C(I))
+            ENDDO
+        """)
+        call = nest.body[0].rhs.left
+        assert isinstance(call, Call) and call.func == "sqrt"
+
+    def test_unary_minus_and_parens(self):
+        nest = parse_nest("""
+            DO I = 0, 9
+              A(I) = -(B(I) - 1) * 0.5
+            ENDDO
+        """)
+        assert isinstance(nest.body[0].rhs, BinOp)
+
+    def test_negative_bounds(self):
+        nest = parse_nest("""
+            DO I = -3, N-1
+              A(I) = 0
+            ENDDO
+        """)
+        assert nest.loops[0].lower.const == -3
+        assert nest.loops[0].upper.const == -1
+
+class TestErrors:
+    @pytest.mark.parametrize("source,fragment", [
+        ("", "empty"),
+        ("DO I = 0, N\nENDDO", "no statements"),
+        ("DO I = 0, N\n A(I) = 1\n", "unclosed"),
+        ("A(I) = 1", "outside loops"),
+        ("DO I = 0, N\n A(I) = 1\nENDDO\nENDDO", "unmatched"),
+        ("DO I = 0, N\n A(I) = 1\n DO J = 0, N\n  B(J) = 1\n ENDDO\nENDDO",
+         "perfect"),
+        ("DO I = 0, J\n A(I) = 1\nENDDO", ""),  # J unknown: becomes param, ok
+        ("DO I = 0, N\n A(I = 1\nENDDO", "expected"),
+        ("DO I = 0, N\n A(I) = 1 1\nENDDO", "trailing"),
+        ("DO I = 0, N\n sqrt(I) = 1\nENDDO", "assign"),
+    ])
+    def test_error_cases(self, source, fragment):
+        if fragment == "":
+            parse_nest(source)  # legal corner case
+            return
+        with pytest.raises(ParseError) as err:
+            parse_nest(source)
+        assert fragment.lower() in str(err.value).lower()
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+    def test_kernel_round_trip(self, kernel):
+        text = format_nest(kernel.nest)
+        reparsed = parse_nest(text, name=kernel.nest.name)
+        assert reparsed.loops == kernel.nest.loops
+        assert reparsed.body == kernel.nest.body
+
+    def test_unrolled_nest_round_trip(self):
+        from repro.unroll.transform import unroll_and_jam
+        nest = all_kernels()[0].nest
+        main = unroll_and_jam(nest, (2, 0)).main
+        reparsed = parse_nest(format_nest(main))
+        assert reparsed.loops == main.loops
+        assert reparsed.body == main.body
+
+@st.composite
+def printable_nest(draw):
+    b = NestBuilder("rt")
+    I, J = b.loops(("I", draw(st.integers(-2, 2)), "N"),
+                   ("J", 0, draw(st.sampled_from(["N", "M", 7]))))
+    terms = []
+    for _ in range(draw(st.integers(1, 3))):
+        arr = draw(st.sampled_from(["A", "B"]))
+        c = draw(st.sampled_from([1, 2, -1]))
+        o = draw(st.integers(-3, 3))
+        terms.append(b.ref(arr, c * I + o, J + draw(st.integers(-2, 2))))
+    rhs = terms[0]
+    for t in terms[1:]:
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        rhs = {"+": rhs + t, "-": rhs - t, "*": rhs * t}[op]
+    b.assign(b.ref("OUT", I, J), rhs * draw(st.sampled_from([0.5, 2.0, 1.0])))
+    return b.build()
+
+@settings(max_examples=40, deadline=None)
+@given(printable_nest())
+def test_random_round_trip(nest):
+    reparsed = parse_nest(format_nest(nest), name=nest.name)
+    assert reparsed.loops == nest.loops
+    assert reparsed.body == nest.body

@@ -1,0 +1,133 @@
+"""Direct tests for the printer, the validator and the report module."""
+
+import pytest
+
+from repro.ir.builder import NestBuilder
+from repro.ir.nodes import ArrayRef, BinOp, Call, Const, ScalarVar, Subscript
+from repro.ir.printer import format_expr, format_nest
+from repro.ir.validate import (
+    ValidationError,
+    check_separable,
+    check_siv,
+    is_siv_separable,
+    validate_nest,
+)
+from repro.machine import dec_alpha
+from repro.unroll.report import optimization_report, reuse_summary
+
+class TestPrinter:
+    def test_precedence_parentheses(self):
+        # (a + b) * c needs parens; a + b * c does not
+        a, b, c = (ScalarVar(x) for x in "abc")
+        assert format_expr(BinOp("*", BinOp("+", a, b), c)) == "(a + b) * c"
+        assert format_expr(BinOp("+", a, BinOp("*", b, c))) == "a + b * c"
+
+    def test_right_associative_subtraction(self):
+        a, b, c = (ScalarVar(x) for x in "abc")
+        assert format_expr(BinOp("-", a, BinOp("-", b, c))) == "a - (b - c)"
+
+    def test_division_grouping(self):
+        a, b, c = (ScalarVar(x) for x in "abc")
+        assert format_expr(BinOp("/", a, BinOp("*", b, c))) == "a / (b * c)"
+
+    def test_integral_constants_printed_clean(self):
+        assert format_expr(Const(2.0)) == "2"
+        assert format_expr(Const(0.25)) == "0.25"
+
+    def test_call_formatting(self):
+        expr = Call("sqrt", (ScalarVar("x"),))
+        assert format_expr(expr) == "sqrt(x)"
+
+    def test_nest_structure(self):
+        b = NestBuilder("t", "demo")
+        I = b.loop("I", 1, "N")
+        b.assign(b.ref("A", I), b.ref("A", I) + 1.0)
+        text = format_nest(b.build())
+        lines = text.splitlines()
+        assert lines[0] == "! demo"
+        assert lines[1] == "DO I = 1, N"
+        assert lines[-1] == "ENDDO"
+
+    def test_step_printed(self):
+        from repro.unroll.transform import unroll_and_jam
+
+        b = NestBuilder("t")
+        I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+        b.assign(b.ref("A", I, J), 1.0)
+        main = unroll_and_jam(b.build(), (3, 0)).main
+        assert "DO I = 0, N, 4" in format_nest(main)
+
+class TestValidate:
+    def test_valid_nest_passes(self):
+        b = NestBuilder("ok")
+        I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+        b.assign(b.ref("A", I, J), b.ref("B", J, I) + 1.0)
+        validate_nest(b.build())
+
+    def test_miv_subscript_flagged(self):
+        ref = ArrayRef("A", (Subscript.of({"I": 1, "J": 1}),))
+        problems = check_siv(ref)
+        assert problems and "SIV" in problems[0]
+
+    def test_non_separable_flagged(self):
+        ref = ArrayRef("A", (Subscript.of({"I": 1}), Subscript.of({"I": 1})))
+        problems = check_separable(ref)
+        assert problems and "not separable" in problems[0]
+
+    def test_unknown_index_rejected(self):
+        b = NestBuilder("bad")
+        I = b.loop("I", 0, "N")
+        b.assign(b.ref("A", I), 1.0)
+        nest = b.build()
+        from repro.ir.nodes import LoopNest, Statement
+
+        rogue = Statement(ArrayRef("A", (Subscript.of({"Z": 1}),)),
+                          Const(1.0))
+        broken = LoopNest(nest.name, nest.loops, (rogue,))
+        with pytest.raises(ValidationError):
+            validate_nest(broken)
+
+    def test_inconsistent_rank_rejected(self):
+        b = NestBuilder("rank")
+        I = b.loop("I", 0, "N")
+        b.assign(b.ref("A", I), b.ref("A", I, I) + 1.0)
+        with pytest.raises(ValidationError):
+            validate_nest(b.build(), require_siv=False)
+
+    def test_is_siv_separable_predicate(self):
+        b = NestBuilder("afold")
+        I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+        b.assign(b.ref("A", I), b.ref("A", I) + b.ref("B", I + J))
+        assert not is_siv_separable(b.build())
+
+    def test_duplicate_indices_rejected(self):
+        from repro.ir.nodes import Bound, Loop, LoopNest, Statement
+
+        loops = (Loop("I", Bound(0), Bound(5)), Loop("I", Bound(0), Bound(5)))
+        body = (Statement(ArrayRef("A", (Subscript.of({"I": 1}),)),
+                          Const(1.0)),)
+        with pytest.raises(ValidationError):
+            validate_nest(LoopNest("dup", loops, body))
+
+class TestReport:
+    def test_reuse_summary_lists_sets(self):
+        from repro.kernels.suite import jacobi
+
+        text = reuse_summary(jacobi(12).nest)
+        assert "UGS[B" in text and "g_T=" in text
+
+    def test_optimization_report_sections(self):
+        from repro.kernels.suite import dmxpy1
+
+        text = optimization_report(dmxpy1(24).nest, dec_alpha(), bound=3)
+        for marker in ("unroll-and-jam report", "machine balance",
+                       "chosen unroll vector", "scheduled body",
+                       "transformed"):
+            assert marker in text, marker
+
+    def test_quiet_report_omits_code(self):
+        from repro.kernels.suite import dmxpy1
+
+        text = optimization_report(dmxpy1(24).nest, dec_alpha(), bound=3,
+                                   show_code=False)
+        assert "DO " not in text

@@ -1,0 +1,51 @@
+"""End-to-end property: for random nests, any unroll vector the safety
+analysis admits preserves program semantics under the interpreter."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.builder import NestBuilder
+from repro.ir.interp import run_nest, run_unrolled
+from repro.unroll.safety import safe_unroll_bounds
+
+@st.composite
+def nest_with_unroll(draw):
+    """A random 2-deep nest plus an unroll vector inside its safety box."""
+    b = NestBuilder("rand")
+    I, J = b.loops(("I", 3, 14), ("J", 3, 14))
+    n_stmts = draw(st.integers(1, 2))
+    for _ in range(n_stmts):
+        terms = []
+        for _ in range(draw(st.integers(1, 3))):
+            arr = draw(st.sampled_from(["A", "B"]))
+            o1 = draw(st.integers(-3, 3))
+            o2 = draw(st.integers(-3, 3))
+            terms.append(b.ref(arr, I + o1, J + o2))
+        rhs = terms[0]
+        for t in terms[1:]:
+            rhs = rhs + t
+        # writes may collide with reads: this is where safety bites
+        warr = draw(st.sampled_from(["A", "C"]))
+        w1 = draw(st.integers(-2, 2))
+        w2 = draw(st.integers(-2, 2))
+        b.assign(b.ref(warr, I + w1, J + w2), rhs * 0.5)
+    nest = b.build()
+    bounds = safe_unroll_bounds(nest)
+    max_u = min(bounds[0], 4)
+    u0 = draw(st.integers(0, max_u)) if max_u > 0 else 0
+    return nest, (u0, 0)
+
+@settings(max_examples=40, deadline=None)
+@given(nest_with_unroll())
+def test_safe_unroll_preserves_semantics(case):
+    nest, u = case
+    rng = np.random.default_rng(0)
+    base = {name: rng.standard_normal((22, 22))
+            for name in ("A", "B", "C")}
+    expected = {k: v.copy() for k, v in base.items()}
+    actual = {k: v.copy() for k, v in base.items()}
+    run_nest(nest, {}, expected)
+    run_unrolled(nest, u, {}, actual)
+    for name in base:
+        assert np.array_equal(expected[name], actual[name]), (name, u)

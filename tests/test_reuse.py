@@ -1,0 +1,191 @@
+"""Tests for the Wolf-Lam reuse model: UGS partitioning, self/group reuse,
+and the Equation-1 cost model, replaying the paper's own examples."""
+
+from fractions import Fraction
+
+from repro.ir.builder import NestBuilder
+from repro.linalg import VectorSpace
+from repro.reuse import (
+    group_spatial_partition,
+    group_temporal_partition,
+    innermost_localized_space,
+    nest_memory_cost,
+    partition_ugs,
+    self_spatial_space,
+    self_temporal_space,
+    ugs_memory_cost,
+)
+from repro.reuse.locality import loop_locality_scores
+from repro.reuse.selfreuse import has_self_spatial, has_self_temporal
+
+def paper_ugs_example():
+    """The section-3.4 loop: A(I,J) + A(I,J+1) + A(I,J+2), I outer."""
+    b = NestBuilder("wolf_lam")
+    I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+    b.assign(b.ref("B", I, J),
+             b.ref("A", I, J) + b.ref("A", I, J + 1) + b.ref("A", I, J + 2))
+    return b.build()
+
+def intro_example():
+    """DO J / DO I: A(J) = A(J) + B(I)."""
+    b = NestBuilder("intro")
+    J, I = b.loops(("J", 1, "N"), ("I", 1, "M"))
+    b.assign(b.ref("A", J), b.ref("A", J) + b.ref("B", I))
+    return b.build()
+
+class TestUGSPartition:
+    def test_same_h_same_set(self):
+        sets = partition_ugs(paper_ugs_example())
+        by_array = {s.array: s for s in sets}
+        assert by_array["A"].size == 3
+        assert by_array["B"].size == 1
+
+    def test_members_sorted_lexicographically(self):
+        sets = partition_ugs(paper_ugs_example())
+        a_set = next(s for s in sets if s.array == "A")
+        consts = a_set.constants()
+        assert consts == sorted(consts) == [(0, 0), (0, 1), (0, 2)]
+
+    def test_different_h_different_sets(self):
+        b = NestBuilder("transposed")
+        I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+        b.assign(b.ref("C", I, J), b.ref("A", I, J) + b.ref("A", J, I))
+        sets = [s for s in partition_ugs(b.build()) if s.array == "A"]
+        assert len(sets) == 2
+
+    def test_symbolic_offset_split(self):
+        b = NestBuilder("sym")
+        I = b.loop("I", 1, "N")
+        b.assign(b.ref("C", I), b.ref("A", I) + b.ref("A", I + "N"))
+        sets = [s for s in partition_ugs(b.build()) if s.array == "A"]
+        assert len(sets) == 2
+
+    def test_intro_sets(self):
+        sets = partition_ugs(intro_example())
+        # A(J) read+write together; B(I) alone.
+        sizes = {s.array: s.size for s in sets}
+        assert sizes == {"A": 2, "B": 1}
+
+class TestSelfReuse:
+    def test_loop_invariant_is_self_temporal(self):
+        nest = intro_example()
+        a_set = next(s for s in partition_ugs(nest) if s.array == "A")
+        # A(J) with innermost loop I localized: ker H = span(e_I).
+        localized = innermost_localized_space(nest)
+        assert has_self_temporal(a_set.matrix, localized)
+
+    def test_b_has_no_self_temporal_but_spatial(self):
+        nest = intro_example()
+        b_set = next(s for s in partition_ugs(nest) if s.array == "B")
+        localized = innermost_localized_space(nest)
+        assert not has_self_temporal(b_set.matrix, localized)
+        # B(I) walks the contiguous dimension with I: spatial reuse.
+        assert has_self_spatial(b_set.matrix, localized)
+
+    def test_column_walk_is_not_spatial(self):
+        # A(I,J) with J innermost strides by the column length: no spatial.
+        nest = paper_ugs_example()
+        a_set = next(s for s in partition_ugs(nest) if s.array == "A")
+        localized = innermost_localized_space(nest)
+        assert not has_self_spatial(a_set.matrix, localized)
+
+    def test_spaces_nest(self):
+        nest = paper_ugs_example()
+        a_set = next(s for s in partition_ugs(nest) if s.array == "A")
+        rst = self_temporal_space(a_set.matrix)
+        rss = self_spatial_space(a_set.matrix)
+        assert rst.dim == 0
+        assert rss.dim == 1  # first dimension dropped frees the I axis
+
+class TestGroupReuse:
+    def test_paper_example_single_gts(self):
+        """A(I,J), A(I,J+1), A(I,J+2) with J localized: one GTS."""
+        nest = paper_ugs_example()
+        a_set = next(s for s in partition_ugs(nest) if s.array == "A")
+        localized = innermost_localized_space(nest)
+        gts = group_temporal_partition(a_set, localized)
+        assert len(gts) == 1
+        assert len(gts[0]) == 3
+
+    def test_no_group_reuse_without_localization(self):
+        nest = paper_ugs_example()
+        a_set = next(s for s in partition_ugs(nest) if s.array == "A")
+        gts = group_temporal_partition(a_set, VectorSpace.zero(2))
+        assert len(gts) == 3
+
+    def test_group_spatial_merges_first_dim_neighbours(self):
+        b = NestBuilder("rows")
+        I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+        b.assign(b.ref("C", I, J), b.ref("A", I, J) + b.ref("A", I + 1, J))
+        nest = b.build()
+        a_set = next(s for s in partition_ugs(nest) if s.array == "A")
+        localized = innermost_localized_space(nest)
+        assert len(group_temporal_partition(a_set, localized)) == 2
+        assert len(group_spatial_partition(a_set, localized, line_size=4)) == 1
+
+    def test_line_size_cap(self):
+        b = NestBuilder("far")
+        I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+        b.assign(b.ref("C", I, J), b.ref("A", I, J) + b.ref("A", I + 9, J))
+        nest = b.build()
+        a_set = next(s for s in partition_ugs(nest) if s.array == "A")
+        localized = innermost_localized_space(nest)
+        assert len(group_spatial_partition(a_set, localized, line_size=4)) == 2
+        assert len(group_spatial_partition(a_set, localized, line_size=None)) == 1
+
+class TestEquationOne:
+    def test_single_stream_no_locality(self):
+        """A(I,J) with J innermost (column walk): full cost 1."""
+        nest = paper_ugs_example()
+        a_set = next(s for s in partition_ugs(nest) if s.array == "A")
+        summary = ugs_memory_cost(a_set, innermost_localized_space(nest),
+                                  line_size=4)
+        # one GTS, one GSS, no self reuse: cost = 1
+        assert summary.g_t == 1 and summary.g_s == 1
+        assert summary.cost == 1
+
+    def test_self_spatial_stream(self):
+        nest = intro_example()
+        b_set = next(s for s in partition_ugs(nest) if s.array == "B")
+        summary = ugs_memory_cost(b_set, innermost_localized_space(nest),
+                                  line_size=4)
+        assert summary.cost == Fraction(1, 4)
+
+    def test_self_temporal_stream_negligible(self):
+        nest = intro_example()
+        a_set = next(s for s in partition_ugs(nest) if s.array == "A")
+        summary = ugs_memory_cost(a_set, innermost_localized_space(nest),
+                                  line_size=4, trip=100)
+        assert summary.cost == Fraction(1, 100)
+
+    def test_group_spatial_discount(self):
+        b = NestBuilder("pair")
+        I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+        b.assign(b.ref("C", I, J), b.ref("A", I, J) + b.ref("A", I + 1, J))
+        nest = b.build()
+        a_set = next(s for s in partition_ugs(nest) if s.array == "A")
+        summary = ugs_memory_cost(a_set, innermost_localized_space(nest),
+                                  line_size=4)
+        # g_t=2, g_s=1, no self reuse: 1 + 1/4
+        assert summary.cost == Fraction(5, 4)
+
+    def test_nest_total_is_sum(self):
+        total, summaries = nest_memory_cost(intro_example(), line_size=4)
+        assert total == sum(s.cost for s in summaries)
+
+class TestLoopScores:
+    def test_intro_outer_loop_carries_reuse(self):
+        # Localizing J turns stream B(I)'s cost... B is invariant in J; A(J)
+        # is invariant in I (already localized-from innermost I).  Unrolling
+        # J benefits B(I) reuse.
+        scores = loop_locality_scores(intro_example(), line_size=4)
+        assert scores[-1] == 0  # innermost never scored
+        assert scores[0] > 0
+
+    def test_matmul_both_outer_loops_score(self):
+        b = NestBuilder("mm")
+        J, I, K = b.loops(("J", 1, "N"), ("I", 1, "N"), ("K", 1, "N"))
+        b.assign(b.ref("C", I, J),
+                 b.ref("C", I, J) + b.ref("A", I, K) * b.ref("B", K, J))
+        scores = loop_locality_scores(b.build(), line_size=4)
+        assert scores[0] > 0 and scores[1] > 0

@@ -1,0 +1,96 @@
+"""Tests for register-reuse sets and mergeable sets (Figure 4 structures),
+replaying the paper's Figure 6 example."""
+
+from repro.ir.builder import NestBuilder
+from repro.reuse.ugs import partition_ugs
+from repro.unroll.rrs import compute_mrrs, compute_rrs, flow_key
+
+def figure6_nest():
+    """A(I+1,J) = A(I,J) + ...; use of A(I,J) again: the multiple-generator
+    example of Figure 6 (reuse flows from the def across I iterations)."""
+    b = NestBuilder("fig6")
+    I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+    b.assign(b.ref("A", I + 1, J), b.ref("A", I, J) + b.ref("B", I, J))
+    b.assign(b.ref("C", I, J), b.ref("A", I, J) * 2.0)
+    return b.build()
+
+def a_ugs(nest):
+    return next(s for s in partition_ugs(nest) if s.array == "A")
+
+class TestFlowOrder:
+    def test_earlier_toucher_first(self):
+        """A(I+1,J) touches any fixed location one I-iteration before
+        A(I,J) does, so it sorts first."""
+        ugs = a_ugs(figure6_nest())
+        ordered = sorted(ugs.members, key=flow_key)
+        consts = [tuple(s.const for s in m.ref.subscripts) for m in ordered]
+        assert consts[0] == (1, 0)
+        assert consts[1:] == [(0, 0), (0, 0)]
+
+class TestComputeRRS:
+    def test_figure6_rrs_structure(self):
+        """Localized = innermost (J) only: the def A(I+1,J) cannot feed the
+        A(I,J) reads without unrolling, so they are separate RRSs; the two
+        reads share one."""
+        sets = compute_rrs(a_ugs(figure6_nest()))
+        assert len(sets) == 2
+        by_leader = {tuple(s.leader.ref.subscripts[0].const
+                           for _ in (0,)): s for s in sets}
+        def_led = next(s for s in sets if s.led_by_definition)
+        read_led = next(s for s in sets if not s.led_by_definition)
+        assert len(def_led.members) == 1
+        assert len(read_led.members) == 2
+
+    def test_def_splits_chain(self):
+        """read A(I,J); write A(I,J); read A(I,J): the write severs reuse."""
+        b = NestBuilder("split")
+        I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+        b.assign(b.scalar("t"), b.ref("A", I, J))
+        b.assign(b.ref("A", I, J), b.scalar("t") * 2.0)
+        b.assign(b.ref("C", I, J), b.ref("A", I, J) + 1.0)
+        sets = compute_rrs(a_ugs(b.build()))
+        assert len(sets) == 2
+        # first RRS: the original read; second: the def plus the re-read.
+        assert not sets[0].led_by_definition or not sets[1].led_by_definition
+
+    def test_innermost_reuse_single_rrs(self):
+        """A(I,J) and A(I,J-2): reuse across the innermost loop stays in
+        one RRS (no unrolling needed)."""
+        b = NestBuilder("inner")
+        I, J = b.loops(("I", 1, "N"), ("J", 2, "N"))
+        b.assign(b.ref("C", I, J), b.ref("A", I, J) + b.ref("A", I, J - 2))
+        sets = compute_rrs(a_ugs(b.build()))
+        assert len(sets) == 1
+        assert len(sets[0].members) == 2
+
+class TestMRRS:
+    def test_figure6_merges_def_and_reads(self):
+        """The def-led RRS opens the MRRS; the read-led RRS joins it (its
+        leader is not a definition)."""
+        sets = compute_rrs(a_ugs(figure6_nest()))
+        groups = compute_mrrs(sets)
+        assert len(groups) == 1
+        assert groups[0].superleader.is_write
+        assert groups[0].superleader.ref.subscripts[0].const == 1
+
+    def test_second_def_opens_new_mrrs(self):
+        """Two defs at different offsets: reuse cannot cross the later def,
+        so it starts its own mergeable set."""
+        b = NestBuilder("twodefs")
+        I, J = b.loops(("I", 2, "N"), ("J", 1, "N"))
+        b.assign(b.ref("A", I, J), b.ref("B", I, J) + 1.0)
+        b.assign(b.ref("A", I - 2, J), b.ref("B", I, J) * 2.0)
+        sets = compute_rrs(a_ugs(b.build()))
+        groups = compute_mrrs(sets)
+        assert len(sets) == 2
+        assert len(groups) == 2
+
+    def test_reads_only_one_mrrs(self):
+        b = NestBuilder("reads")
+        I, J = b.loops(("I", 2, "N"), ("J", 1, "N"))
+        b.assign(b.ref("C", I, J),
+                 b.ref("A", I, J) + b.ref("A", I - 1, J) + b.ref("A", I - 2, J))
+        sets = compute_rrs(a_ugs(b.build()))
+        groups = compute_mrrs(sets)
+        assert len(sets) == 3  # no reuse without unrolling (J localized)
+        assert len(groups) == 1  # but all mergeable: reads only

@@ -1,0 +1,95 @@
+"""Scalar expansion tests: semantics, privatizability, and the enabling
+effect on loop distribution."""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import NestBuilder
+from repro.ir.interp import run_nest
+from repro.transforms.distribution import distribute
+from repro.transforms.scalar_expansion import (
+    ExpansionError,
+    expand_scalars,
+    expansion_shapes,
+)
+
+def temp_nest():
+    b = NestBuilder("temp")
+    I, J = b.loops(("I", 0, 11), ("J", 0, 11))
+    b.assign(b.scalar("t"), b.ref("B", I, J) + 1.0)
+    b.assign(b.ref("A", I, J), b.scalar("t") * b.scalar("t"))
+    return b.build()
+
+class TestExpansion:
+    def test_structure(self):
+        expanded = expand_scalars(temp_nest())
+        assert expanded.scalar_temporaries() == ()
+        assert "t__exp" in expanded.array_names()
+        first = expanded.body[0]
+        assert first.lhs.array == "t__exp"
+        assert [s.loop_names() for s in first.lhs.subscripts] == \
+            [("I",), ("J",)]
+
+    def test_semantics(self):
+        nest = temp_nest()
+        expanded = expand_scalars(nest)
+        rng = np.random.default_rng(0)
+        base = {"A": np.zeros((12, 12)), "B": rng.standard_normal((12, 12))}
+        plain = {k: v.copy() for k, v in base.items()}
+        exp = {k: v.copy() for k, v in base.items()}
+        exp.update({name: np.zeros(shape)
+                    for name, shape in expansion_shapes(nest, {}).items()})
+        run_nest(nest, {}, plain)
+        run_nest(expanded, {}, exp)
+        assert np.array_equal(plain["A"], exp["A"])
+
+    def test_carried_scalar_rejected(self):
+        b = NestBuilder("carried")
+        I = b.loop("I", 0, 9)
+        b.assign(b.ref("A", I), b.scalar("t") + 1.0)  # read before write
+        b.assign(b.scalar("t"), b.ref("B", I) * 2.0)
+        with pytest.raises(ExpansionError):
+            expand_scalars(b.build())
+
+    def test_no_temps_identity(self):
+        b = NestBuilder("plain")
+        I = b.loop("I", 0, 9)
+        b.assign(b.ref("A", I), b.ref("B", I) + 1.0)
+        nest = b.build()
+        assert expand_scalars(nest) is nest
+
+    def test_only_subset(self):
+        b = NestBuilder("two")
+        I = b.loop("I", 0, 9)
+        b.assign(b.scalar("t"), b.ref("B", I) + 1.0)
+        b.assign(b.scalar("u"), b.scalar("t") * 2.0)
+        b.assign(b.ref("A", I), b.scalar("u"))
+        expanded = expand_scalars(b.build(), only={"t"})
+        assert "t__exp" in expanded.array_names()
+        assert "u" in expanded.scalar_temporaries()
+
+class TestEnablesDistribution:
+    def test_expansion_unlocks_split(self):
+        """The temporary welds the statements together; expansion frees
+        them to distribute."""
+        nest = temp_nest()
+        fused_pieces = distribute(nest)
+        assert len(fused_pieces) == 1  # the scalar keeps them together
+        expanded = expand_scalars(nest)
+        split_pieces = distribute(expanded)
+        assert len(split_pieces) == 2
+
+    def test_distributed_expanded_semantics(self):
+        nest = temp_nest()
+        expanded = expand_scalars(nest)
+        pieces = distribute(expanded)
+        rng = np.random.default_rng(1)
+        base = {"A": np.zeros((12, 12)), "B": rng.standard_normal((12, 12))}
+        plain = {k: v.copy() for k, v in base.items()}
+        dist = {k: v.copy() for k, v in base.items()}
+        dist.update({name: np.zeros(shape)
+                     for name, shape in expansion_shapes(nest, {}).items()})
+        run_nest(nest, {}, plain)
+        for piece in pieces:
+            run_nest(piece, {}, dist)
+        assert np.array_equal(plain["A"], dist["A"])

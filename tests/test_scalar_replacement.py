@@ -1,0 +1,82 @@
+"""Tests for the scalar-replacement plan."""
+
+from repro.ir.builder import NestBuilder
+from repro.ir.matrixform import occurrences
+from repro.unroll.scalar_replacement import plan_scalar_replacement
+from repro.unroll.transform import unroll_and_jam
+
+def intro_nest():
+    b = NestBuilder("intro")
+    J, I = b.loops(("J", 0, "N"), ("I", 0, "M"))
+    b.assign(b.ref("A", J), b.ref("A", J) + b.ref("B", I))
+    return b.build()
+
+class TestPlanBasics:
+    def test_intro_example_counts(self):
+        """Section 3.3: the intro loop has one memory reference after
+        scalar replacement -- 'A(J) can be held in a register'."""
+        plan = plan_scalar_replacement(intro_nest())
+        # A(J) read+write are innermost-invariant: hoisted/sunk entirely.
+        # Only B(I)'s load remains.
+        assert plan.total_references == 3
+        assert plan.memory_ops == 1
+        assert plan.removed == 2
+
+    def test_loop_invariant_refs_are_register_resident(self):
+        plan = plan_scalar_replacement(intro_nest())
+        occs = occurrences(intro_nest())
+        a_read = next(o for o in occs if o.array == "A" and not o.is_write)
+        a_write = next(o for o in occs if o.array == "A" and o.is_write)
+        b_read = next(o for o in occs if o.array == "B")
+        assert not plan.issues_memory_op(a_write.position)
+        assert not plan.issues_memory_op(a_read.position)
+        assert plan.issues_memory_op(b_read.position)
+
+    def test_duplicate_reads_collapse(self):
+        b = NestBuilder("dup")
+        I = b.loop("I", 0, "N")
+        b.assign(b.ref("C", I), b.ref("A", I) * b.ref("A", I))
+        plan = plan_scalar_replacement(b.build())
+        assert plan.memory_ops == 2  # one A load + the C store
+        assert plan.removed == 1
+
+    def test_innermost_reuse_removed(self):
+        """A(I-1) rides the value loaded (as A(I)) one iteration earlier."""
+        b = NestBuilder("lag")
+        I = b.loop("I", 1, "N")
+        b.assign(b.ref("C", I), b.ref("A", I) + b.ref("A", I - 1))
+        plan = plan_scalar_replacement(b.build())
+        assert plan.memory_ops == 2
+        assert plan.registers >= 2  # value lives one iteration: two slots
+
+    def test_cross_outer_reuse_not_removed_without_unroll(self):
+        b = NestBuilder("outer")
+        I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+        b.assign(b.ref("C", I, J), b.ref("A", I, J) + b.ref("A", I - 1, J))
+        plan = plan_scalar_replacement(b.build())
+        assert plan.memory_ops == 3  # both loads stay: reuse crosses I
+
+    def test_unrolling_enables_removal(self):
+        b = NestBuilder("outer")
+        I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+        b.assign(b.ref("C", I, J), b.ref("A", I, J) + b.ref("A", I - 1, J))
+        main = unroll_and_jam(b.build(), (1, 0)).main
+        plan = plan_scalar_replacement(main)
+        # 2 copies: loads A(I-1), A(I), A(I+1) -- A(I) shared -- + 2 stores.
+        assert plan.memory_ops == 5
+        assert plan.removed == 1
+
+    def test_stores_never_removed(self):
+        """Two stores to the same location in one iteration both survive
+        (the paper: scalar replacement does not remove definitions)."""
+        b = NestBuilder("stores")
+        I = b.loop("I", 0, "N")
+        b.assign(b.ref("A", I), b.ref("B", I) + 1.0)
+        b.assign(b.ref("A", I), b.ref("A", I) * 2.0)
+        plan = plan_scalar_replacement(b.build())
+        occs = occurrences(b.build())
+        writes = [o for o in occs if o.is_write]
+        assert all(plan.issues_memory_op(w.position) for w in writes)
+        # the A(I) re-read rides the first store's register
+        re_read = next(o for o in occs if o.array == "A" and not o.is_write)
+        assert not plan.issues_memory_op(re_read.position)

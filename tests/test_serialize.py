@@ -1,0 +1,66 @@
+"""Unroll-table JSON persistence: exact round trips."""
+
+import pytest
+
+from repro.ir.builder import NestBuilder
+from repro.kernels.suite import jacobi, mmjik
+from repro.unroll.serialize import (
+    SerializationError,
+    tables_from_json,
+    tables_to_json,
+)
+from repro.unroll.space import UnrollSpace
+from repro.unroll.tables import build_tables
+
+def make_tables(nest, dims, bound=3):
+    space = UnrollSpace.for_dims(nest.depth, dims, bound)
+    return build_tables(nest, space, line_size=4, trip=100)
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("factory,dims", [(jacobi, [0]),
+                                              (mmjik, [0, 1])],
+                             ids=["jacobi", "mmjik"])
+    def test_points_identical(self, factory, dims):
+        tables = make_tables(factory(12).nest, dims)
+        restored = tables_from_json(tables_to_json(tables))
+        for u in tables.space:
+            a = tables.point(u)
+            b = restored.point(u)
+            assert (a.flops, a.memory_ops, a.registers, a.gts, a.gss,
+                    a.cache_cost) == \
+                   (b.flops, b.memory_ops, b.registers, b.gts, b.gss,
+                    b.cache_cost), u
+
+    def test_metadata_preserved(self):
+        tables = make_tables(jacobi(12).nest, [0])
+        restored = tables_from_json(tables_to_json(tables))
+        assert restored.line_size == tables.line_size
+        assert restored.trip == tables.trip
+        assert restored.space.dims == tables.space.dims
+        assert restored.nest.name == tables.nest.name
+
+    def test_fractions_exact(self):
+        tables = make_tables(jacobi(12).nest, [0])
+        text = tables_to_json(tables)
+        assert "/" in text  # fractions stored exactly, not as floats
+        restored = tables_from_json(text)
+        u = tables.space.embed((2,))
+        assert restored.point(u).cache_cost == tables.point(u).cache_cost
+
+class TestErrors:
+    def test_not_json(self):
+        with pytest.raises(SerializationError):
+            tables_from_json("not json at all {")
+
+    def test_wrong_format_tag(self):
+        with pytest.raises(SerializationError):
+            tables_from_json('{"format": "something-else"}')
+
+    def test_mismatched_ugs_detected(self):
+        import json
+
+        tables = make_tables(jacobi(12).nest, [0])
+        payload = json.loads(tables_to_json(tables))
+        payload["ugs"] = payload["ugs"][:1]  # drop a set
+        with pytest.raises(SerializationError):
+            tables_from_json(json.dumps(payload))

@@ -1,0 +1,73 @@
+"""Edge cases of the canonical group-spatial predicate (minimal-residual
+folding, localized freedom, integrality)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.linalg import Matrix, VectorSpace
+from repro.reuse.group import spatial_constants_related
+
+def inner(depth, axis=None):
+    axis = depth - 1 if axis is None else axis
+    return VectorSpace.spanned_by_axes([axis], depth)
+
+H2 = Matrix([[1, 0], [0, 1]])  # A(I, J) with loops (I, J)
+
+class TestBasicResidual:
+    def test_within_line(self):
+        assert spatial_constants_related(H2, (3, 0), inner(2), line_size=4)
+
+    def test_beyond_line(self):
+        assert not spatial_constants_related(H2, (4, 0), inner(2),
+                                             line_size=4)
+
+    def test_no_cap(self):
+        assert spatial_constants_related(H2, (400, 0), inner(2),
+                                         line_size=None)
+
+    def test_other_dims_must_match(self):
+        # (1, 1): second dim differs and nothing bridges it
+        assert not spatial_constants_related(H2, (1, 1), VectorSpace.zero(2),
+                                             line_size=4)
+
+    def test_localized_bridges_other_dim(self):
+        # J localized: the second-dim difference is absorbed by motion
+        assert spatial_constants_related(H2, (1, 5), inner(2), line_size=4)
+
+class TestLocalizedFreedomOnFirstDim:
+    def test_innermost_walks_contiguous_dim(self):
+        """Loops (J, I) with A(I, J): H maps the innermost loop to the
+        first dimension; any first-dim difference folds to zero."""
+        h = Matrix([[0, 1], [1, 0]])
+        assert spatial_constants_related(h, (100, 0), inner(2),
+                                         line_size=4)
+
+    def test_strided_innermost_folds_modulo_stride(self):
+        """A(3*K): motion changes the first dim in steps of 3; residuals
+        fold into [0, 3), so any delta is within a 4-word line."""
+        h = Matrix([[3]])
+        assert spatial_constants_related(h, (7,), inner(1), line_size=4)
+        # with a 1-word line only exact multiples of 3 share a "line"
+        assert not spatial_constants_related(h, (7,), inner(1), line_size=1)
+        assert spatial_constants_related(h, (6,), inner(1), line_size=1)
+
+class TestIntegrality:
+    def test_fractional_motion_rejected(self):
+        """A(I, 2K) vs A(I, 2K+1): aligning the second dim needs half an
+        iteration -- no spatial relation."""
+        h = Matrix([[1, 0], [0, 2]])
+        assert not spatial_constants_related(h, (0, 1), inner(2),
+                                             line_size=4)
+
+    def test_even_offset_accepted(self):
+        h = Matrix([[1, 0], [0, 2]])
+        assert spatial_constants_related(h, (0, 4), inner(2), line_size=4)
+
+class TestZeroLocalizedSpace:
+    def test_same_cell_only(self):
+        assert spatial_constants_related(H2, (2, 0), VectorSpace.zero(2),
+                                         line_size=4)
+        assert not spatial_constants_related(H2, (2, 1),
+                                             VectorSpace.zero(2),
+                                             line_size=4)

@@ -1,0 +1,172 @@
+"""The project's central invariant (DESIGN.md #1): the precomputed tables
+must agree, at every unroll vector, with quantities measured on the
+actually-unrolled loop body by the independent brute-force path."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.brute_force import measure_unrolled
+from repro.ir.builder import NestBuilder
+from repro.unroll.space import UnrollSpace
+from repro.unroll.tables import build_tables
+
+LINE = 4
+TRIP = 100
+
+def check_agreement(nest, dims, bound=3, line=LINE):
+    space = UnrollSpace.for_dims(nest.depth, dims, bound)
+    tables = build_tables(nest, space, line_size=line, trip=TRIP)
+    for u in space:
+        predicted = tables.point(u)
+        measured = measure_unrolled(nest, u, line_size=line, trip=TRIP)
+        assert predicted.flops == measured.flops, (u, "flops")
+        assert predicted.gts == measured.gts, (u, "gts")
+        assert predicted.gss == measured.gss, (u, "gss")
+        assert predicted.memory_ops == measured.memory_ops, (u, "memory_ops")
+        assert predicted.registers == measured.registers, (u, "registers")
+        assert predicted.cache_cost == measured.cache_cost, (u, "cache_cost")
+
+class TestHandWrittenNests:
+    def test_paper_intro(self):
+        b = NestBuilder("intro")
+        J, I = b.loops(("J", 0, "N"), ("I", 0, "M"))
+        b.assign(b.ref("A", J), b.ref("A", J) + b.ref("B", I))
+        check_agreement(b.build(), dims=[0], bound=4)
+
+    def test_figure1_merging(self):
+        """The Figure 1 example: A(I,J) def and A(I-2,J) use merge at
+        unroll 2 of the I loop."""
+        b = NestBuilder("fig1")
+        I, J = b.loops(("I", 2, "N"), ("J", 0, "N"))
+        b.assign(b.ref("A", I, J), b.ref("A", I - 2, J) + 1.0)
+        check_agreement(b.build(), dims=[0], bound=4)
+
+    def test_matmul_two_loops(self):
+        b = NestBuilder("mm")
+        J, I, K = b.loops(("J", 0, "N"), ("I", 0, "N"), ("K", 0, "N"))
+        b.assign(b.ref("C", I, J),
+                 b.ref("C", I, J) + b.ref("A", I, K) * b.ref("B", K, J))
+        check_agreement(b.build(), dims=[0, 1], bound=3)
+
+    def test_stencil(self):
+        b = NestBuilder("stencil")
+        I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+        b.assign(b.ref("A", I, J),
+                 b.ref("B", I, J) + b.ref("B", I - 1, J) + b.ref("B", I + 1, J)
+                 + b.ref("B", I, J - 1) + b.ref("B", I, J + 1))
+        check_agreement(b.build(), dims=[0], bound=4)
+
+    def test_figure6_multiple_generators(self):
+        """Figure 6: a def A(I+1,J) feeding reads of A(I,J)."""
+        b = NestBuilder("fig6")
+        I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+        b.assign(b.ref("A", I + 1, J), b.ref("A", I, J) + b.ref("B", I, J))
+        b.assign(b.ref("C", I, J), b.ref("A", I, J) * 2.0)
+        check_agreement(b.build(), dims=[0], bound=4)
+
+    def test_reversed_direction_refs(self):
+        """References walking backwards: negative merge offsets."""
+        b = NestBuilder("rev")
+        I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+        b.assign(b.ref("C", I, J),
+                 b.ref("A", 4 - I, J) + b.ref("A", 2 - I, J))
+        check_agreement(b.build(), dims=[0], bound=4)
+
+    def test_strided_subscripts(self):
+        b = NestBuilder("strided")
+        I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+        b.assign(b.ref("C", I, J),
+                 b.ref("A", 2 * I, J) + b.ref("A", 2 * I + 1, J)
+                 + b.ref("A", 2 * I + 4, J))
+        check_agreement(b.build(), dims=[0], bound=4)
+
+    def test_unused_dim_does_not_multiply(self):
+        """Unrolling a loop absent from a UGS's subscripts must not grow
+        its group counts."""
+        b = NestBuilder("absent")
+        I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+        b.assign(b.ref("C", I, J), b.ref("B", J) * 2.0)
+        space = UnrollSpace.for_dims(2, [0], 4)
+        tables = build_tables(b.build(), space, line_size=LINE, trip=TRIP)
+        b_tables = next(t for t in tables.per_ugs if t.ugs.array == "B")
+        # B(J) does not subscript I: its identical copies collapse to one
+        # group and one load however far I is unrolled.
+        assert b_tables.gts.box_sum((0,)) == b_tables.gts.box_sum((4,)) == 1
+        assert b_tables.rrs.box_sum((0,)) == b_tables.rrs.box_sum((4,)) == 1
+        # The C(I,J) stores, by contrast, multiply with the unroll factor.
+        c_tables = next(t for t in tables.per_ugs if t.ugs.array == "C")
+        assert c_tables.rrs.box_sum((4,)) == 5
+        check_agreement(b.build(), dims=[0], bound=4)
+
+    def test_three_deep_two_unrolled(self):
+        b = NestBuilder("deep")
+        I, J, K = b.loops(("I", 0, "N"), ("J", 0, "N"), ("K", 0, "N"))
+        b.assign(b.ref("A", I, K),
+                 b.ref("A", I, K) + b.ref("B", J, K) * b.ref("C", I, J))
+        check_agreement(b.build(), dims=[0, 1], bound=2)
+
+# ---------------------------------------------------------------------------
+# Randomized agreement
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_nest_2d(draw):
+    """Random SIV separable 2-deep nests over a couple of arrays."""
+    b = NestBuilder("rand")
+    I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+    index_choices = [I, J]
+    n_stmts = draw(st.integers(1, 2))
+    arrays_2d = ["A", "B"]
+    for s in range(n_stmts):
+        terms = []
+        n_reads = draw(st.integers(1, 3))
+        for _ in range(n_reads):
+            arr = draw(st.sampled_from(arrays_2d))
+            o1 = draw(st.integers(-2, 2))
+            o2 = draw(st.integers(-2, 2))
+            first = draw(st.sampled_from([0, 1]))
+            idx1, idx2 = index_choices[first], index_choices[1 - first]
+            terms.append(b.ref(arr, idx1 + o1, idx2 + o2))
+        rhs = terms[0]
+        for t in terms[1:]:
+            rhs = rhs + t
+        warr = draw(st.sampled_from(["A", "B", "D"]))
+        w1 = draw(st.integers(-1, 1))
+        b.assign(b.ref(warr, I + w1, J), rhs)
+    return b.build()
+
+@settings(max_examples=25, deadline=None)
+@given(random_nest_2d(), st.integers(0, 3))
+def test_random_nests_agree(nest, u0):
+    space = UnrollSpace.for_dims(2, [0], 3)
+    tables = build_tables(nest, space, line_size=LINE, trip=TRIP)
+    u = space.embed((u0,))
+    predicted = tables.point(u)
+    measured = measure_unrolled(nest, u, line_size=LINE, trip=TRIP)
+    assert predicted.gts == measured.gts
+    assert predicted.gss == measured.gss
+    assert predicted.memory_ops == measured.memory_ops
+    assert predicted.registers == measured.registers
+    assert predicted.cache_cost == measured.cache_cost
+
+class TestMonotoneMerging:
+    """DESIGN.md invariant #3: once merged, always merged -- group counts
+    per copy never increase with more unrolling."""
+
+    def test_gts_growth_is_subadditive(self):
+        b = NestBuilder("fig1")
+        I, J = b.loops(("I", 2, "N"), ("J", 0, "N"))
+        b.assign(b.ref("A", I, J), b.ref("A", I - 2, J) + 1.0)
+        space = UnrollSpace.for_dims(2, [0], 6)
+        tables = build_tables(b.build(), space, line_size=LINE)
+        prev_increment = None
+        prev = None
+        for k in range(7):
+            value = tables.point(space.embed((k,))).gts
+            if prev is not None:
+                increment = value - prev
+                if prev_increment is not None:
+                    assert increment <= prev_increment
+                prev_increment = increment
+            prev = value

@@ -1,0 +1,218 @@
+"""Loop interchange and normalization tests, including semantics
+preservation through the interpreter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.builder import NestBuilder
+from repro.ir.interp import run_nest
+from repro.reuse.locality import nest_memory_cost
+from repro.transforms import (
+    InterchangeError,
+    best_loop_order,
+    legal_permutations,
+    normalize_nest,
+    permutation_is_legal,
+    permute,
+)
+from repro.transforms.interchange import memory_order
+
+def copy_nest():
+    b = NestBuilder("copy")
+    I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+    b.assign(b.ref("A", I, J), b.ref("B", I, J) * 2.0)
+    return b.build()
+
+def skewed_nest():
+    # A(I,J) = A(I-1,J+1): distance (1,-1) forbids interchange.
+    b = NestBuilder("skew")
+    I, J = b.loops(("I", 1, "N"), ("J", 0, "N"))
+    b.assign(b.ref("A", I, J), b.ref("A", I - 1, J + 1) + 1.0)
+    return b.build()
+
+def run_both(nest, order, shapes, bindings, seed=0):
+    rng = np.random.default_rng(seed)
+    base = {n: rng.standard_normal(s) for n, s in shapes.items()}
+    a = {k: v.copy() for k, v in base.items()}
+    b_ = {k: v.copy() for k, v in base.items()}
+    run_nest(nest, bindings, a)
+    run_nest(permute(nest, order), bindings, b_)
+    return a, b_
+
+class TestLegality:
+    def test_identity_always_legal(self):
+        assert permutation_is_legal(skewed_nest(), (0, 1))
+
+    def test_independent_nest_fully_permutable(self):
+        assert legal_permutations(copy_nest()) == [(0, 1), (1, 0)]
+
+    def test_skewed_dep_blocks_interchange(self):
+        assert not permutation_is_legal(skewed_nest(), (1, 0))
+        assert legal_permutations(skewed_nest()) == [(0, 1)]
+
+    def test_forward_dep_allows_interchange(self):
+        b = NestBuilder("fwd")
+        I, J = b.loops(("I", 1, "N"), ("J", 1, "N"))
+        b.assign(b.ref("A", I, J), b.ref("A", I - 1, J - 1) + 1.0)
+        assert permutation_is_legal(b.build(), (1, 0))
+
+    def test_bad_permutation_rejected(self):
+        with pytest.raises(InterchangeError):
+            permutation_is_legal(copy_nest(), (0, 0))
+
+    def test_illegal_permute_raises(self):
+        with pytest.raises(InterchangeError):
+            permute(skewed_nest(), (1, 0))
+
+    def test_input_dependences_ignored(self):
+        b = NestBuilder("reads")
+        I, J = b.loops(("I", 1, "N"), ("J", 0, "N"))
+        b.assign(b.ref("C", I, J), b.ref("A", I - 1, J + 1) + b.ref("A", I, J))
+        assert permutation_is_legal(b.build(), (1, 0))
+
+class TestSemantics:
+    def test_copy_interchange_equivalent(self):
+        a, b_ = run_both(copy_nest(), (1, 0),
+                         {"A": (12, 12), "B": (12, 12)}, {"N": 10})
+        assert np.array_equal(a["A"], b_["A"])
+
+    def test_matmul_all_orders_equivalent(self):
+        b = NestBuilder("mm")
+        I, J, K = b.loops(("I", 0, 7), ("J", 0, 7), ("K", 0, 7))
+        b.assign(b.ref("C", I, J),
+                 b.ref("C", I, J) + b.ref("A", I, K) * b.ref("B", K, J))
+        nest = b.build()
+        shapes = {"A": (8, 8), "B": (8, 8), "C": (8, 8)}
+        orders = legal_permutations(nest)
+        assert len(orders) == 6  # reduction: fully permutable
+        baseline = None
+        for order in orders:
+            a, b_ = run_both(nest, order, shapes, {})
+            if baseline is None:
+                baseline = a["C"]
+            assert np.allclose(baseline, b_["C"]), order
+
+    def test_forward_dep_interchange_equivalent(self):
+        b = NestBuilder("fwd")
+        I, J = b.loops(("I", 1, 10), ("J", 1, 10))
+        b.assign(b.ref("A", I, J), b.ref("A", I - 1, J - 1) + 1.0)
+        a, b_ = run_both(b.build(), (1, 0), {"A": (12, 12)}, {})
+        assert np.array_equal(a["A"], b_["A"])
+
+class TestMemoryOrder:
+    def test_column_major_prefers_first_index_innermost(self):
+        """A(I,J) with column-major storage wants I (the contiguous
+        dimension) innermost."""
+        b = NestBuilder("sweep")
+        I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+        b.assign(b.ref("A", I, J), b.ref("A", I, J) + 1.0)
+        order, cost = best_loop_order(b.build(), line_size=4)
+        assert order == (1, 0)  # J outer, I inner
+
+    def test_memory_order_never_increases_cost(self):
+        nests = [copy_nest(), skewed_nest()]
+        for nest in nests:
+            before, _ = nest_memory_cost(nest, line_size=4)
+            after, _ = nest_memory_cost(memory_order(nest), line_size=4)
+            assert after <= before
+
+    def test_memory_order_respects_legality(self):
+        # the skewed nest must stay in its original order even though the
+        # interchanged order would be cheaper for column-major A.
+        assert memory_order(skewed_nest()).loops[0].index == "I"
+
+    def test_memory_order_identity_returns_same_object(self):
+        b = NestBuilder("good")
+        J, I = b.loops(("J", 0, "N"), ("I", 0, "N"))
+        b.assign(b.ref("A", I, J), b.ref("A", I, J) + 1.0)
+        nest = b.build()
+        assert memory_order(nest) is nest
+
+class TestNormalize:
+    def test_shifts_bounds_and_subscripts(self):
+        b = NestBuilder("off")
+        I = b.loop("I", 3, 12)
+        b.assign(b.ref("A", I), b.ref("B", I - 3) + 1.0)
+        norm = normalize_nest(b.build())
+        assert norm.loops[0].lower.const == 0
+        assert norm.loops[0].upper.const == 9
+        stmt = norm.body[0]
+        assert stmt.lhs.subscripts[0].const == 3
+        assert stmt.rhs.left.subscripts[0].const == 0
+
+    def test_symbolic_lower_bound(self):
+        b = NestBuilder("sym")
+        I = b.loop("I", "L", "N")
+        b.assign(b.ref("A", I), b.ref("A", I) + 1.0)
+        norm = normalize_nest(b.build())
+        upper = dict(norm.loops[0].upper.param_coeffs)
+        assert upper == {"N": 1, "L": -1}
+        sub_params = dict(norm.body[0].lhs.subscripts[0].param_coeffs)
+        assert sub_params == {"L": 1}
+
+    def test_already_normalized_untouched(self):
+        b = NestBuilder("norm")
+        I = b.loop("I", 0, "N")
+        b.assign(b.ref("A", I), b.ref("A", I) + 1.0)
+        nest = b.build()
+        assert normalize_nest(nest) is nest
+
+    def test_semantics_preserved(self):
+        b = NestBuilder("off2")
+        I, J = b.loops(("I", 2, 11), ("J", 5, 14))
+        b.assign(b.ref("A", I, J), b.ref("A", I - 1, J - 2) + b.ref("B", I, J))
+        nest = b.build()
+        norm = normalize_nest(nest)
+        rng = np.random.default_rng(4)
+        base = {"A": rng.standard_normal((16, 16)),
+                "B": rng.standard_normal((16, 16))}
+        a = {k: v.copy() for k, v in base.items()}
+        b_ = {k: v.copy() for k, v in base.items()}
+        run_nest(nest, {}, a)
+        run_nest(norm, {}, b_)
+        assert np.array_equal(a["A"], b_["A"])
+
+    def test_step_rejected(self):
+        from repro.ir.nodes import Bound, Loop, LoopNest
+        b = NestBuilder("tmp")
+        I = b.loop("I", 1, 9)
+        b.assign(b.ref("A", I), b.ref("A", I) + 1.0)
+        nest = b.build()
+        stepped = LoopNest(nest.name,
+                           (Loop("I", Bound(1), Bound(9), 2),), nest.body)
+        with pytest.raises(ValueError):
+            normalize_nest(stepped)
+
+@st.composite
+def permutable_nest(draw):
+    """Random read-only-B nests: no loop-carried output constraints, so
+    every permutation is legal and must preserve semantics."""
+    b = NestBuilder("rand")
+    I, J, K = b.loops(("I", 0, 6), ("J", 0, 6), ("K", 0, 6))
+    idx = [I, J, K]
+    terms = []
+    for _ in range(draw(st.integers(1, 3))):
+        offs = [draw(st.integers(0, 2)) for _ in range(3)]
+        terms.append(b.ref("B", idx[0] + offs[0], idx[1] + offs[1],
+                           idx[2] + offs[2]))
+    rhs = terms[0]
+    for t in terms[1:]:
+        rhs = rhs + t
+    b.assign(b.ref("A", I, J, K), rhs)
+    return b.build()
+
+@settings(max_examples=15, deadline=None)
+@given(permutable_nest(), st.permutations(range(3)))
+def test_random_permutation_semantics(nest, order):
+    order = tuple(order)
+    if not permutation_is_legal(nest, order):
+        return
+    rng = np.random.default_rng(0)
+    base = {"A": np.zeros((7, 7, 7)), "B": rng.standard_normal((9, 9, 9))}
+    a = {k: v.copy() for k, v in base.items()}
+    b_ = {k: v.copy() for k, v in base.items()}
+    run_nest(nest, {}, a)
+    run_nest(permute(nest, order), {}, b_)
+    assert np.array_equal(a["A"], b_["A"])

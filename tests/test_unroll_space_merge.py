@@ -1,0 +1,140 @@
+"""Tests for the unroll space and the merge-point solver."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir.builder import NestBuilder
+from repro.linalg import Matrix, VectorSpace
+from repro.reuse.ugs import partition_ugs
+from repro.unroll.merge import solve_merge
+from repro.unroll.space import UnrollSpace, body_copies, dominates, offsets_box
+
+class TestUnrollSpace:
+    def test_iteration_order_and_size(self):
+        space = UnrollSpace(3, (0, 1), (1, 2))
+        vectors = list(space)
+        assert len(vectors) == len(space) == 6
+        assert vectors[0] == (0, 0, 0)
+        assert vectors[-1] == (1, 2, 0)
+
+    def test_embed_project_roundtrip(self):
+        space = UnrollSpace(3, (0, 1), (4, 4))
+        assert space.embed((2, 3)) == (2, 3, 0)
+        assert space.project((2, 3, 0)) == (2, 3)
+
+    def test_contains(self):
+        space = UnrollSpace(3, (0,), (4,))
+        assert space.contains((3, 0, 0))
+        assert not space.contains((5, 0, 0))
+        assert not space.contains((0, 1, 0))
+        assert not space.contains((0, 0))
+
+    def test_innermost_rejected(self):
+        with pytest.raises(ValueError):
+            UnrollSpace(2, (1,), (4,))
+
+    def test_duplicate_dims_rejected(self):
+        with pytest.raises(ValueError):
+            UnrollSpace(3, (0, 0), (1, 1))
+
+    def test_empty_dims_single_vector(self):
+        space = UnrollSpace(2, (), ())
+        assert list(space) == [(0, 0)]
+
+    def test_body_copies(self):
+        assert body_copies((2, 3, 0)) == 12
+        assert body_copies((0, 0)) == 1
+
+    def test_offsets_box(self):
+        assert list(offsets_box((2, 1, 0), [0, 1])) == [
+            (0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_dominates(self):
+        assert dominates((2, 3), (2, 1))
+        assert not dominates((2, 0), (1, 1))
+
+def inner(depth):
+    return VectorSpace.spanned_by_axes([depth - 1], depth)
+
+class TestSolveMerge:
+    def test_figure1_merge_point(self):
+        """A(I,J) vs A(I-2,J), unroll I: merge offset 2 (the paper's
+        Figure 1 example)."""
+        h = Matrix([[1, 0], [0, 1]])
+        sol = solve_merge(h, delta=(2, 0), dims=(0,), localized=inner(2))
+        assert sol is not None
+        assert sol.offset == (2,)
+        assert sol.inner_distance == 0
+
+    def test_merge_with_inner_residual(self):
+        """A(I,J) vs A(I-1,J-3): offset 1 on I, residual 3 on J."""
+        h = Matrix([[1, 0], [0, 1]])
+        sol = solve_merge(h, delta=(1, 3), dims=(0,), localized=inner(2))
+        assert sol is not None
+        assert sol.offset == (1,)
+        assert sol.inner_distance == 3
+
+    def test_non_integer_offset_fails(self):
+        h = Matrix([[2, 0], [0, 1]])
+        assert solve_merge(h, (3, 0), (0,), inner(2)) is None
+
+    def test_non_integer_residual_fails(self):
+        h = Matrix([[1, 0], [0, 2]])
+        assert solve_merge(h, (1, 3), (0,), inner(2)) is None
+
+    def test_unreachable_row_fails(self):
+        """A difference in a dimension no loop drives cannot merge."""
+        h = Matrix([[1, 0], [0, 0]])
+        assert solve_merge(h, (1, 5), (0,), inner(2)) is None
+
+    def test_negative_offset_allowed(self):
+        h = Matrix([[1, 0], [0, 1]])
+        sol = solve_merge(h, (-2, 0), (0,), inner(2))
+        assert sol is not None and sol.offset == (-2,)
+
+    def test_spatial_merge_ignores_first_dim(self):
+        """A(I,J) vs A(I+3,J): no temporal merge without I in dims, but a
+        spatial one (distance 3 within the line)."""
+        h = Matrix([[1, 0], [0, 1]])
+        assert solve_merge(h, (3, 0), (), inner(2)) is None
+        sol = solve_merge(h, (3, 0), (), inner(2), spatial=True, line_size=4)
+        assert sol is not None
+        assert sol.spatial_residual == 3
+
+    def test_spatial_line_cap(self):
+        h = Matrix([[1, 0], [0, 1]])
+        assert solve_merge(h, (5, 0), (), inner(2), spatial=True,
+                           line_size=4) is None
+        assert solve_merge(h, (5, 0), (), inner(2), spatial=True,
+                           line_size=None) is not None
+
+    def test_zero_delta_trivial(self):
+        h = Matrix([[1, 0], [0, 1]])
+        sol = solve_merge(h, (0, 0), (0,), inner(2))
+        assert sol is not None
+        assert sol.offset == (0,)
+
+    def test_strided_merge(self):
+        """A(2I) vs A(2I-4): offset 2 despite the stride."""
+        h = Matrix([[2, 0], [0, 1]])
+        sol = solve_merge(h, (4, 0), (0,), inner(2))
+        assert sol is not None and sol.offset == (2,)
+
+    def test_negative_coefficient(self):
+        """A(4-I) style references: offset direction flips."""
+        h = Matrix([[-1, 0], [0, 1]])
+        sol = solve_merge(h, (2, 0), (0,), inner(2))
+        assert sol is not None and sol.offset == (-2,)
+
+class TestMergeOnRealNest:
+    def test_ugs_pair_from_builder(self):
+        b = NestBuilder("pair")
+        I, J = b.loops(("I", 2, "N"), ("J", 0, "N"))
+        b.assign(b.ref("A", I, J), b.ref("A", I - 2, J) + 1.0)
+        ugs = next(s for s in partition_ugs(b.build()) if s.array == "A")
+        consts = ugs.constants()
+        assert consts == [(-2, 0), (0, 0)]
+        delta = tuple(b_ - a_ for a_, b_ in zip(consts[0], consts[1]))
+        sol = solve_merge(ugs.matrix, delta, (0,), inner(2))
+        assert sol is not None and sol.offset == (2,)

@@ -1,0 +1,150 @@
+"""Tests for the unroll-and-jam source transformation and safety bounds."""
+
+import numpy as np
+import pytest
+
+from repro.ir.builder import NestBuilder
+from repro.ir.interp import run_nest, run_unrolled
+from repro.ir.nodes import ArrayRef, ScalarVar
+from repro.ir.printer import format_nest
+from repro.unroll.safety import UNBOUNDED, max_safe_unroll, safe_unroll_bounds
+from repro.unroll.transform import TransformError, unroll_and_jam
+
+def paper_intro_nest():
+    b = NestBuilder("intro")
+    J, I = b.loops(("J", 0, "N"), ("I", 0, "M"))
+    b.assign(b.ref("A", J), b.ref("A", J) + b.ref("B", I))
+    return b.build()
+
+def matmul():
+    b = NestBuilder("mm")
+    J, I, K = b.loops(("J", 0, "N"), ("I", 0, "N"), ("K", 0, "N"))
+    b.assign(b.ref("C", I, J),
+             b.ref("C", I, J) + b.ref("A", I, K) * b.ref("B", K, J))
+    return b.build()
+
+class TestTransformStructure:
+    def test_paper_intro_example(self):
+        """Unrolling J by 1 reproduces the section 3.3 transformed loop."""
+        unrolled = unroll_and_jam(paper_intro_nest(), (1, 0))
+        main = unrolled.main
+        assert main.loops[0].step == 2
+        assert main.loops[1].step == 1
+        assert len(main.body) == 2
+        # Second copy writes A(J+1).
+        second = main.body[1]
+        assert isinstance(second.lhs, ArrayRef)
+        assert second.lhs.subscripts[0].const == 1
+
+    def test_copies_count(self):
+        unrolled = unroll_and_jam(matmul(), (2, 3, 0))
+        assert unrolled.copies == 12
+        assert len(unrolled.main.body) == 12
+
+    def test_copy_order_lexicographic(self):
+        unrolled = unroll_and_jam(matmul(), (1, 1, 0))
+        # loop order is (J, I); C(I,J) has J in subscript 1, I in subscript 0
+        offsets = [(s.lhs.subscripts[1].const, s.lhs.subscripts[0].const)
+                   for s in unrolled.main.body]
+        assert offsets == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_scalar_temps_renamed(self):
+        b = NestBuilder("temp")
+        I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+        b.assign(b.scalar("t"), b.ref("B", I, J))
+        b.assign(b.ref("A", I, J), b.scalar("t") * b.scalar("alpha"))
+        unrolled = unroll_and_jam(b.build(), (1, 0))
+        names = [s.lhs.name for s in unrolled.main.body
+                 if isinstance(s.lhs, ScalarVar)]
+        assert names[0] == "t"
+        assert names[1] != "t" and names[1].startswith("t__")
+        # loop-invariant input scalar is NOT renamed
+        last_rhs = unrolled.main.body[-1].rhs
+        assert "alpha" in format_nest(unrolled.main)
+
+    def test_rejects_bad_vectors(self):
+        nest = paper_intro_nest()
+        with pytest.raises(TransformError):
+            unroll_and_jam(nest, (0, 1))
+        with pytest.raises(TransformError):
+            unroll_and_jam(nest, (1,))
+        with pytest.raises(TransformError):
+            unroll_and_jam(nest, (-1, 0))
+
+    def test_printer_roundtrip_smoke(self):
+        text = format_nest(unroll_and_jam(matmul(), (1, 0, 0)).main)
+        assert "DO J" in text and ", 2" in text
+
+class TestTransformSemantics:
+    @pytest.mark.parametrize("u", [(1, 0, 0), (2, 0, 0), (1, 2, 0), (3, 3, 0)])
+    @pytest.mark.parametrize("n", [5, 7])
+    def test_matmul_preserved(self, u, n):
+        nest = matmul()
+        rng = np.random.default_rng(42)
+        base = {
+            "A": rng.standard_normal((n + 1, n + 1)),
+            "B": rng.standard_normal((n + 1, n + 1)),
+            "C": np.zeros((n + 1, n + 1)),
+        }
+        ref = {k: v.copy() for k, v in base.items()}
+        out = {k: v.copy() for k, v in base.items()}
+        run_nest(nest, {"N": n}, ref)
+        run_unrolled(nest, u, {"N": n}, out)
+        assert np.allclose(ref["C"], out["C"])
+
+class TestSafety:
+    def test_no_deps_unbounded(self):
+        # A(I,J) = B(I,J): no cross-iteration dependence at all.
+        b = NestBuilder("copy")
+        I, J = b.loops(("I", 0, "N"), ("J", 0, "N"))
+        b.assign(b.ref("A", I, J), b.ref("B", I, J))
+        assert max_safe_unroll(b.build(), 0) == UNBOUNDED
+
+    def test_forward_dep_unbounded(self):
+        # A(I,J) = A(I-1,J): carried by I with positive inner part (zero):
+        # jamming preserves it for any unroll amount.
+        b = NestBuilder("fwd")
+        I, J = b.loops(("I", 1, "N"), ("J", 0, "N"))
+        b.assign(b.ref("A", I, J), b.ref("A", I - 1, J) + 1.0)
+        assert max_safe_unroll(b.build(), 0) == UNBOUNDED
+
+    def test_interchange_preventing_dep_blocks(self):
+        # A(I,J) = A(I-1,J+1): distance (1,-1) -- the classic (<,>) pattern.
+        b = NestBuilder("skew")
+        I, J = b.loops(("I", 1, "N"), ("J", 0, "N"))
+        b.assign(b.ref("A", I, J), b.ref("A", I - 1, J + 1) + 1.0)
+        assert max_safe_unroll(b.build(), 0) == 0
+
+    def test_distance_two_allows_one(self):
+        # Distance (2,-1): blocks of 2 iterations never contain both ends.
+        b = NestBuilder("skew2")
+        I, J = b.loops(("I", 2, "N"), ("J", 0, "N"))
+        b.assign(b.ref("A", I, J), b.ref("A", I - 2, J + 1) + 1.0)
+        assert max_safe_unroll(b.build(), 0) == 1
+
+    def test_safety_semantics_on_skewed_dep(self):
+        """The bound from test above is tight: u=1 must preserve semantics."""
+        b = NestBuilder("skew2")
+        I, J = b.loops(("I", 2, 9), ("J", 0, 8))
+        b.assign(b.ref("A", I, J), b.ref("A", I - 2, J + 1) + 1.0)
+        nest = b.build()
+        ref = {"A": np.arange(110.0).reshape(10, 11)}
+        out = {"A": ref["A"].copy()}
+        run_nest(nest, {}, ref)
+        run_unrolled(nest, (1, 0), {}, out)
+        assert np.array_equal(ref["A"], out["A"])
+
+    def test_input_deps_never_constrain(self):
+        b = NestBuilder("reads")
+        I, J = b.loops(("I", 1, "N"), ("J", 0, "N"))
+        b.assign(b.ref("C", I, J), b.ref("A", I - 1, J + 1) + b.ref("A", I, J))
+        assert max_safe_unroll(b.build(), 0) == UNBOUNDED
+
+    def test_bounds_vector(self):
+        b = NestBuilder("skew")
+        I, J, K = b.loops(("I", 1, "N"), ("J", 0, "N"), ("K", 0, "N"))
+        b.assign(b.ref("A", I, J, K), b.ref("A", I - 1, J + 1, K) + 1.0)
+        bounds = safe_unroll_bounds(b.build())
+        assert bounds[0] == 0
+        assert bounds[1] == UNBOUNDED
+        assert bounds[2] == 0  # innermost pinned by convention
