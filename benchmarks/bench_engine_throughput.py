@@ -1,0 +1,169 @@
+"""Engine throughput: cold vs warm cache, worker fan-out, nests/sec.
+
+The engine's claims, measured on the 19 Table 2 kernels:
+
+* **parity** -- ``optimize_many`` returns byte-identical unroll vectors to
+  sequential :func:`repro.unroll.optimize.choose_unroll`;
+* **warm cache** -- a rerun on the same engine answers >= 90% of table
+  queries from the memo and finishes measurably faster;
+* **fan-out** -- 1/2/4 workers, reported as nests/sec.
+
+Runs under pytest (``pytest benchmarks/bench_engine_throughput.py``) and
+as a standalone script for the CI smoke job::
+
+    python benchmarks/bench_engine_throughput.py --quick
+
+Both modes write ``results/engine_throughput.txt`` and the metrics JSON
+``results/engine_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_REPO = pathlib.Path(__file__).resolve().parent.parent
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro.engine import AnalysisEngine
+from repro.engine.metrics import delta
+from repro.kernels import all_kernels
+from repro.machine.presets import dec_alpha
+from repro.unroll.optimize import choose_unroll
+
+def _timed_batch(engine: AnalysisEngine, nests, machine, bound: int,
+                 workers: int | None):
+    """One optimize_many run plus the cache-counter delta it contributed."""
+    before = dict(engine.metrics.counters)
+    report = engine.optimize_many(nests, machine, workers=workers,
+                                  bound=bound)
+    counters = delta(before, engine.metrics.counters)
+    hits = counters.get("cache.tables.hit", 0)
+    misses = counters.get("cache.tables.miss", 0)
+    probes = hits + misses
+    return report, {
+        "wall_time_s": report.wall_time_s,
+        "nests_per_sec": report.nests_per_sec,
+        "failures": len(report.failures),
+        "tables_hit_rate": hits / probes if probes else 0.0,
+        "counters": counters,
+    }
+
+def run_throughput(bound: int = 4, workers_list=(1, 2, 4),
+                   quick: bool = False) -> dict:
+    """The full experiment; returns the JSON-ready payload."""
+    if quick:
+        bound = 3
+        workers_list = (1, 2)
+    kernels = all_kernels()
+    nests = [kernel.nest for kernel in kernels]
+    machine = dec_alpha()
+
+    t0 = time.monotonic()
+    sequential = [choose_unroll(nest, machine, bound=bound).unroll
+                  for nest in nests]
+    seq_time = time.monotonic() - t0
+
+    engine = AnalysisEngine()
+    cold_report, cold = _timed_batch(engine, nests, machine, bound,
+                                     workers=1)
+    warm_report, warm = _timed_batch(engine, nests, machine, bound,
+                                     workers=1)
+
+    cold_vectors = [item.result.unroll for item in cold_report.items]
+    warm_vectors = [item.result.unroll for item in warm_report.items]
+    mismatches = [kernels[i].name for i, (a, b) in
+                  enumerate(zip(sequential, cold_vectors)) if a != b]
+
+    fanout = []
+    for workers in workers_list:
+        fresh = AnalysisEngine()
+        _, stats = _timed_batch(fresh, nests, machine, bound,
+                                workers=workers)
+        fanout.append({"workers": workers, **stats})
+
+    return {
+        "bound": bound,
+        "kernels": len(nests),
+        "sequential": {"wall_time_s": seq_time,
+                       "nests_per_sec": len(nests) / seq_time
+                       if seq_time else 0.0},
+        "cold": cold,
+        "warm": warm,
+        "fanout": fanout,
+        "parity": {"matches": not mismatches and
+                              cold_vectors == warm_vectors,
+                   "mismatches": mismatches},
+        "metrics": engine.metrics.snapshot(),
+    }
+
+def format_throughput(payload: dict) -> str:
+    lines = [f"Engine throughput over the {payload['kernels']} Table 2 "
+             f"kernels (bound {payload['bound']})",
+             f"{'configuration':<22s} {'wall':>8s} {'nests/s':>8s} "
+             f"{'tables hit rate':>16s}"]
+
+    def row(label, stats, rate=None):
+        rate_text = f"{100 * rate:>14.0f}%" if rate is not None else \
+            f"{'-':>15s}"
+        lines.append(f"{label:<22s} {stats['wall_time_s']:>7.3f}s "
+                     f"{stats['nests_per_sec']:>8.1f} {rate_text}")
+
+    row("sequential (no cache)", payload["sequential"])
+    row("engine, cold", payload["cold"], payload["cold"]["tables_hit_rate"])
+    row("engine, warm", payload["warm"], payload["warm"]["tables_hit_rate"])
+    for stats in payload["fanout"]:
+        row(f"engine, {stats['workers']} worker(s)", stats,
+            stats["tables_hit_rate"])
+    lines.append("")
+    lines.append(f"parity with choose_unroll: {payload['parity']['matches']}")
+    speedup = (payload["cold"]["wall_time_s"] /
+               payload["warm"]["wall_time_s"]
+               if payload["warm"]["wall_time_s"] else float("inf"))
+    lines.append(f"warm speedup over cold: {speedup:.1f}x")
+    return "\n".join(lines)
+
+def write_results(payload: dict, results_dir: pathlib.Path) -> None:
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "engine_throughput.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    (results_dir / "engine_throughput.txt").write_text(
+        format_throughput(payload) + "\n")
+
+# -- pytest mode --------------------------------------------------------------
+
+def test_engine_throughput(results_dir):
+    payload = run_throughput(quick=True)
+    write_results(payload, results_dir)
+    print("\n" + format_throughput(payload))
+    assert payload["parity"]["matches"], payload["parity"]["mismatches"]
+    assert payload["warm"]["tables_hit_rate"] >= 0.90
+    assert (payload["warm"]["wall_time_s"] <
+            payload["cold"]["wall_time_s"])
+    assert payload["cold"]["failures"] == 0
+
+# -- script mode --------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller bound and worker sweep (CI smoke)")
+    parser.add_argument("--bound", type=int, default=4)
+    parser.add_argument("--results-dir", default=str(_REPO / "results"))
+    args = parser.parse_args(argv)
+
+    payload = run_throughput(bound=args.bound, quick=args.quick)
+    write_results(payload, pathlib.Path(args.results_dir))
+    print(format_throughput(payload))
+    ok = (payload["parity"]["matches"]
+          and payload["warm"]["tables_hit_rate"] >= 0.90
+          and payload["warm"]["wall_time_s"] < payload["cold"]["wall_time_s"])
+    print(f"\nacceptance: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+if __name__ == "__main__":
+    sys.exit(main())

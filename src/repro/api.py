@@ -1,0 +1,229 @@
+"""The public facade: uniform entry points over every input shape.
+
+Callers hold nests in many forms -- a Table 2 kernel name, a DO-loop
+source string, a path to a nest file, or an already-built
+:class:`~repro.ir.nodes.LoopNest`.  This module owns the *one* coercion
+helper (:func:`coerce_nest`) that every consumer (the CLI, the batch
+engine, the experiments) goes through, and the four documented verbs:
+
+* :func:`analyze` -- dependence graph, safety bounds, locality, UGS
+  partition (an :class:`~repro.engine.NestArtifacts`);
+* :func:`optimize` -- the paper's unroll-and-jam decision
+  (an :class:`~repro.unroll.optimize.OptimizationResult`);
+* :func:`optimize_many` -- a whole corpus through the batch engine
+  (a :class:`~repro.engine.BatchReport`);
+* :func:`transform` -- the transformed nest itself
+  (an :class:`~repro.unroll.transform.UnrolledNest`).
+
+All four accept the same nest shapes and accept machines as presets by
+name (``"alpha"``, ``"pa"``, ...) or as :class:`MachineModel` objects.
+They are re-exported from :mod:`repro`, so ``repro.optimize("jacobi")``
+is the supported spelling of the common workflow.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+import pathlib
+import warnings
+from typing import Sequence
+
+from repro.engine import (
+    AnalysisEngine,
+    BatchError,
+    BatchReport,
+    NestArtifacts,
+)
+from repro.ir.nodes import LoopNest
+from repro.ir.parser import ParseError, parse_nest
+from repro.machine.model import MachineModel
+from repro.machine.presets import (
+    dec_alpha,
+    future_wide,
+    hp_pa_risc,
+    mips_r10k,
+    prefetching_machine,
+)
+from repro.unroll.optimize import OptimizationResult
+from repro.unroll.space import DEFAULT_BOUND
+from repro.unroll.transform import UnrolledNest, unroll_and_jam
+
+__all__ = [
+    "MACHINES",
+    "NestResolutionError",
+    "analyze",
+    "coerce_machine",
+    "coerce_nest",
+    "default_engine",
+    "optimize",
+    "optimize_many",
+    "transform",
+]
+
+#: The machine presets addressable by name everywhere a machine is taken.
+MACHINES = {
+    "alpha": dec_alpha,
+    "pa": hp_pa_risc,
+    "prefetch": prefetching_machine,
+    "mips": mips_r10k,
+    "future": future_wide,
+}
+
+class NestResolutionError(ValueError):
+    """A nest specification that could not be resolved, with a diagnosis
+    that distinguishes *parse failures* from *unknown names*."""
+
+# -- coercion (the one shared helper) ----------------------------------------
+
+def _nest_from_path(path: pathlib.Path, name: str | None = None) -> LoopNest:
+    try:
+        text = path.read_text()
+    except OSError as err:
+        raise NestResolutionError(f"cannot read {path}: {err}") from None
+    try:
+        return parse_nest(text, name=name or path.stem)
+    except ParseError as err:
+        # The file exists; say exactly where parsing stopped.
+        raise NestResolutionError(
+            f"{path} exists but does not parse: {err}") from None
+
+def _looks_like_source(text: str) -> bool:
+    upper = text.upper()
+    return ("\n" in text or "ENDDO" in upper
+            or upper.lstrip().startswith("DO "))
+
+def coerce_nest(spec: "LoopNest | str | os.PathLike",
+                name: str | None = None) -> LoopNest:
+    """Resolve any accepted nest shape to a :class:`LoopNest`.
+
+    Accepts, in order of precedence: a ``LoopNest`` (returned as-is), a
+    path object, a DO-loop source string, a Table 2 kernel name, or a
+    string path to a nest file.  Raises :class:`NestResolutionError` with
+    a parser error and line number when a file or source string is
+    malformed, or with a closest-match suggestion when a kernel name is
+    unknown.
+    """
+    if isinstance(spec, LoopNest):
+        return spec
+    if isinstance(spec, os.PathLike):
+        return _nest_from_path(pathlib.Path(spec), name)
+    if not isinstance(spec, str):
+        raise NestResolutionError(
+            f"cannot make a loop nest from {type(spec).__name__!s}")
+    if _looks_like_source(spec):
+        try:
+            return parse_nest(spec, name=name or "parsed")
+        except ParseError as err:
+            raise NestResolutionError(
+                f"nest source does not parse: {err}") from None
+
+    from repro.kernels import all_kernels, kernel_by_name
+
+    try:
+        return kernel_by_name(spec).nest
+    except KeyError:
+        pass
+    path = pathlib.Path(spec)
+    if path.exists():
+        return _nest_from_path(path, name)
+    names = [kernel.name for kernel in all_kernels()]
+    close = difflib.get_close_matches(spec, names, n=3, cutoff=0.5)
+    hint = f"; did you mean {', '.join(close)}?" if close else \
+        "; try 'python -m repro kernels' for the list"
+    raise NestResolutionError(
+        f"unknown kernel {spec!r} (and no such file){hint}")
+
+def coerce_machine(machine: "MachineModel | str") -> MachineModel:
+    """A :class:`MachineModel` from a preset name or a model object."""
+    if isinstance(machine, MachineModel):
+        return machine
+    if isinstance(machine, str):
+        try:
+            return MACHINES[machine]()
+        except KeyError:
+            raise ValueError(f"unknown machine {machine!r}; choose from "
+                             f"{sorted(MACHINES)}") from None
+    raise ValueError(f"cannot make a machine from {type(machine).__name__!s}")
+
+# -- the default engine -------------------------------------------------------
+
+_DEFAULT_ENGINE: AnalysisEngine | None = None
+
+def default_engine() -> AnalysisEngine:
+    """The process-wide engine the facade verbs share (so repeated calls
+    stay warm); create your own :class:`AnalysisEngine` for isolation."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = AnalysisEngine()
+    return _DEFAULT_ENGINE
+
+# -- the documented verbs -----------------------------------------------------
+
+def analyze(nest_or_source, machine: "MachineModel | str" = "alpha",
+            engine: AnalysisEngine | None = None) -> NestArtifacts:
+    """Reuse/safety/dependence analysis of one nest, memoized."""
+    nest = coerce_nest(nest_or_source)
+    model = coerce_machine(machine)
+    engine = engine if engine is not None else default_engine()
+    return engine.analyze(nest, model)
+
+def optimize(nest_or_source, machine: "MachineModel | str" = "alpha",
+             bound: int = DEFAULT_BOUND, max_loops: int = 2,
+             include_cache: bool = True, trip: int = 100,
+             engine: AnalysisEngine | None = None) -> OptimizationResult:
+    """The paper's unroll-and-jam decision for one nest (identical to
+    :func:`repro.unroll.optimize.choose_unroll`, served from the cache)."""
+    nest = coerce_nest(nest_or_source)
+    model = coerce_machine(machine)
+    engine = engine if engine is not None else default_engine()
+    return engine.optimize(nest, model, bound=bound, max_loops=max_loops,
+                           include_cache=include_cache, trip=trip)
+
+def optimize_many(specs: Sequence, machine: "MachineModel | str" = "alpha",
+                  workers: int | None = None, bound: int = DEFAULT_BOUND,
+                  max_loops: int = 2, include_cache: bool = True,
+                  trip: int = 100,
+                  engine: AnalysisEngine | None = None) -> BatchReport:
+    """Optimize a corpus of nest specifications (any accepted shape).
+
+    Specifications that fail to coerce become reported failures in the
+    returned :class:`BatchReport`; the rest of the batch completes.
+    """
+    model = coerce_machine(machine)
+    engine = engine if engine is not None else default_engine()
+    entries: list = []
+    for index, spec in enumerate(specs):
+        try:
+            entries.append(coerce_nest(spec))
+        except NestResolutionError as err:
+            label = spec if isinstance(spec, str) else \
+                getattr(spec, "name", f"item{index}")
+            entries.append(BatchError(name=str(label), message=str(err)))
+    return engine.optimize_many(entries, model, workers=workers, bound=bound,
+                                max_loops=max_loops,
+                                include_cache=include_cache, trip=trip)
+
+def transform(nest_or_source, unroll: Sequence[int] | None = None,
+              machine: "MachineModel | str" = "alpha",
+              bound: int = DEFAULT_BOUND,
+              engine: AnalysisEngine | None = None) -> UnrolledNest:
+    """Unroll-and-jam a nest: by an explicit vector, or by the model's
+    chosen vector when ``unroll`` is omitted."""
+    nest = coerce_nest(nest_or_source)
+    if unroll is None:
+        unroll = optimize(nest, machine, bound=bound, engine=engine).unroll
+    return unroll_and_jam(nest, tuple(int(u) for u in unroll))
+
+# -- deprecation plumbing -----------------------------------------------------
+
+_WARNED: set[str] = set()
+
+def warn_deprecated(old: str, new: str) -> None:
+    """Emit a :class:`DeprecationWarning` for ``old`` exactly once per
+    process (the contract the facade's shims are tested against)."""
+    if old in _WARNED:
+        return
+    _WARNED.add(old)
+    warnings.warn(f"{old} is deprecated; use {new} instead",
+                  DeprecationWarning, stacklevel=3)

@@ -3,54 +3,59 @@
 Commands:
 
 * ``kernels``                      -- list the Table 2 test loops
-* ``show <kernel|file>``           -- print a nest's source
-* ``analyze <kernel|file>``        -- reuse structure and balance
-* ``optimize <kernel|file>``       -- full unroll-and-jam report
+* ``show <nest>``                  -- print a nest's source
+* ``analyze <nest>``               -- reuse structure and balance
+* ``optimize <nest>``              -- full unroll-and-jam report
 * ``simulate <kernel>``            -- trace-driven cycles, before/after
+* ``batch <dir|glob|nest>...``     -- optimize a corpus via the engine
+* ``cache (stats|clear)``          -- manage the on-disk table cache
 * ``table1``                       -- the input-dependence experiment
 * ``figure (alpha|pa)``            -- a Figure 8/9 column
 
-Nests can be named kernels or paths to DO-loop text files (the format
-``show`` prints; see :mod:`repro.ir.parser`).
+Everywhere a nest is taken, it may be a kernel name, a path to a DO-loop
+text file (the format ``show`` prints; see :mod:`repro.ir.parser`), or --
+through :func:`repro.api.coerce_nest`, which owns all of that resolution
+-- inline DO-loop source.
 """
 
 from __future__ import annotations
 
 import argparse
+import glob as _glob
+import json
 import pathlib
 import sys
 
+from repro import api
 from repro.ir.nodes import LoopNest
-from repro.ir.parser import parse_nest
 from repro.ir.printer import format_nest
 from repro.machine.model import MachineModel
-from repro.machine.presets import dec_alpha, hp_pa_risc, prefetching_machine
 
-MACHINES = {
-    "alpha": dec_alpha,
-    "pa": hp_pa_risc,
-    "prefetch": prefetching_machine,
-}
+#: File suffixes treated as nest sources when scanning a batch directory.
+NEST_SUFFIXES = (".f", ".loop", ".nest", ".txt")
 
 def _machine(name: str) -> MachineModel:
     try:
-        return MACHINES[name]()
-    except KeyError:
-        raise SystemExit(f"unknown machine {name!r}; choose from "
-                         f"{sorted(MACHINES)}")
+        return api.coerce_machine(name)
+    except ValueError as err:
+        raise SystemExit(str(err))
+
+def _nest(spec: str) -> LoopNest:
+    try:
+        return api.coerce_nest(spec)
+    except api.NestResolutionError as err:
+        raise SystemExit(str(err))
 
 def _load_nest(spec: str) -> LoopNest:
-    from repro.kernels import kernel_by_name
+    """Deprecated shim: the coercion now lives in :func:`repro.api.coerce_nest`."""
+    api.warn_deprecated("repro.cli._load_nest", "repro.api.coerce_nest")
+    return _nest(spec)
 
-    try:
-        return kernel_by_name(spec).nest
-    except KeyError:
-        pass
-    path = pathlib.Path(spec)
-    if path.exists():
-        return parse_nest(path.read_text(), name=path.stem)
-    raise SystemExit(f"{spec!r} is neither a kernel name nor a readable "
-                     "file; try 'kernels' for the list")
+def __getattr__(name: str):
+    if name == "MACHINES":
+        api.warn_deprecated("repro.cli.MACHINES", "repro.api.MACHINES")
+        return dict(api.MACHINES)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 def cmd_kernels(args: argparse.Namespace) -> int:
     from repro.kernels import all_kernels
@@ -62,7 +67,7 @@ def cmd_kernels(args: argparse.Namespace) -> int:
     return 0
 
 def cmd_show(args: argparse.Namespace) -> int:
-    print(format_nest(_load_nest(args.nest)))
+    print(format_nest(_nest(args.nest)))
     return 0
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -70,7 +75,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.baselines.brute_force import measure_unrolled
     from repro.unroll.report import reuse_summary
 
-    nest = _load_nest(args.nest)
+    nest = _nest(args.nest)
     machine = _machine(args.machine)
     print(format_nest(nest))
     print()
@@ -89,9 +94,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 def cmd_optimize(args: argparse.Namespace) -> int:
     from repro.unroll.report import optimization_report
 
-    nest = _load_nest(args.nest)
+    nest = _nest(args.nest)
     machine = _machine(args.machine)
-    print(optimization_report(nest, machine, bound=args.bound,
+    result = api.optimize(nest, machine, bound=args.bound,
+                          include_cache=not args.no_cache)
+    print(optimization_report(nest, machine, result=result,
+                              bound=args.bound,
                               include_cache=not args.no_cache,
                               show_code=not args.quiet))
     return 0
@@ -99,7 +107,6 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.kernels import kernel_by_name
     from repro.machine.simulator import simulate
-    from repro.unroll.optimize import choose_unroll
 
     try:
         kernel = kernel_by_name(args.kernel)
@@ -110,7 +117,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.unroll:
         unroll = tuple(int(x) for x in args.unroll.split(","))
     else:
-        unroll = choose_unroll(kernel.nest, machine, bound=args.bound).unroll
+        unroll = api.optimize(kernel.nest, machine, bound=args.bound).unroll
     base = simulate(kernel.nest, machine, kernel.bindings, kernel.shapes)
     opt = simulate(kernel.nest, machine, kernel.bindings, kernel.shapes,
                    unroll=unroll)
@@ -123,10 +130,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 def cmd_prefetch(args: argparse.Namespace) -> int:
-    from repro.machine.schedule import schedule_body
     from repro.unroll.prefetch import format_plan, plan_prefetch
 
-    nest = _load_nest(args.nest)
+    nest = _nest(args.nest)
     machine = _machine(args.machine)
     print(format_plan(plan_prefetch(nest, machine)))
     return 0
@@ -135,7 +141,7 @@ def cmd_export(args: argparse.Namespace) -> int:
     from repro.dependence import build_dependence_graph
     from repro.dependence.export import summarize, to_dot
 
-    nest = _load_nest(args.nest)
+    nest = _nest(args.nest)
     graph = build_dependence_graph(nest,
                                    include_input=not args.no_input)
     if args.format == "dot":
@@ -149,7 +155,7 @@ def cmd_export(args: argparse.Namespace) -> int:
 def cmd_distribute(args: argparse.Namespace) -> int:
     from repro.transforms.distribution import distribute
 
-    nest = _load_nest(args.nest)
+    nest = _nest(args.nest)
     pieces = distribute(nest)
     print(f"{nest.name}: {len(pieces)} pi-block(s)")
     for piece in pieces:
@@ -161,7 +167,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     from repro.machine.schedule import schedule_body
     from repro.unroll.transform import unroll_and_jam
 
-    nest = _load_nest(args.nest)
+    nest = _nest(args.nest)
     machine = _machine(args.machine)
     if args.unroll:
         unroll = tuple(int(x) for x in args.unroll.split(","))
@@ -173,6 +179,69 @@ def cmd_schedule(args: argparse.Namespace) -> int:
           f"{result.critical_path}")
     print(f"  steady-state initiation interval "
           f"{float(result.initiation_interval):.2f} cycles/iteration")
+    return 0
+
+def _collect_batch_specs(patterns: list[str]) -> list:
+    """Expand each argument: directory -> nest files inside it, glob ->
+    matches, anything else -> passed through to the shared coercion (so
+    kernel names and plain paths work too)."""
+    specs: list = []
+    for pattern in patterns:
+        path = pathlib.Path(pattern)
+        if path.is_dir():
+            specs.extend(sorted(
+                child for child in path.iterdir()
+                if child.suffix in NEST_SUFFIXES and child.is_file()))
+            continue
+        matches = sorted(_glob.glob(pattern))
+        if matches:
+            specs.extend(pathlib.Path(m) for m in matches)
+        else:
+            specs.append(pattern)
+    return specs
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.engine import AnalysisEngine
+
+    specs = _collect_batch_specs(args.inputs)
+    if not specs:
+        raise SystemExit("no nests matched; pass a directory, a glob, "
+                         "nest files, or kernel names")
+    engine = AnalysisEngine(disk_cache=args.cache,
+                            cache_dir=args.cache_dir)
+    report = api.optimize_many(specs, machine=args.machine,
+                               workers=args.workers, bound=args.bound,
+                               engine=engine)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 1 if report.failures else 0
+    print(f"{'name':<24s} {'unroll':<12s} {'balance':>8s} "
+          f"{'feasible':>8s} {'time':>8s}")
+    for item in report.items:
+        if item.ok and item.result is not None:
+            print(f"{item.name:<24.24s} {str(item.result.unroll):<12s} "
+                  f"{float(item.result.balance):>8.3f} "
+                  f"{str(item.result.feasible):>8s} "
+                  f"{item.duration_s:>7.3f}s")
+        else:
+            print(f"{item.name:<24.24s} FAILED: {item.error}")
+    print()
+    print(f"{len(report.items)} nest(s), {len(report.failures)} failure(s), "
+          f"{report.workers} worker(s), {report.wall_time_s:.3f}s "
+          f"({report.nests_per_sec:.1f} nests/sec)")
+    return 1 if report.failures else 0
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.engine import clear_disk_cache, disk_cache_stats
+
+    if args.action == "stats":
+        stats = disk_cache_stats(args.dir)
+        print(f"cache dir: {stats['dir']}")
+        print(f"entries:   {stats['entries']}")
+        print(f"bytes:     {stats['bytes']}")
+    else:
+        removed = clear_disk_cache(args.dir)
+        print(f"removed {removed} cached table file(s)")
     return 0
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -229,6 +298,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "the optimizer choose)")
     p_sim.add_argument("--bound", type=int, default=6)
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_batch = sub.add_parser(
+        "batch", help="optimize a corpus through the analysis engine")
+    p_batch.add_argument("inputs", nargs="+",
+                         help="directories, globs, nest files, or kernel "
+                              "names")
+    p_batch.add_argument("--machine", default="alpha")
+    p_batch.add_argument("--bound", type=int, default=8)
+    p_batch.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (default: in-process)")
+    p_batch.add_argument("--json", action="store_true",
+                         help="emit the full report (items + metrics) as "
+                              "JSON")
+    p_batch.add_argument("--cache", action="store_true",
+                         help="use the on-disk table cache")
+    p_batch.add_argument("--cache-dir", default=None,
+                         help="override the cache location")
+    p_batch.set_defaults(func=cmd_batch)
+
+    p_cache = sub.add_parser("cache", help="on-disk table cache")
+    p_cache.add_argument("action", choices=("stats", "clear"))
+    p_cache.add_argument("--dir", default=None,
+                         help="cache location (default: ~/.cache/repro or "
+                              "$REPRO_CACHE_DIR)")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_pf = sub.add_parser("prefetch", help="software-prefetch plan")
     p_pf.add_argument("nest")

@@ -104,11 +104,24 @@ def generate_routine(rng: random.Random, config: CorpusConfig,
         archetype(b, rng, idx)
     return b.build()
 
-def generate_corpus(config: CorpusConfig | None = None) -> list[LoopNest]:
-    """The full corpus, deterministic for a given seed."""
+def generate_corpus(config: CorpusConfig | None = None,
+                    metrics=None) -> list[LoopNest]:
+    """The full corpus, deterministic for a given seed.
+
+    ``metrics`` (a :class:`repro.engine.metrics.Metrics`) times generation
+    and counts routines, so corpus-scale experiments report where their
+    wall time went.
+    """
     config = config or CorpusConfig()
     rng = random.Random(config.seed)
-    return [generate_routine(rng, config, i) for i in range(config.routines)]
+    if metrics is None:
+        return [generate_routine(rng, config, i)
+                for i in range(config.routines)]
+    with metrics.timer("stage.corpus_generate"):
+        nests = [generate_routine(rng, config, i)
+                 for i in range(config.routines)]
+    metrics.count("corpus.routines", len(nests))
+    return nests
 
 #: Suite-flavoured archetype mixes, loosely modelled on the character of
 #: the paper's four sources: SPEC92 floating-point codes are stencil/update

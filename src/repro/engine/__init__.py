@@ -1,0 +1,559 @@
+"""The batch analysis engine: memoized per-nest artifacts + corpus fan-out.
+
+The paper's efficiency claim is that the precomputed GTS/GSS/RRS/RL tables
+answer balance and register-pressure queries for *every* unroll vector
+without re-unrolling.  :class:`AnalysisEngine` extends that claim across
+nests and across runs:
+
+* every expensive per-nest artifact (dependence graph, locality scores,
+  safety bounds, :class:`~repro.unroll.tables.UnrollTables`) is memoized
+  behind :meth:`repro.ir.nodes.LoopNest.structural_key` -- structurally
+  identical nests (including loop-variable renamings) share one analysis;
+* the in-process memo is a bounded LRU; tables can additionally persist to
+  an on-disk JSON cache (default ``~/.cache/repro/``, override with the
+  ``REPRO_CACHE_DIR`` environment variable) reusing
+  :mod:`repro.unroll.serialize`;
+* :meth:`AnalysisEngine.optimize_many` fans a corpus out over a process
+  pool with picklable task/result envelopes and per-nest error capture, so
+  one malformed nest degrades to a reported failure instead of killing the
+  batch;
+* every stage is instrumented through :mod:`repro.engine.metrics`.
+
+``engine.optimize(nest, machine)`` is guaranteed to return the same
+decision as :func:`repro.unroll.optimize.choose_unroll` -- the test suite
+and ``benchmarks/bench_engine_throughput.py`` enforce vector-level parity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence
+
+from repro.balance import loop_balance
+from repro.dependence.graph import DependenceGraph, build_dependence_graph
+from repro.engine.metrics import Metrics
+from repro.ir.nodes import LoopNest
+from repro.machine.model import MachineModel
+from repro.reuse.locality import loop_locality_scores
+from repro.reuse.ugs import UniformlyGeneratedSet, partition_ugs
+from repro.unroll.optimize import (
+    OptimizationResult,
+    search_space,
+    select_candidate_loops,
+)
+from repro.unroll.safety import safe_unroll_bounds
+from repro.unroll.serialize import tables_from_json, tables_to_json
+from repro.unroll.space import DEFAULT_BOUND, UnrollSpace
+from repro.unroll.tables import UnrollTables, build_tables
+
+__all__ = [
+    "AnalysisEngine",
+    "BatchError",
+    "BatchItem",
+    "BatchReport",
+    "NestArtifacts",
+    "clear_disk_cache",
+    "default_cache_dir",
+    "disk_cache_stats",
+]
+
+#: Bump when the on-disk key derivation or payload layout changes.
+DISK_FORMAT_VERSION = 1
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return pathlib.Path(override).expanduser()
+    return pathlib.Path.home() / ".cache" / "repro"
+
+class _LRU:
+    """A bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("LRU capacity must be positive")
+        self.capacity = capacity
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        if key not in self._data:
+            return None
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+@dataclass(frozen=True)
+class NestArtifacts:
+    """The memoized analysis bundle for one structural equivalence class.
+
+    When a cache hit serves a *renamed* twin of the nest that was analyzed
+    first, the artifacts reference that first nest's occurrences; every
+    numeric quantity (safety bounds, locality scores, table values) is
+    identical across the class by construction of
+    :meth:`LoopNest.structural_key`.
+    """
+
+    key: str
+    graph: DependenceGraph  # the UGS compiler view: no input dependences
+    safety: tuple[int, ...]
+    locality: tuple[Fraction, ...]
+    ugs: tuple[UniformlyGeneratedSet, ...]
+    line_size: int
+
+@dataclass(frozen=True)
+class BatchError:
+    """An input that failed before reaching the engine (e.g. coercion)."""
+
+    name: str
+    message: str
+
+@dataclass
+class BatchItem:
+    """Per-nest envelope of :meth:`AnalysisEngine.optimize_many`."""
+
+    index: int
+    name: str
+    ok: bool
+    result: OptimizationResult | None = None
+    error: str | None = None
+    duration_s: float = 0.0
+    metrics: dict | None = None  # worker-side snapshot, merged by the parent
+
+    def to_dict(self) -> dict:
+        row: dict = {"index": self.index, "name": self.name, "ok": self.ok,
+                     "duration_s": self.duration_s}
+        if self.ok and self.result is not None:
+            row["unroll"] = list(self.result.unroll)
+            row["balance"] = float(self.result.balance)
+            row["objective"] = float(self.result.objective)
+            row["feasible"] = self.result.feasible
+        else:
+            row["error"] = self.error
+        return row
+
+@dataclass
+class BatchReport:
+    """Everything :meth:`AnalysisEngine.optimize_many` learned."""
+
+    items: list[BatchItem]
+    workers: int
+    wall_time_s: float
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def results(self) -> list[OptimizationResult]:
+        return [item.result for item in self.items
+                if item.ok and item.result is not None]
+
+    @property
+    def failures(self) -> list[BatchItem]:
+        return [item for item in self.items if not item.ok]
+
+    @property
+    def nests_per_sec(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return len(self.items) / self.wall_time_s
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "wall_time_s": self.wall_time_s,
+            "nests": len(self.items),
+            "failures": len(self.failures),
+            "nests_per_sec": self.nests_per_sec,
+            "items": [item.to_dict() for item in self.items],
+            "metrics": self.metrics,
+        }
+
+class AnalysisEngine:
+    """Memoizing, metric-instrumented front end over the paper's analyses.
+
+    Parameters
+    ----------
+    capacity:
+        Bound of each in-process LRU (graphs, artifacts, tables).
+    metrics:
+        An existing :class:`Metrics` to record into (default: fresh).
+    disk_cache:
+        Persist/look up serialized tables under ``cache_dir``.
+    cache_dir:
+        On-disk cache location (default :func:`default_cache_dir`).
+    """
+
+    def __init__(self, capacity: int = 256, metrics: Metrics | None = None,
+                 disk_cache: bool = False,
+                 cache_dir: str | os.PathLike | None = None):
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.disk_cache = disk_cache
+        self.cache_dir = (pathlib.Path(cache_dir) if cache_dir is not None
+                          else default_cache_dir())
+        self._graphs = _LRU(capacity)
+        self._artifacts = _LRU(capacity)
+        self._tables = _LRU(capacity)
+
+    # -- memoized building blocks -------------------------------------------
+
+    def dependence_graph(self, nest: LoopNest,
+                         include_input: bool = False) -> DependenceGraph:
+        """The nest's dependence graph, memoized by structural key."""
+        key = (nest.structural_key(), include_input)
+        cached = self._graphs.get(key)
+        if cached is not None:
+            self.metrics.count("cache.graph.hit")
+            return cached
+        self.metrics.count("cache.graph.miss")
+        with self.metrics.timer("stage.dependence_graph"):
+            graph = build_dependence_graph(nest, include_input=include_input)
+        self._graphs.put(key, graph)
+        return graph
+
+    def analyze(self, nest: LoopNest,
+                machine: MachineModel | None = None,
+                line_size: int | None = None) -> NestArtifacts:
+        """Dependence graph + safety bounds + locality scores + UGS
+        partition for one nest, memoized by structural key."""
+        if line_size is None:
+            line_size = machine.cache_line_words if machine is not None else 4
+        key = (nest.structural_key(), line_size)
+        cached = self._artifacts.get(key)
+        if cached is not None:
+            self.metrics.count("cache.artifacts.hit")
+            return cached
+        self.metrics.count("cache.artifacts.miss")
+        graph = self.dependence_graph(nest, include_input=False)
+        with self.metrics.timer("stage.safety"):
+            safety = safe_unroll_bounds(nest, graph)
+        with self.metrics.timer("stage.locality"):
+            locality = tuple(loop_locality_scores(nest, line_size=line_size))
+        with self.metrics.timer("stage.ugs_partition"):
+            ugs = tuple(partition_ugs(nest))
+        artifacts = NestArtifacts(key=key[0], graph=graph, safety=safety,
+                                  locality=locality, ugs=ugs,
+                                  line_size=line_size)
+        self._artifacts.put(key, artifacts)
+        return artifacts
+
+    def tables(self, nest: LoopNest, space: UnrollSpace, line_size: int,
+               trip: int = 100) -> UnrollTables:
+        """The GTS/GSS/RRS/RL tables, memoized in memory and (optionally)
+        on disk."""
+        key = (nest.structural_key(), space.dims, space.bounds, line_size,
+               trip)
+        cached = self._tables.get(key)
+        if cached is not None:
+            self.metrics.count("cache.tables.hit")
+            return _rebind_tables(cached, nest)
+        loaded = self._load_disk_tables(key, nest)
+        if loaded is not None:
+            self.metrics.count("cache.tables.hit")
+            self._tables.put(key, loaded)
+            return loaded
+        self.metrics.count("cache.tables.miss")
+        with self.metrics.timer("stage.build_tables"):
+            tables = build_tables(nest, space, line_size=line_size, trip=trip)
+        self._tables.put(key, tables)
+        self._store_disk_tables(key, tables)
+        return tables
+
+    # -- the end-to-end decision --------------------------------------------
+
+    def optimize(self, nest: LoopNest, machine: MachineModel,
+                 bound: int = DEFAULT_BOUND, max_loops: int = 2,
+                 include_cache: bool = True,
+                 trip: int = 100) -> OptimizationResult:
+        """Memoized equivalent of :func:`repro.unroll.optimize.choose_unroll`
+        (same decision, byte-identical unroll vector)."""
+        with self.metrics.timer("stage.optimize"):
+            line_size = machine.cache_line_words
+            artifacts = self.analyze(nest, line_size=line_size)
+            safety = artifacts.safety
+            candidates = select_candidate_loops(
+                nest, safety, max_loops, line_size,
+                scores=artifacts.locality)
+            bounds = tuple(min(bound, safety[level]) for level in candidates)
+            space = UnrollSpace(nest.depth, candidates, bounds)
+            tables = self.tables(nest, space, line_size, trip)
+            with self.metrics.timer("stage.search"):
+                chosen, feasible = search_space(tables, machine,
+                                                include_cache)
+                point = tables.point(chosen)
+                breakdown = loop_balance(point, machine, include_cache)
+        self.metrics.count("engine.optimize")
+        return OptimizationResult(
+            nest=nest,
+            unroll=chosen,
+            breakdown=breakdown,
+            objective=abs(breakdown.balance - machine.balance),
+            feasible=feasible,
+            space=space,
+            tables=tables,
+            safety=safety,
+            candidates=candidates,
+        )
+
+    # -- corpus fan-out ------------------------------------------------------
+
+    def optimize_many(self, nests: Sequence[object], machine: MachineModel,
+                      workers: int | None = None,
+                      bound: int = DEFAULT_BOUND, max_loops: int = 2,
+                      include_cache: bool = True,
+                      trip: int = 100) -> BatchReport:
+        """Optimize a whole corpus.
+
+        ``workers=None`` or ``1`` runs in-process (sharing this engine's
+        caches); ``workers=N`` fans out over a process pool.  Entries that
+        are not :class:`LoopNest` (or are :class:`BatchError` placeholders
+        from upstream coercion) and nests whose analysis raises become
+        failed items; the rest of the batch completes.
+        """
+        start = time.monotonic()
+        params = dict(bound=bound, max_loops=max_loops,
+                      include_cache=include_cache, trip=trip)
+        if workers is not None and workers > 1:
+            items = self._run_parallel(nests, machine, workers, params)
+        else:
+            items = [self._run_one(i, nest, machine, params)
+                     for i, nest in enumerate(nests)]
+        wall = time.monotonic() - start
+        self.metrics.count("batch.runs")
+        self.metrics.count("batch.items", len(items))
+        self.metrics.count("batch.failures",
+                           sum(1 for item in items if not item.ok))
+        self.metrics.observe("stage.batch", wall)
+        return BatchReport(items=items, workers=workers or 1,
+                           wall_time_s=wall,
+                           metrics=self.metrics.snapshot())
+
+    def _run_one(self, index: int, nest: object, machine: MachineModel,
+                 params: dict) -> BatchItem:
+        name = getattr(nest, "name", f"item{index}")
+        if isinstance(nest, BatchError):
+            return BatchItem(index=index, name=nest.name, ok=False,
+                             error=nest.message)
+        if not isinstance(nest, LoopNest):
+            return BatchItem(index=index, name=str(name), ok=False,
+                             error=f"not a loop nest: {type(nest).__name__}")
+        t0 = time.monotonic()
+        try:
+            result = self.optimize(nest, machine, **params)
+        except Exception as err:  # per-nest capture: the batch survives
+            return BatchItem(index=index, name=nest.name, ok=False,
+                             error=f"{type(err).__name__}: {err}",
+                             duration_s=time.monotonic() - t0)
+        return BatchItem(index=index, name=nest.name, ok=True, result=result,
+                         duration_s=time.monotonic() - t0)
+
+    def _run_parallel(self, nests: Sequence[object], machine: MachineModel,
+                      workers: int, params: dict) -> list[BatchItem]:
+        from concurrent import futures
+
+        local: list[BatchItem] = []
+        tasks: list[_Task] = []
+        for index, nest in enumerate(nests):
+            if isinstance(nest, LoopNest):
+                tasks.append(_Task(index=index, nest=nest, machine=machine,
+                                   params=params,
+                                   disk_cache=self.disk_cache,
+                                   cache_dir=str(self.cache_dir)))
+            else:
+                local.append(self._run_one(index, nest, machine, params))
+        items = list(local)
+        try:
+            with futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                pending = {pool.submit(_optimize_task, task): task
+                           for task in tasks}
+                for future in futures.as_completed(pending):
+                    task = pending[future]
+                    try:
+                        item = future.result()
+                    except Exception as err:  # broken pool / unpicklable
+                        item = BatchItem(index=task.index,
+                                         name=task.nest.name, ok=False,
+                                         error=f"worker failed: "
+                                               f"{type(err).__name__}: {err}")
+                    if item.metrics is not None:
+                        self.metrics.merge(item.metrics)
+                        item.metrics = None
+                    items.append(item)
+        except (OSError, PermissionError, NotImplementedError):
+            # No process pool available here: degrade to in-process.
+            self.metrics.count("batch.pool_fallback")
+            done = {item.index for item in items}
+            for task in tasks:
+                if task.index not in done:
+                    items.append(self._run_one(task.index, task.nest,
+                                               machine, params))
+        items.sort(key=lambda item: item.index)
+        return items
+
+    # -- cache management ----------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        """Sizes and hit counters of every cache layer."""
+        stats = {
+            "memory": {
+                "graphs": len(self._graphs),
+                "artifacts": len(self._artifacts),
+                "tables": len(self._tables),
+                "capacity": self._tables.capacity,
+            },
+            "counters": {
+                name: value for name, value in
+                sorted(self.metrics.counters.items())
+                if name.startswith("cache.")},
+            "hit_rates": {
+                family: self.metrics.hit_rate(f"cache.{family}")
+                for family in ("graph", "artifacts", "tables")},
+            "disk_enabled": self.disk_cache,
+        }
+        if self.disk_cache:
+            stats["disk"] = disk_cache_stats(self.cache_dir)
+        return stats
+
+    def clear(self) -> None:
+        """Drop every in-memory memo (the disk cache is left alone)."""
+        self._graphs.clear()
+        self._artifacts.clear()
+        self._tables.clear()
+
+    # -- disk layer ----------------------------------------------------------
+
+    def _disk_path(self, key: tuple) -> pathlib.Path:
+        digest = hashlib.sha256(
+            f"v{DISK_FORMAT_VERSION}:{key!r}".encode("utf-8")).hexdigest()
+        return self.cache_dir / f"tables-{digest[:32]}.json"
+
+    def _load_disk_tables(self, key: tuple,
+                          nest: LoopNest) -> UnrollTables | None:
+        if not self.disk_cache:
+            return None
+        path = self._disk_path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.metrics.count("cache.disk.miss")
+            return None
+        try:
+            with self.metrics.timer("stage.disk_load"):
+                tables = tables_from_json(text)
+        except Exception:  # corrupt entry: recompute rather than fail
+            self.metrics.count("cache.disk.error")
+            return None
+        self.metrics.count("cache.disk.hit")
+        return _rebind_tables(tables, nest)
+
+    def _store_disk_tables(self, key: tuple, tables: UnrollTables) -> None:
+        if not self.disk_cache:
+            return
+        path = self._disk_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with self.metrics.timer("stage.disk_store"):
+                path.write_text(tables_to_json(tables))
+            self.metrics.count("cache.disk.store")
+        except OSError:
+            self.metrics.count("cache.disk.error")
+
+def _rebind_tables(tables: UnrollTables, nest: LoopNest) -> UnrollTables:
+    """Serve cached tables under the caller's nest object.
+
+    The cached entry may belong to a structurally identical twin (renamed
+    loop variables, different nest name); every numeric table is shared,
+    only the ``nest`` the result reports is swapped.
+    """
+    if tables.nest is nest:
+        return tables
+    rebound = UnrollTables(nest, tables.space, tables.line_size, tables.trip,
+                           tables.per_ugs)
+    rebound._points = tables._points  # share the point memo too
+    return rebound
+
+# -- worker-process plumbing -------------------------------------------------
+
+@dataclass(frozen=True)
+class _Task:
+    """Picklable work unit shipped to pool workers."""
+
+    index: int
+    nest: LoopNest
+    machine: MachineModel
+    params: dict
+    disk_cache: bool
+    cache_dir: str
+
+_WORKER_ENGINE: AnalysisEngine | None = None
+
+def _optimize_task(task: _Task) -> BatchItem:
+    """Run one task in a worker, reusing a per-process engine so repeated
+    structures stay warm within the worker; returns a picklable item
+    carrying the task's metrics snapshot for the parent to merge."""
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is None:
+        _WORKER_ENGINE = AnalysisEngine(disk_cache=task.disk_cache,
+                                        cache_dir=task.cache_dir)
+    engine = _WORKER_ENGINE
+    engine.metrics = Metrics()
+    t0 = time.monotonic()
+    try:
+        result = engine.optimize(task.nest, task.machine, **task.params)
+        item = BatchItem(index=task.index, name=task.nest.name, ok=True,
+                         result=result, duration_s=time.monotonic() - t0)
+    except Exception as err:
+        item = BatchItem(index=task.index, name=task.nest.name, ok=False,
+                         error=f"{type(err).__name__}: {err}",
+                         duration_s=time.monotonic() - t0)
+    item.metrics = engine.metrics.snapshot()
+    return item
+
+# -- module-level disk-cache utilities ---------------------------------------
+
+def disk_cache_stats(cache_dir: str | os.PathLike | None = None) -> dict:
+    """Entry count and byte total of the on-disk table cache."""
+    directory = (pathlib.Path(cache_dir) if cache_dir is not None
+                 else default_cache_dir())
+    entries = 0
+    total = 0
+    if directory.is_dir():
+        for path in directory.glob("tables-*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+    return {"dir": str(directory), "entries": entries, "bytes": total}
+
+def clear_disk_cache(cache_dir: str | os.PathLike | None = None) -> int:
+    """Delete every cached table file; returns how many were removed."""
+    directory = (pathlib.Path(cache_dir) if cache_dir is not None
+                 else default_cache_dir())
+    removed = 0
+    if directory.is_dir():
+        for path in directory.glob("tables-*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+    return removed

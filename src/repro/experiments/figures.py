@@ -17,10 +17,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine import AnalysisEngine
 from repro.kernels import Kernel, all_kernels
 from repro.machine.model import MachineModel
 from repro.machine.simulator import SimulationResult, simulate
-from repro.unroll.optimize import choose_unroll
 from repro.unroll.space import UnrollVector
 
 @dataclass(frozen=True)
@@ -36,12 +36,19 @@ class FigureRow:
     normalized_cache: float
 
 def evaluate_kernel(kernel: Kernel, machine: MachineModel,
-                    bound: int = 6) -> FigureRow:
+                    bound: int = 6,
+                    engine: AnalysisEngine | None = None) -> FigureRow:
     """Pick unroll vectors under both models and simulate all three
-    configurations."""
+    configurations.
+
+    Both model variants share one engine, so the tables are built once per
+    kernel and the cache-oblivious pass is served from the memo.
+    """
+    engine = engine if engine is not None else AnalysisEngine()
     nest = kernel.nest
-    no_cache = choose_unroll(nest, machine, bound=bound, include_cache=False)
-    cache = choose_unroll(nest, machine, bound=bound, include_cache=True)
+    no_cache = engine.optimize(nest, machine, bound=bound,
+                               include_cache=False)
+    cache = engine.optimize(nest, machine, bound=bound, include_cache=True)
 
     original = simulate(nest, machine, kernel.bindings, kernel.shapes)
     sim_no_cache = simulate(nest, machine, kernel.bindings, kernel.shapes,
@@ -59,10 +66,13 @@ def evaluate_kernel(kernel: Kernel, machine: MachineModel,
     )
 
 def run_figure(machine: MachineModel, bound: int = 6,
-               kernels: list[Kernel] | None = None) -> list[FigureRow]:
+               kernels: list[Kernel] | None = None,
+               engine: AnalysisEngine | None = None) -> list[FigureRow]:
     """All bar groups for one machine (Figure 8: Alpha, Figure 9: PA-RISC)."""
     kernels = kernels if kernels is not None else all_kernels()
-    return [evaluate_kernel(kernel, machine, bound) for kernel in kernels]
+    engine = engine if engine is not None else AnalysisEngine()
+    return [evaluate_kernel(kernel, machine, bound, engine)
+            for kernel in kernels]
 
 def render_bars(rows: list[FigureRow], width: int = 40) -> str:
     """ASCII rendering of the figure's bar groups (Original / No Cache /

@@ -12,8 +12,9 @@ import math
 from dataclasses import dataclass
 
 from repro.corpus import CorpusConfig, generate_corpus
-from repro.dependence import build_dependence_graph, graph_size_report
+from repro.dependence import graph_size_report
 from repro.dependence.stats import GraphSizeReport
+from repro.engine import AnalysisEngine
 
 #: The paper's Table 1 bands: (label, inclusive lo %, inclusive hi %).
 BANDS: tuple[tuple[str, float, float], ...] = (
@@ -128,26 +129,41 @@ def summarize_reports(reports: list[GraphSizeReport],
                                 for r in with_deps),
     )
 
-def run_table1(config: CorpusConfig | None = None) -> Table1Report:
-    """Generate the corpus, analyze every routine, aggregate."""
+def run_table1(config: CorpusConfig | None = None,
+               engine: AnalysisEngine | None = None) -> Table1Report:
+    """Generate the corpus, analyze every routine, aggregate.
+
+    Graph construction goes through the engine: the corpus repeats
+    structures (copies, scalings, identical stencils), so a large share of
+    the 1187 routines are answered from the memo instead of re-running the
+    SIV tests.  Pass your own engine to read the cache counters and stage
+    timings afterwards.
+    """
     config = config or CorpusConfig()
+    engine = engine if engine is not None else AnalysisEngine()
+    nests = generate_corpus(config, metrics=engine.metrics)
     reports = []
-    for nest in generate_corpus(config):
-        graph = build_dependence_graph(nest, include_input=True)
-        reports.append(graph_size_report(graph))
+    with engine.metrics.timer("stage.table1_analyze"):
+        for nest in nests:
+            graph = engine.dependence_graph(nest, include_input=True)
+            reports.append(graph_size_report(graph))
     return summarize_reports(reports, config.routines)
 
 def run_table1_by_suite(routines_per_suite: int = 300,
-                        seed: int = 1997) -> dict[str, Table1Report]:
+                        seed: int = 1997,
+                        engine: AnalysisEngine | None = None,
+                        ) -> dict[str, Table1Report]:
     """Per-suite breakdown over the four benchmark-flavoured sub-corpora
     (the paper pools SPEC92, Perfect, NAS and local suites; this view
     shows the share is robust across source mixes)."""
     from repro.corpus.generator import generate_suite_corpora
 
+    engine = engine if engine is not None else AnalysisEngine()
     results = {}
     for suite, corpus in generate_suite_corpora(routines_per_suite,
                                                 seed).items():
-        reports = [graph_size_report(build_dependence_graph(nest))
+        reports = [graph_size_report(
+                       engine.dependence_graph(nest, include_input=True))
                    for nest in corpus]
         results[suite] = summarize_reports(reports, len(corpus))
     return results

@@ -7,6 +7,7 @@ structurally in tests.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence, Union
 
@@ -314,3 +315,56 @@ class LoopNest:
                     for name, _ in sub.param_coeffs:
                         _add(name)
         return tuple(seen)
+
+    def structural_key(self) -> str:
+        """Content hash of the nest's analyzable structure.
+
+        Two nests share a key exactly when every model in this repository
+        treats them identically: same loop bounds and steps, same statement
+        sequence, same array / parameter / scalar names and subscript
+        patterns.  The spelling of loop induction variables is canonicalized
+        away (``DO I``/``DO II`` collide when everything else matches), and
+        ``name`` and ``description`` never participate.  The key is the
+        cache identity used by :class:`repro.engine.AnalysisEngine`.
+        """
+        rename = {loop.index: f"%{pos:03d}"
+                  for pos, loop in enumerate(self.loops)}
+        parts = []
+        for loop in self.loops:
+            parts.append(f"do {rename[loop.index]} "
+                         f"{_key_bound(loop.lower)} {_key_bound(loop.upper)} "
+                         f"{loop.step}")
+        for stmt in self.body:
+            parts.append(f"{_key_expr(stmt.lhs, rename)}"
+                         f" = {_key_expr(stmt.rhs, rename)}")
+        blob = "\n".join(parts)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+def _key_bound(bound: Bound) -> str:
+    params = ",".join(f"{name}*{coef}"
+                      for name, coef in sorted(bound.param_coeffs))
+    return f"({params}|{bound.const})"
+
+def _key_subscript(sub: Subscript, rename: Mapping[str, str]) -> str:
+    loops = ",".join(f"{canon}*{coef}" for canon, coef in
+                     sorted((rename.get(name, name), coef)
+                            for name, coef in sub.loop_coeffs))
+    params = ",".join(f"{name}*{coef}"
+                      for name, coef in sorted(sub.param_coeffs))
+    return f"[{loops}|{params}|{sub.const}]"
+
+def _key_expr(expr: Expr, rename: Mapping[str, str]) -> str:
+    if isinstance(expr, Const):
+        return f"c{expr.value!r}"
+    if isinstance(expr, ScalarVar):
+        return f"s{rename.get(expr.name, expr.name)}"
+    if isinstance(expr, ArrayRef):
+        subs = "".join(_key_subscript(s, rename) for s in expr.subscripts)
+        return f"a{expr.array}{subs}"
+    if isinstance(expr, BinOp):
+        return (f"({_key_expr(expr.left, rename)}{expr.op}"
+                f"{_key_expr(expr.right, rename)})")
+    if isinstance(expr, Call):
+        args = ",".join(_key_expr(a, rename) for a in expr.args)
+        return f"f{expr.func}({args})"
+    raise TypeError(f"unknown expression node {expr!r}")

@@ -68,6 +68,12 @@ class Matrix:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Matrix is immutable")
 
+    def __reduce__(self):
+        # __slots__ plus the blocked __setattr__ defeat default pickling;
+        # rebuild through the constructor instead (needed to ship analysis
+        # results across process-pool workers).
+        return (Matrix, (self.rows, self.ncols))
+
     # -- construction helpers -------------------------------------------------
 
     @staticmethod

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import Sequence
 
 from repro.balance import loop_balance, objective
 from repro.balance.loop_balance import BalanceBreakdown
@@ -42,10 +43,17 @@ class OptimizationResult:
 
 def select_candidate_loops(nest: LoopNest, safety: tuple[int, ...],
                            max_loops: int = 2,
-                           line_size: int = 4) -> tuple[int, ...]:
+                           line_size: int = 4,
+                           scores: Sequence[Fraction] | None = None,
+                           ) -> tuple[int, ...]:
     """The loops to unroll: best locality first (section 4.5), restricted
-    to outer loops that safety allows to move at all."""
-    scores = loop_locality_scores(nest, line_size=line_size)
+    to outer loops that safety allows to move at all.
+
+    ``scores`` lets callers (the analysis engine) pass memoized
+    :func:`loop_locality_scores` instead of recomputing them.
+    """
+    if scores is None:
+        scores = loop_locality_scores(nest, line_size=line_size)
     usable = [level for level in range(nest.depth - 1) if safety[level] > 0]
     ranked = sorted(usable, key=lambda lv: (-scores[lv], lv))
     chosen = ranked[:max_loops]

@@ -113,3 +113,51 @@ class TestNewCommands:
         code, out = run_cli(capsys, "schedule", "dmxpy1", "--unroll", "2,0")
         assert code == 0
         assert "initiation interval" in out
+
+class TestBatchAndCache:
+    def test_batch_kernel_names(self, capsys):
+        code, out = run_cli(capsys, "batch", "jacobi", "afold",
+                            "--bound", "3")
+        assert code == 0
+        assert "jacobi" in out and "afold" in out
+        assert "nests/sec" in out
+
+    def test_batch_directory(self, capsys, tmp_path):
+        (tmp_path / "a.f").write_text(
+            "DO J = 0, N\n  DO I = 0, M\n    A(J) = A(J) + B(I)\n"
+            "  ENDDO\nENDDO\n")
+        (tmp_path / "b.f").write_text("DO I = 0, N\n  A(I) = B(I) * 2\nENDDO\n")
+        code, out = run_cli(capsys, "batch", str(tmp_path), "--bound", "2")
+        assert code == 0
+        assert "a" in out and "b" in out and "2 nest(s)" in out
+
+    def test_batch_json_reports_failures(self, capsys, tmp_path):
+        import json
+
+        (tmp_path / "broken.f").write_text("DO I = 0, N\nENDDO\n")
+        code, out = run_cli(capsys, "batch", str(tmp_path / "broken.f"),
+                            "jacobi", "--bound", "2", "--json")
+        assert code == 1  # one failure
+        payload = json.loads(out)
+        assert payload["nests"] == 2 and payload["failures"] == 1
+        failed = [item for item in payload["items"] if not item["ok"]]
+        assert "does not parse" in failed[0]["error"]
+        assert "metrics" in payload
+
+    def test_batch_nothing_matched(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["batch", str(tmp_path)])  # empty directory
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code, out = run_cli(capsys, "cache", "stats")
+        assert code == 0
+        assert str(tmp_path) in out and "entries:   0" in out
+
+        code, out = run_cli(capsys, "batch", "jacobi", "--bound", "2",
+                            "--cache", "--cache-dir", str(tmp_path))
+        assert code == 0
+        code, out = run_cli(capsys, "cache", "stats", "--dir", str(tmp_path))
+        assert "entries:   1" in out
+        code, out = run_cli(capsys, "cache", "clear", "--dir", str(tmp_path))
+        assert "removed 1" in out
