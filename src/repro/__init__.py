@@ -22,6 +22,9 @@ Building nests programmatically still works the classic way::
     nest = b.build()
     result = choose_unroll(nest, dec_alpha(), bound=8)
 
+The long-lived HTTP analysis service lives in :mod:`repro.serve`
+(``python -m repro serve``; see docs/SERVING.md).
+
 See README.md for the tour, DESIGN.md for the system inventory,
 docs/ENGINE.md for the batch analysis engine, and EXPERIMENTS.md for the
 paper-vs-measured results.
@@ -49,7 +52,7 @@ from repro.unroll.optimize import choose_unroll
 from repro.unroll.tables import build_tables
 from repro.unroll.transform import unroll_and_jam
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalysisEngine",

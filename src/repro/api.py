@@ -27,7 +27,7 @@ import difflib
 import os
 import pathlib
 import warnings
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.engine import (
     AnalysisEngine,
@@ -58,6 +58,7 @@ __all__ = [
     "default_engine",
     "optimize",
     "optimize_many",
+    "serialize_nest",
     "transform",
 ]
 
@@ -72,7 +73,20 @@ MACHINES = {
 
 class NestResolutionError(ValueError):
     """A nest specification that could not be resolved, with a diagnosis
-    that distinguishes *parse failures* from *unknown names*."""
+    that distinguishes *parse failures* from *unknown names*.
+
+    ``kind`` is the machine-readable facet of that diagnosis (consumed by
+    the serving layer's structured error responses):
+
+    * ``"parse"``   -- the input was source text but does not parse;
+    * ``"unknown"`` -- a name that matches no kernel and no file;
+    * ``"io"``      -- a path that exists but cannot be read;
+    * ``"invalid"`` -- a shape :func:`coerce_nest` does not accept at all.
+    """
+
+    def __init__(self, message: str, kind: str = "invalid"):
+        super().__init__(message)
+        self.kind = kind
 
 # -- coercion (the one shared helper) ----------------------------------------
 
@@ -80,13 +94,14 @@ def _nest_from_path(path: pathlib.Path, name: str | None = None) -> LoopNest:
     try:
         text = path.read_text()
     except OSError as err:
-        raise NestResolutionError(f"cannot read {path}: {err}") from None
+        raise NestResolutionError(f"cannot read {path}: {err}",
+                                  kind="io") from None
     try:
         return parse_nest(text, name=name or path.stem)
     except ParseError as err:
         # The file exists; say exactly where parsing stopped.
         raise NestResolutionError(
-            f"{path} exists but does not parse: {err}") from None
+            f"{path} exists but does not parse: {err}", kind="parse") from None
 
 def _looks_like_source(text: str) -> bool:
     upper = text.upper()
@@ -98,7 +113,9 @@ def coerce_nest(spec: "LoopNest | str | os.PathLike",
     """Resolve any accepted nest shape to a :class:`LoopNest`.
 
     Accepts, in order of precedence: a ``LoopNest`` (returned as-is), a
-    path object, a DO-loop source string, a Table 2 kernel name, or a
+    path object, a serialized nest mapping (``{"source": ..., "name": ...}``
+    as produced by :func:`serialize_nest` -- the wire form the serving
+    layer speaks), a DO-loop source string, a Table 2 kernel name, or a
     string path to a nest file.  Raises :class:`NestResolutionError` with
     a parser error and line number when a file or source string is
     malformed, or with a closest-match suggestion when a kernel name is
@@ -108,6 +125,18 @@ def coerce_nest(spec: "LoopNest | str | os.PathLike",
         return spec
     if isinstance(spec, os.PathLike):
         return _nest_from_path(pathlib.Path(spec), name)
+    if isinstance(spec, Mapping):
+        source = spec.get("source")
+        if not isinstance(source, str):
+            raise NestResolutionError(
+                "a serialized nest needs a 'source' string of DO-loop text")
+        label = spec.get("name") or name or "parsed"
+        try:
+            return parse_nest(source, name=str(label))
+        except ParseError as err:
+            raise NestResolutionError(
+                f"serialized nest does not parse: {err}", kind="parse") \
+                from None
     if not isinstance(spec, str):
         raise NestResolutionError(
             f"cannot make a loop nest from {type(spec).__name__!s}")
@@ -116,7 +145,7 @@ def coerce_nest(spec: "LoopNest | str | os.PathLike",
             return parse_nest(spec, name=name or "parsed")
         except ParseError as err:
             raise NestResolutionError(
-                f"nest source does not parse: {err}") from None
+                f"nest source does not parse: {err}", kind="parse") from None
 
     from repro.kernels import all_kernels, kernel_by_name
 
@@ -132,7 +161,18 @@ def coerce_nest(spec: "LoopNest | str | os.PathLike",
     hint = f"; did you mean {', '.join(close)}?" if close else \
         "; try 'python -m repro kernels' for the list"
     raise NestResolutionError(
-        f"unknown kernel {spec!r} (and no such file){hint}")
+        f"unknown kernel {spec!r} (and no such file){hint}", kind="unknown")
+
+def serialize_nest(nest: LoopNest) -> dict:
+    """The JSON-ready wire form of a nest: ``{"name", "source"}``.
+
+    ``source`` is the canonical printed DO-loop text, which
+    :func:`coerce_nest` parses back; the round trip preserves the
+    structural key, so serialized twins share every engine cache entry.
+    """
+    from repro.ir.printer import format_nest
+
+    return {"name": nest.name, "source": format_nest(nest)}
 
 def coerce_machine(machine: "MachineModel | str") -> MachineModel:
     """A :class:`MachineModel` from a preset name or a model object."""

@@ -8,6 +8,7 @@ Commands:
 * ``optimize <nest>``              -- full unroll-and-jam report
 * ``simulate <kernel>``            -- trace-driven cycles, before/after
 * ``batch <dir|glob|nest>...``     -- optimize a corpus via the engine
+* ``serve``                        -- the HTTP analysis service (docs/SERVING.md)
 * ``cache (stats|clear)``          -- manage the on-disk table cache
 * ``table1``                       -- the input-dependence experiment
 * ``figure (alpha|pa)``            -- a Figure 8/9 column
@@ -231,6 +232,26 @@ def cmd_batch(args: argparse.Namespace) -> int:
           f"({report.nests_per_sec:.1f} nests/sec)")
     return 1 if report.failures else 0
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine import AnalysisEngine
+    from repro.serve.batcher import BatchConfig
+    from repro.serve.server import ServeConfig, run_server
+
+    if args.machine not in api.MACHINES:
+        raise SystemExit(f"unknown machine {args.machine!r}; choose from "
+                         f"{sorted(api.MACHINES)}")
+    config = ServeConfig(
+        host=args.host, port=args.port, machine=args.machine,
+        max_body=args.max_body, request_timeout_s=args.timeout,
+        metrics_path=args.metrics_out,
+        batch=BatchConfig(max_batch=args.batch_max,
+                          deadline_s=args.batch_deadline_ms / 1000.0,
+                          queue_limit=args.queue_limit,
+                          threads=args.threads,
+                          workers=args.workers or 0))
+    engine = AnalysisEngine(disk_cache=args.cache, cache_dir=args.cache_dir)
+    return run_server(config, engine)
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine import clear_disk_cache, disk_cache_stats
 
@@ -316,6 +337,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--cache-dir", default=None,
                          help="override the cache location")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP analysis service (see docs/SERVING.md)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8787,
+                         help="listen port (0 picks a free one, announced "
+                              "on stdout)")
+    p_serve.add_argument("--machine", default="alpha",
+                         help="default machine preset for requests that "
+                              "omit one")
+    p_serve.add_argument("--batch-max", type=int, default=16,
+                         help="flush a batch at this many distinct requests")
+    p_serve.add_argument("--batch-deadline-ms", type=float, default=10.0,
+                         help="...or this many ms after the first arrival")
+    p_serve.add_argument("--queue-limit", type=int, default=256,
+                         help="admission queue bound before 429s")
+    p_serve.add_argument("--threads", type=int, default=4,
+                         help="inline executor threads")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="process-pool size for large flushes "
+                              "(0 disables)")
+    p_serve.add_argument("--timeout", type=float, default=30.0,
+                         help="per-request timeout in seconds")
+    p_serve.add_argument("--max-body", type=int, default=64 * 1024,
+                         help="request body limit in bytes")
+    p_serve.add_argument("--metrics-out", default=None,
+                         help="flush the final metrics snapshot here on "
+                              "shutdown")
+    p_serve.add_argument("--cache", action="store_true",
+                         help="use the on-disk table cache")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="override the cache location")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_cache = sub.add_parser("cache", help="on-disk table cache")
     p_cache.add_argument("action", choices=("stats", "clear"))

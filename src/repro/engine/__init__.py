@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pathlib
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -74,34 +75,47 @@ def default_cache_dir() -> pathlib.Path:
     return pathlib.Path.home() / ".cache" / "repro"
 
 class _LRU:
-    """A bounded mapping with least-recently-used eviction."""
+    """A bounded mapping with least-recently-used eviction.
+
+    Thread-safe: the serving layer calls into one engine from a pool of
+    worker threads, so every access (including the recency bump inside
+    :meth:`get`) happens under a per-instance lock.  Concurrent misses on
+    the same key may both compute and :meth:`put`; the artifacts an engine
+    caches are deterministic per key, so the duplicate work is benign.
+    """
 
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ValueError("LRU capacity must be positive")
         self.capacity = capacity
         self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key):
-        if key not in self._data:
-            return None
-        self._data.move_to_end(key)
-        return self._data[key]
+        with self._lock:
+            if key not in self._data:
+                return None
+            self._data.move_to_end(key)
+            return self._data[key]
 
     def put(self, key, value) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
 @dataclass(frozen=True)
 class NestArtifacts:
@@ -458,8 +472,15 @@ class AnalysisEngine:
         try:
             with self.metrics.timer("stage.disk_load"):
                 tables = tables_from_json(text)
-        except Exception:  # corrupt entry: recompute rather than fail
+        except Exception:
+            # Corrupt or truncated entry: evict it so the slot is rebuilt
+            # from scratch, then recompute rather than fail the request.
             self.metrics.count("cache.disk.error")
+            try:
+                path.unlink()
+                self.metrics.count("cache.disk.evict")
+            except OSError:
+                pass
             return None
         self.metrics.count("cache.disk.hit")
         return _rebind_tables(tables, nest)
@@ -468,13 +489,21 @@ class AnalysisEngine:
         if not self.disk_cache:
             return
         path = self._disk_path(key)
+        # Write-to-temp + atomic rename: a concurrent reader (another thread
+        # or process) never observes a partially written entry.
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             with self.metrics.timer("stage.disk_store"):
-                path.write_text(tables_to_json(tables))
+                tmp.write_text(tables_to_json(tables))
+                os.replace(tmp, path)
             self.metrics.count("cache.disk.store")
         except OSError:
             self.metrics.count("cache.disk.error")
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
 def _rebind_tables(tables: UnrollTables, nest: LoopNest) -> UnrollTables:
     """Serve cached tables under the caller's nest object.

@@ -17,6 +17,7 @@ export the benchmark harness and ``python -m repro batch --json`` emit.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator, Mapping
@@ -53,6 +54,39 @@ class StageStats:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 < q <= 1``) in seconds.
+
+        Derived from the log-scale histogram by linear interpolation inside
+        the containing bucket; the first and last buckets are clamped to the
+        observed ``min``/``max``, so the estimate always lies inside the
+        observed range.  Exact when the stage was observed once.
+        """
+        if not self.count:
+            return 0.0
+        if self.count == 1:
+            return self.min
+        if not 0.0 < q <= 1.0:
+            raise ValueError("percentile rank must be in (0, 1]")
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for slot, upper in enumerate(BUCKET_BOUNDS):
+            in_bucket = self.buckets[slot]
+            if in_bucket and cumulative + in_bucket >= target:
+                lo = max(lower, self.min)
+                hi = max(lo, min(upper, self.max))
+                fraction = (target - cumulative) / in_bucket
+                return lo + fraction * (hi - lo)
+            cumulative += in_bucket
+            lower = upper
+        # Open-ended final bucket: everything slower than the last bound.
+        in_bucket = self.buckets[-1]
+        lo = max(lower, self.min)
+        hi = max(lo, self.max)
+        fraction = (target - cumulative) / in_bucket if in_bucket else 1.0
+        return lo + min(fraction, 1.0) * (hi - lo)
+
     def to_dict(self) -> dict:
         return {
             "count": self.count,
@@ -60,6 +94,9 @@ class StageStats:
             "mean_s": self.mean,
             "min_s": self.min if self.count else 0.0,
             "max_s": self.max,
+            "p50_s": self.percentile(0.50),
+            "p95_s": self.percentile(0.95),
+            "p99_s": self.percentile(0.99),
             "histogram": list(self.buckets),
         }
 
@@ -75,22 +112,39 @@ class StageStats:
                 self.buckets[slot] += value
 
 class Metrics:
-    """Counters plus per-stage timing, mergeable across processes."""
+    """Counters plus per-stage timing, mergeable across processes.
+
+    Recording and reading are protected by a reentrant lock, so one
+    ``Metrics`` may be shared by the serving layer's worker threads and the
+    asyncio dispatcher without torn counter updates.
+    """
 
     def __init__(self) -> None:
         self.counters: dict[str, int] = {}
         self.stages: dict[str, StageStats] = {}
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks do not pickle; workers get a fresh one
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # -- recording -----------------------------------------------------------
 
     def count(self, name: str, n: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + n
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     def observe(self, stage: str, seconds: float) -> None:
-        stats = self.stages.get(stage)
-        if stats is None:
-            stats = self.stages[stage] = StageStats()
-        stats.observe(seconds)
+        with self._lock:
+            stats = self.stages.get(stage)
+            if stats is None:
+                stats = self.stages[stage] = StageStats()
+            stats.observe(seconds)
 
     @contextmanager
     def timer(self, stage: str) -> Iterator[None]:
@@ -105,7 +159,8 @@ class Metrics:
     # -- reading -------------------------------------------------------------
 
     def counter(self, name: str) -> int:
-        return self.counters.get(name, 0)
+        with self._lock:
+            return self.counters.get(name, 0)
 
     def hit_rate(self, family: str) -> float:
         """``hits / (hits + misses)`` for a ``<family>.hit``/``.miss``
@@ -117,23 +172,25 @@ class Metrics:
 
     def snapshot(self) -> dict:
         """A JSON-serializable copy of everything recorded so far."""
-        return {
-            "counters": dict(self.counters),
-            "stages": {name: stats.to_dict()
-                       for name, stats in sorted(self.stages.items())},
-            "histogram_bounds_s": list(BUCKET_BOUNDS),
-        }
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "stages": {name: stats.to_dict()
+                           for name, stats in sorted(self.stages.items())},
+                "histogram_bounds_s": list(BUCKET_BOUNDS),
+            }
 
     def merge(self, snapshot: Mapping) -> None:
         """Fold another Metrics' :meth:`snapshot` into this one (used to
         aggregate worker-process metrics after a batch)."""
-        for name, value in snapshot.get("counters", {}).items():
-            self.count(name, value)
-        for name, data in snapshot.get("stages", {}).items():
-            stats = self.stages.get(name)
-            if stats is None:
-                stats = self.stages[name] = StageStats()
-            stats.merge_dict(data)
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.count(name, value)
+            for name, data in snapshot.get("stages", {}).items():
+                stats = self.stages.get(name)
+                if stats is None:
+                    stats = self.stages[name] = StageStats()
+                stats.merge_dict(data)
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -1,0 +1,278 @@
+"""Client and load generator for the analysis service.
+
+:class:`ServeClient` is a thin keep-alive HTTP client over
+``http.client`` (stdlib only, like the server).  :func:`run_load` drives
+a workload with a configurable duplicate fraction from a thread pool and
+reports throughput, exact latency percentiles, and the status mix --
+the measurement half of ``benchmarks/bench_serve_throughput.py`` and the
+CI smoke job::
+
+    python -m repro.serve.client --port 8787 --requests 100 \\
+        --concurrency 8 --duplicates 0.5 --min-2xx 0.99 --json out.json
+
+The smoke entry point waits for ``/healthz``, fires the load, asserts
+the 2xx rate, and appends the server's ``/metrics`` snapshot to the JSON
+artifact it writes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import pathlib
+import queue
+import sys
+import threading
+import time
+
+__all__ = ["ServeClient", "run_load", "wait_for_server", "main"]
+
+class ServeClient:
+    """One keep-alive connection; reconnects transparently on failure."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def request(self, method: str, path: str,
+                payload: dict | None = None) -> tuple[int, dict]:
+        """One exchange; returns ``(status, decoded-JSON body)``."""
+        body = json.dumps(payload).encode("utf-8") if payload is not None \
+            else None
+        headers = {"content-type": "application/json"} if body else {}
+        for attempt in (1, 2):  # one transparent reconnect
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt == 2:
+                    raise
+        try:
+            doc = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError:
+            doc = {"ok": False, "raw": raw.decode("latin-1")}
+        return response.status, doc
+
+    # -- the verbs -----------------------------------------------------------
+
+    def healthz(self) -> tuple[int, dict]:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> tuple[int, dict]:
+        return self.request("GET", "/metrics")
+
+    def analyze(self, nest, machine: str | None = None,
+                **params) -> tuple[int, dict]:
+        return self.call("analyze", nest, machine, params)
+
+    def optimize(self, nest, machine: str | None = None,
+                 **params) -> tuple[int, dict]:
+        return self.call("optimize", nest, machine, params)
+
+    def transform(self, nest, machine: str | None = None,
+                  unroll=None, **params) -> tuple[int, dict]:
+        if unroll is not None:
+            params["unroll"] = list(unroll)
+        return self.call("transform", nest, machine, params)
+
+    def call(self, kind: str, nest, machine: str | None,
+             params: dict) -> tuple[int, dict]:
+        """One API verb with an explicit params dict (load-generator path)."""
+        payload = {"nest": nest, **params}
+        if machine is not None:
+            payload["machine"] = machine
+        return self.request("POST", f"/v1/{kind}", payload)
+
+def wait_for_server(host: str, port: int, timeout_s: float = 15.0) -> bool:
+    """Poll ``/healthz`` until the server answers or the budget runs out."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        client = ServeClient(host, port, timeout=2.0)
+        try:
+            status, _ = client.healthz()
+            if status == 200:
+                return True
+        except OSError:
+            pass
+        finally:
+            client.close()
+        time.sleep(0.1)
+    return False
+
+# -- the load generator -------------------------------------------------------
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Exact sample quantile (nearest-rank) of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+def build_workload(n_requests: int, duplicate_fraction: float = 0.5,
+                   kinds: tuple[str, ...] = ("optimize",),
+                   nests: list | None = None) -> list[tuple[str, object]]:
+    """``n_requests`` specs of which roughly ``duplicate_fraction`` repeat
+    an earlier nest (round-robin over the Table 2 kernels by default)."""
+    if nests is None:
+        from repro.kernels import all_kernels
+
+        nests = [kernel.name for kernel in all_kernels()]
+    unique_budget = max(1, min(len(nests),
+                               round(n_requests * (1 - duplicate_fraction))))
+    pool = nests[:unique_budget]
+    return [(kinds[i % len(kinds)], pool[i % len(pool)])
+            for i in range(n_requests)]
+
+def run_load(host: str, port: int, workload: list[tuple[str, object]],
+             concurrency: int = 8, machine: str = "alpha",
+             **params) -> dict:
+    """Fire the workload from ``concurrency`` threads; returns the stats
+    document (throughput, latency percentiles, status mix, failures)."""
+    jobs: queue.Queue = queue.Queue()
+    for index, item in enumerate(workload):
+        jobs.put((index, item))
+    lock = threading.Lock()
+    latencies: list[float] = []
+    statuses: dict[int, int] = {}
+    failures: list[str] = []
+
+    def worker() -> None:
+        client = ServeClient(host, port)
+        while True:
+            try:
+                _, (kind, nest) = jobs.get_nowait()
+            except queue.Empty:
+                break
+            t0 = time.monotonic()
+            try:
+                status, doc = client.call(kind, nest, machine, dict(params))
+            except (OSError, http.client.HTTPException) as err:
+                with lock:
+                    failures.append(f"{kind} {nest!r}: "
+                                    f"{type(err).__name__}: {err}")
+                continue
+            elapsed = time.monotonic() - t0
+            with lock:
+                latencies.append(elapsed)
+                statuses[status] = statuses.get(status, 0) + 1
+                if status >= 400:
+                    failures.append(f"{kind} {nest!r}: HTTP {status} "
+                                    f"{doc.get('error')}")
+        client.close()
+
+    threads = [threading.Thread(target=worker, daemon=True)
+               for _ in range(max(1, concurrency))]
+    t_start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - t_start
+
+    completed = len(latencies)
+    ok_2xx = sum(count for status, count in statuses.items()
+                 if 200 <= status < 300)
+    latencies.sort()
+    return {
+        "requests": len(workload),
+        "completed": completed,
+        "concurrency": concurrency,
+        "wall_time_s": wall,
+        "throughput_rps": completed / wall if wall else 0.0,
+        "rate_2xx": ok_2xx / len(workload) if workload else 0.0,
+        "statuses": {str(status): count
+                     for status, count in sorted(statuses.items())},
+        "latency_s": {
+            "p50": _percentile(latencies, 0.50),
+            "p95": _percentile(latencies, 0.95),
+            "p99": _percentile(latencies, 0.99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        "failures": failures[:20],
+    }
+
+# -- CLI (the CI smoke job) ---------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="load-generate against a repro-serve instance")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787)
+    parser.add_argument("--requests", type=int, default=80)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--duplicates", type=float, default=0.5,
+                        help="fraction of requests repeating an earlier "
+                             "nest (default 0.5)")
+    parser.add_argument("--machine", default="alpha")
+    parser.add_argument("--bound", type=int, default=4)
+    parser.add_argument("--kinds", default="optimize",
+                        help="comma-separated verbs to mix (default "
+                             "optimize)")
+    parser.add_argument("--wait", type=float, default=15.0,
+                        help="seconds to wait for /healthz before loading")
+    parser.add_argument("--min-2xx", type=float, default=0.0,
+                        help="fail (exit 1) when the 2xx rate drops below "
+                             "this")
+    parser.add_argument("--json", default=None,
+                        help="write the stats document here")
+    args = parser.parse_args(argv)
+
+    if not wait_for_server(args.host, args.port, args.wait):
+        print(f"server at {args.host}:{args.port} never became healthy",
+              file=sys.stderr)
+        return 2
+    workload = build_workload(args.requests, args.duplicates,
+                              kinds=tuple(args.kinds.split(",")))
+    stats = run_load(args.host, args.port, workload,
+                     concurrency=args.concurrency, machine=args.machine,
+                     bound=args.bound)
+    probe = ServeClient(args.host, args.port)
+    try:
+        _, stats["server_metrics"] = probe.metrics()
+    except (OSError, http.client.HTTPException):
+        stats["server_metrics"] = None
+    finally:
+        probe.close()
+
+    print(f"{stats['completed']}/{stats['requests']} completed, "
+          f"{100 * stats['rate_2xx']:.1f}% 2xx, "
+          f"{stats['throughput_rps']:.1f} req/s, "
+          f"p50 {1000 * stats['latency_s']['p50']:.1f}ms "
+          f"p99 {1000 * stats['latency_s']['p99']:.1f}ms")
+    for failure in stats["failures"]:
+        print(f"  failure: {failure}", file=sys.stderr)
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(stats, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    if stats["rate_2xx"] < args.min_2xx:
+        print(f"2xx rate {stats['rate_2xx']:.3f} below required "
+              f"{args.min_2xx}", file=sys.stderr)
+        return 1
+    return 0
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""The wire protocol of the analysis service: JSON in, JSON out.
+
+One module owns every request/response shape so the server, the client,
+and the tests agree by construction:
+
+* :func:`parse_request` -- decode and validate a ``POST /v1/<verb>`` body
+  into a :class:`RequestSpec` (nest spec in any
+  :func:`repro.api.coerce_nest` shape, machine preset name, engine
+  parameters, and -- for ``transform`` -- an optional explicit unroll
+  vector);
+* ``*_payload`` builders -- JSON-ready success bodies for each verb,
+  every :class:`~fractions.Fraction` flattened to ``float``;
+* :func:`error_payload` / :class:`ProtocolError` -- the structured error
+  envelope ``{"ok": false, "error": {"type", "message"}}``, with
+  :func:`status_for_resolution` mapping
+  :class:`~repro.api.NestResolutionError` kinds onto HTTP statuses (parse
+  failures are the client's fault, 400; unknown kernels are absent
+  resources, 404).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.api import NestResolutionError
+from repro.engine import NestArtifacts
+from repro.ir.nodes import LoopNest
+from repro.ir.printer import format_nest
+from repro.machine.model import MachineModel
+from repro.unroll.optimize import OptimizationResult
+from repro.unroll.space import DEFAULT_BOUND
+from repro.unroll.transform import UnrolledNest
+
+__all__ = [
+    "KINDS",
+    "ProtocolError",
+    "RequestSpec",
+    "analyze_payload",
+    "error_payload",
+    "optimize_payload",
+    "parse_request",
+    "status_for_resolution",
+    "transform_payload",
+]
+
+#: The API verbs the service understands (the ``/v1/<kind>`` routes).
+KINDS = ("analyze", "optimize", "transform")
+
+#: Engine parameters a request may override, with their coercions.
+_PARAM_TYPES = {
+    "bound": int,
+    "max_loops": int,
+    "include_cache": bool,
+    "trip": int,
+}
+
+class ProtocolError(Exception):
+    """A request the protocol rejects, carrying its HTTP diagnosis."""
+
+    def __init__(self, status: int, error_type: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+
+@dataclass
+class RequestSpec:
+    """A validated API request, ready for coercion and dispatch."""
+
+    kind: str
+    nest: object  # any coerce_nest shape: name, source, or serialized dict
+    machine: str
+    params: dict = field(default_factory=dict)
+    unroll: tuple[int, ...] | None = None  # transform only
+
+    def params_key(self) -> tuple:
+        """The hashable parameter facet of the coalescing key."""
+        return tuple(sorted(self.params.items()))
+
+def parse_request(kind: str, body: bytes,
+                  default_machine: str = "alpha") -> RequestSpec:
+    """Decode one ``POST /v1/<kind>`` body; raises :class:`ProtocolError`
+    with a 400 diagnosis for anything malformed."""
+    if kind not in KINDS:
+        raise ProtocolError(404, "not_found", f"unknown verb {kind!r}")
+    try:
+        doc = json.loads(body.decode("utf-8") or "{}")
+    except (UnicodeDecodeError, json.JSONDecodeError) as err:
+        raise ProtocolError(400, "bad_request",
+                            f"body is not valid JSON: {err}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError(400, "bad_request",
+                            "body must be a JSON object")
+    nest = doc.get("nest")
+    if nest is None or not isinstance(nest, (str, dict)):
+        raise ProtocolError(
+            400, "bad_request",
+            "'nest' is required: a kernel name, DO-loop source, or a "
+            "serialized nest object {'source': ..., 'name': ...}")
+    machine = doc.get("machine", default_machine)
+    if not isinstance(machine, str):
+        raise ProtocolError(400, "bad_request",
+                            "'machine' must be a preset name string")
+    params: dict = {}
+    for name, cast in _PARAM_TYPES.items():
+        if name not in doc:
+            continue
+        value = doc[name]
+        if isinstance(value, bool) and cast is not bool:
+            raise ProtocolError(400, "bad_request",
+                                f"{name!r} must be an integer")
+        try:
+            params[name] = cast(value)
+        except (TypeError, ValueError):
+            raise ProtocolError(400, "bad_request",
+                                f"{name!r} must be {cast.__name__}") from None
+    if "bound" in params and not 1 <= params["bound"] <= 64:
+        raise ProtocolError(400, "bad_request",
+                            "'bound' must be between 1 and 64")
+    unroll = None
+    if kind == "transform" and doc.get("unroll") is not None:
+        raw = doc["unroll"]
+        if (not isinstance(raw, list) or not raw
+                or not all(isinstance(u, int) and not isinstance(u, bool)
+                           and u >= 0 for u in raw)):
+            raise ProtocolError(400, "bad_request",
+                                "'unroll' must be a list of non-negative "
+                                "integers")
+        unroll = tuple(raw)
+    unknown = set(doc) - {"nest", "machine", "unroll"} - set(_PARAM_TYPES)
+    if unknown:
+        raise ProtocolError(400, "bad_request",
+                            f"unknown field(s): {', '.join(sorted(unknown))}")
+    return RequestSpec(kind=kind, nest=nest, machine=machine, params=params,
+                       unroll=unroll)
+
+# -- response bodies ----------------------------------------------------------
+
+def analyze_payload(nest: LoopNest, machine: MachineModel,
+                    artifacts: NestArtifacts) -> dict:
+    return {
+        "ok": True,
+        "kind": "analyze",
+        "nest": nest.name,
+        "machine": machine.name,
+        "structural_key": artifacts.key,
+        "depth": nest.depth,
+        "dependences": len(artifacts.graph),
+        "safety": list(artifacts.safety),
+        "locality": [float(score) for score in artifacts.locality],
+        "ugs_groups": len(artifacts.ugs),
+        "line_size": artifacts.line_size,
+    }
+
+def optimize_payload(nest: LoopNest, machine: MachineModel,
+                     result: OptimizationResult) -> dict:
+    return {
+        "ok": True,
+        "kind": "optimize",
+        "nest": nest.name,
+        "machine": machine.name,
+        "structural_key": nest.structural_key(),
+        "unroll": list(result.unroll),
+        "balance": float(result.balance),
+        "machine_balance": float(machine.balance),
+        "objective": float(result.objective),
+        "feasible": result.feasible,
+        "registers": float(result.tables.point(result.unroll).registers),
+        "candidates": list(result.candidates),
+        "safety": list(result.safety),
+    }
+
+def transform_payload(nest: LoopNest, machine: MachineModel,
+                      unrolled: UnrolledNest) -> dict:
+    return {
+        "ok": True,
+        "kind": "transform",
+        "nest": nest.name,
+        "machine": machine.name,
+        "structural_key": nest.structural_key(),
+        "unroll": list(unrolled.unroll),
+        "copies": unrolled.copies,
+        "source": format_nest(unrolled.main),
+        "original": format_nest(unrolled.original),
+    }
+
+# -- error envelope -----------------------------------------------------------
+
+#: HTTP status for each :class:`NestResolutionError` kind.
+_RESOLUTION_STATUS = {
+    "parse": (400, "parse_error"),
+    "unknown": (404, "unknown_kernel"),
+    "io": (400, "io_error"),
+    "invalid": (400, "bad_request"),
+}
+
+def status_for_resolution(err: NestResolutionError) -> tuple[int, str]:
+    """``(status, error_type)`` for a nest that failed to resolve."""
+    kind = getattr(err, "kind", "invalid")
+    return _RESOLUTION_STATUS.get(kind, (400, "bad_request"))
+
+def error_payload(error_type: str, message: str) -> dict:
+    return {"ok": False, "error": {"type": error_type, "message": message}}
+
+#: Default engine parameters, echoed by ``GET /healthz`` so clients can
+#: see what an empty request body means.
+DEFAULT_PARAMS = {"bound": DEFAULT_BOUND, "max_loops": 2,
+                  "include_cache": True, "trip": 100}

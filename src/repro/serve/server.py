@@ -1,0 +1,394 @@
+"""A stdlib-only asyncio HTTP/1.1 front end over the analysis engine.
+
+``python -m repro serve`` runs :func:`run_server`, which binds
+:class:`AnalysisServer` and blocks until SIGTERM/SIGINT.  Routes:
+
+* ``POST /v1/analyze`` / ``/v1/optimize`` / ``/v1/transform`` -- JSON
+  bodies in any :func:`repro.api.coerce_nest` shape (kernel name, DO-loop
+  source, serialized nest), dispatched through the
+  :class:`~repro.serve.batcher.MicroBatcher`;
+* ``GET /healthz`` -- liveness plus the effective defaults;
+* ``GET /metrics`` -- the merged engine+serve metrics snapshot (stage
+  timings now carry p50/p95/p99), cache statistics, and queue gauges.
+
+Robustness: request bodies are capped (413), admission is bounded (429
+with ``Retry-After``), every request has a server-side timeout (504), and
+shutdown is graceful -- the listener closes first, the batcher drains
+everything already accepted, open connections finish writing, and the
+final metrics snapshot is flushed to ``metrics_path`` when configured.
+
+:class:`ServerThread` hosts the same server on a background thread with
+its own event loop -- the harness the benchmark and the tests use to
+drive a real socket in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import pathlib
+import signal
+import threading
+import time
+
+from repro import api
+from repro.engine import AnalysisEngine
+from repro.serve import protocol
+from repro.serve.batcher import BatchConfig, MicroBatcher, Overloaded
+
+__all__ = ["ServeConfig", "AnalysisServer", "ServerThread", "run_server"]
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+class ServeConfig:
+    """Server-level knobs; batching knobs live in :class:`BatchConfig`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 machine: str = "alpha", max_body: int = 64 * 1024,
+                 request_timeout_s: float = 30.0,
+                 shutdown_grace_s: float = 30.0,
+                 metrics_path: str | None = None,
+                 batch: BatchConfig | None = None):
+        self.host = host
+        self.port = port
+        self.machine = machine
+        self.max_body = max_body
+        self.request_timeout_s = request_timeout_s
+        self.shutdown_grace_s = shutdown_grace_s
+        self.metrics_path = metrics_path
+        self.batch = batch if batch is not None else BatchConfig()
+
+class _Request:
+    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+
+    def __init__(self, method: str, path: str, headers: dict,
+                 body: bytes, keep_alive: bool):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+        self.keep_alive = keep_alive
+
+class AnalysisServer:
+    """One engine, one batcher, one listener; drive with :meth:`run` (CLI)
+    or :meth:`start`/:meth:`shutdown` (embedding)."""
+
+    def __init__(self, config: ServeConfig | None = None,
+                 engine: AnalysisEngine | None = None):
+        self.config = config if config is not None else ServeConfig()
+        self.engine = engine if engine is not None else AnalysisEngine()
+        self.batcher = MicroBatcher(self.engine, self.config.batch)
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+        self._connections: set[asyncio.Task] = set()
+        self._started_at = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+        print(f"repro-serve listening on "
+              f"http://{self.config.host}:{self.port}", flush=True)
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight work, flush metrics."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.batcher.stop()
+        if self._connections:
+            await asyncio.wait(set(self._connections),
+                               timeout=self.config.shutdown_grace_s)
+        self._flush_metrics()
+
+    async def run(self) -> int:
+        """The CLI entry: serve until SIGTERM/SIGINT, then drain; 0 on a
+        clean exit."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loop: Ctrl-C still lands as KeyboardInterrupt
+        await self._shutdown.wait()
+        print("repro-serve draining...", flush=True)
+        await self.shutdown()
+        print("repro-serve stopped", flush=True)
+        return 0
+
+    def _flush_metrics(self) -> None:
+        if not self.config.metrics_path:
+            return
+        path = pathlib.Path(self.config.metrics_path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(self._metrics_document(), indent=2,
+                                       sort_keys=True) + "\n")
+        except OSError as err:
+            print(f"repro-serve: cannot flush metrics: {err}", flush=True)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    break
+                response = await self._respond(request)
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive or self._shutdown.is_set():
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> _Request | None:
+        try:
+            line = await reader.readline()
+        except (ValueError, ConnectionError):
+            return None
+        if not line or not line.strip():
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3:
+            writer.write(_response(400, protocol.error_payload(
+                "bad_request", "malformed request line"), close=True))
+            await writer.drain()
+            return None
+        method, path = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        for _ in range(256):  # header-count bound; readline bounds each line
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            writer.write(_response(400, protocol.error_payload(
+                "bad_request", "too many headers"), close=True))
+            await writer.drain()
+            return None
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > self.config.max_body:
+            self.engine.metrics.count("serve.oversized")
+            writer.write(_response(413, protocol.error_payload(
+                "payload_too_large",
+                f"body limit is {self.config.max_body} bytes"), close=True))
+            await writer.drain()
+            return None
+        body = await reader.readexactly(length) if length else b""
+        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+        return _Request(method, path, headers, body, keep_alive)
+
+    # -- routing -------------------------------------------------------------
+
+    async def _respond(self, request: _Request) -> bytes:
+        close = not request.keep_alive or self._shutdown.is_set()
+        if request.path == "/healthz":
+            if request.method != "GET":
+                return _response(405, protocol.error_payload(
+                    "method_not_allowed", "use GET"), close=close)
+            return _response(200, self._health_document(), close=close)
+        if request.path == "/metrics":
+            if request.method != "GET":
+                return _response(405, protocol.error_payload(
+                    "method_not_allowed", "use GET"), close=close)
+            return _response(200, self._metrics_document(), close=close)
+        if request.path.startswith("/v1/"):
+            if request.method != "POST":
+                return _response(405, protocol.error_payload(
+                    "method_not_allowed", "use POST"), close=close)
+            status, payload, extra = await self._handle_api(
+                request.path[len("/v1/"):], request.body)
+            return _response(status, payload, close=close, headers=extra)
+        return _response(404, protocol.error_payload(
+            "not_found", f"no route {request.path!r}"), close=close)
+
+    async def _handle_api(self, kind: str,
+                          body: bytes) -> tuple[int, dict, dict]:
+        try:
+            spec = protocol.parse_request(kind, body, self.config.machine)
+        except protocol.ProtocolError as err:
+            return err.status, protocol.error_payload(err.error_type,
+                                                      str(err)), {}
+        try:
+            nest = api.coerce_nest(spec.nest)
+        except api.NestResolutionError as err:
+            status, error_type = protocol.status_for_resolution(err)
+            return status, protocol.error_payload(error_type, str(err)), {}
+        try:
+            machine = api.coerce_machine(spec.machine)
+        except ValueError as err:
+            return 400, protocol.error_payload("unknown_machine",
+                                               str(err)), {}
+        key = (spec.kind, nest.structural_key(), machine.name,
+               spec.params_key(), spec.unroll)
+        try:
+            future = self.batcher.submit(spec.kind, key, nest, machine,
+                                         spec.params, spec.unroll)
+        except Overloaded as err:
+            return (429,
+                    protocol.error_payload(
+                        "overloaded",
+                        "admission queue is full; retry later"),
+                    {"retry-after": str(err.retry_after_s)})
+        except RuntimeError:
+            return 503, protocol.error_payload(
+                "shutting_down", "service is draining; retry elsewhere"), {}
+        try:
+            payload = await asyncio.wait_for(
+                future, self.config.request_timeout_s)
+        except asyncio.TimeoutError:
+            self.engine.metrics.count("serve.timeouts")
+            return 504, protocol.error_payload(
+                "timeout", f"no result within "
+                           f"{self.config.request_timeout_s}s"), {}
+        except ValueError as err:  # e.g. an illegal explicit unroll vector
+            return 400, protocol.error_payload("bad_request", str(err)), {}
+        except Exception as err:
+            self.engine.metrics.count("serve.errors")
+            return 500, protocol.error_payload(
+                "internal", f"{type(err).__name__}: {err}"), {}
+        self.engine.metrics.count("serve.responses_2xx")
+        return 200, payload, {}
+
+    # -- documents -----------------------------------------------------------
+
+    def _health_document(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_s": time.monotonic() - self._started_at,
+            "machine": self.config.machine,
+            "defaults": dict(protocol.DEFAULT_PARAMS),
+            "queue_depth": self.batcher.queue_depth,
+            "in_flight": self.batcher.in_flight,
+        }
+
+    def _metrics_document(self) -> dict:
+        return {
+            "uptime_s": time.monotonic() - self._started_at,
+            "queue_depth": self.batcher.queue_depth,
+            "in_flight": self.batcher.in_flight,
+            "metrics": self.engine.metrics.snapshot(),
+            "cache": self.engine.cache_stats(),
+            "batch_config": {
+                "max_batch": self.config.batch.max_batch,
+                "deadline_s": self.config.batch.deadline_s,
+                "queue_limit": self.config.batch.queue_limit,
+                "threads": self.config.batch.threads,
+                "workers": self.config.batch.workers,
+            },
+        }
+
+def _response(status: int, payload: dict, close: bool = False,
+              headers: dict | None = None) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+             "content-type: application/json",
+             f"content-length: {len(body)}",
+             f"connection: {'close' if close else 'keep-alive'}"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+def run_server(config: ServeConfig | None = None,
+               engine: AnalysisEngine | None = None) -> int:
+    """Blocking entry point for ``python -m repro serve``."""
+    server = AnalysisServer(config, engine)
+    try:
+        return asyncio.run(server.run())
+    except KeyboardInterrupt:
+        return 0
+
+class ServerThread:
+    """A live server on a daemon thread (tests and the benchmark harness).
+
+    ::
+
+        with ServerThread(config) as handle:
+            client = ServeClient("127.0.0.1", handle.port)
+    """
+
+    def __init__(self, config: ServeConfig | None = None,
+                 engine: AnalysisEngine | None = None):
+        self.server = AnalysisServer(config, engine)
+        self._ready = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._main, daemon=True,
+                                        name="repro-serve-thread")
+        self._error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    @property
+    def engine(self) -> AnalysisEngine:
+        return self.server.engine
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as err:  # surface startup failures to start()
+            self._error = err
+            self._ready.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self.server.start()
+        self._ready.set()
+        await self.server._shutdown.wait()
+        await self.server.shutdown()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._error is not None:
+            raise RuntimeError("server failed to start") from self._error
+        if self.server.port is None:
+            raise RuntimeError("server did not come up within 30s")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,362 @@
+"""The serving layer, end to end over real loopback sockets.
+
+Covers the tentpole contracts: request/response for every verb and nest
+shape, duplicate-request coalescing (the second identical request does
+not recompute), queue-full 429 backpressure with ``Retry-After``,
+request-size limits, per-request timeouts, structured error kinds, and
+the graceful-shutdown drain (both in-process and as a real
+``python -m repro serve`` child taking SIGTERM mid-flight).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.engine import AnalysisEngine
+from repro.serve.batcher import BatchConfig
+from repro.serve.client import ServeClient, build_workload, run_load
+from repro.serve.protocol import parse_request, ProtocolError
+from repro.serve.server import ServeConfig, ServerThread
+
+_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+def _server(**kwargs) -> ServerThread:
+    """A fresh server+engine on an ephemeral port."""
+    batch = kwargs.pop("batch", None) or BatchConfig(deadline_s=0.005)
+    config = ServeConfig(port=0, batch=batch, **kwargs)
+    return ServerThread(config, AnalysisEngine())
+
+class TestEndToEnd:
+    def test_optimize_matches_library(self):
+        with _server() as handle:
+            client = ServeClient(port=handle.port)
+            status, doc = client.optimize("jacobi", bound=4)
+            client.close()
+        assert status == 200 and doc["ok"]
+        expected = api.optimize("jacobi", "alpha", bound=4,
+                                engine=AnalysisEngine())
+        assert tuple(doc["unroll"]) == expected.unroll
+        assert doc["feasible"] == expected.feasible
+        assert doc["balance"] == pytest.approx(float(expected.balance))
+
+    def test_all_nest_shapes_resolve(self):
+        source = "DO J = 0, N\n  DO I = 0, M\n" \
+                 "    A(I, J) = A(I, J) + B(I)\n  ENDDO\nENDDO"
+        serialized = api.serialize_nest(api.coerce_nest("jacobi"))
+        with _server() as handle:
+            client = ServeClient(port=handle.port)
+            by_name = client.optimize("jacobi", bound=3)
+            by_source = client.optimize(source, bound=3)
+            by_dict = client.optimize(serialized, bound=3)
+            client.close()
+        assert by_name[0] == by_source[0] == by_dict[0] == 200
+        # The serialized twin shares the structural key (and the cache).
+        assert by_dict[1]["structural_key"] == by_name[1]["structural_key"]
+        assert by_dict[1]["unroll"] == by_name[1]["unroll"]
+
+    def test_analyze_and_transform_verbs(self):
+        with _server() as handle:
+            client = ServeClient(port=handle.port)
+            a_status, analysis = client.analyze("jacobi")
+            t_status, transformed = client.transform("jacobi", bound=4)
+            e_status, explicit = client.transform("jacobi", unroll=[2, 0])
+            client.close()
+        assert a_status == 200 and analysis["kind"] == "analyze"
+        assert analysis["depth"] == 2 and len(analysis["safety"]) == 2
+        assert t_status == 200 and "DO" in transformed["source"]
+        assert transformed["copies"] >= 1
+        assert e_status == 200 and explicit["unroll"] == [2, 0]
+        assert explicit["copies"] == 3
+
+    def test_health_and_metrics_documents(self):
+        with _server() as handle:
+            client = ServeClient(port=handle.port)
+            client.optimize("jacobi", bound=3)
+            h_status, health = client.healthz()
+            m_status, metrics = client.metrics()
+            client.close()
+        assert h_status == 200 and health["status"] == "ok"
+        assert m_status == 200
+        assert metrics["metrics"]["counters"]["serve.requests"] == 1
+        stage = metrics["metrics"]["stages"]["stage.optimize"]
+        for key in ("p50_s", "p95_s", "p99_s"):  # satellite: percentiles
+            assert key in stage
+        assert metrics["cache"]["memory"]["tables"] == 1
+
+class TestErrors:
+    def test_unknown_kernel_is_404(self):
+        with _server() as handle:
+            client = ServeClient(port=handle.port)
+            status, doc = client.optimize("definitely-not-a-kernel")
+            client.close()
+        assert status == 404
+        assert doc["error"]["type"] == "unknown_kernel"
+
+    def test_parse_error_is_400(self):
+        with _server() as handle:
+            client = ServeClient(port=handle.port)
+            status, doc = client.optimize("DO I = 0, N\n  garbage(\nENDDO")
+            bad_dict = client.optimize({"source": "DO broken"})
+            client.close()
+        assert status == 400 and doc["error"]["type"] == "parse_error"
+        assert bad_dict[0] == 400
+        assert bad_dict[1]["error"]["type"] == "parse_error"
+
+    def test_malformed_requests(self):
+        with _server() as handle:
+            client = ServeClient(port=handle.port)
+            no_nest = client.request("POST", "/v1/optimize", {})
+            bad_machine = client.optimize("jacobi", machine="cray")
+            bad_field = client.request("POST", "/v1/optimize",
+                                       {"nest": "jacobi", "bogus": 1})
+            bad_unroll = client.transform("jacobi", unroll=[-1, 0])
+            wrong_method = client.request("GET", "/v1/optimize")
+            no_route = client.request("GET", "/nope")
+            raw = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                             timeout=10)
+            raw.request("POST", "/v1/optimize", body=b"{not json",
+                        headers={"content-type": "application/json"})
+            not_json = raw.getresponse()
+            not_json.read()
+            raw.close()
+            client.close()
+        assert no_nest[0] == 400
+        assert bad_machine[0] == 400
+        assert bad_machine[1]["error"]["type"] == "unknown_machine"
+        assert bad_field[0] == 400 and "bogus" in \
+            bad_field[1]["error"]["message"]
+        assert bad_unroll[0] == 400
+        assert wrong_method[0] == 405
+        assert no_route[0] == 404
+        assert not_json.status == 400
+
+    def test_oversized_body_is_413(self):
+        with _server(max_body=256) as handle:
+            client = ServeClient(port=handle.port)
+            status, doc = client.optimize("DO I = 0, N\n"
+                                          + "  A(I) = B(I) * 2\n" * 50
+                                          + "ENDDO")
+            client.close()
+        assert status == 413
+        assert doc["error"]["type"] == "payload_too_large"
+
+    def test_request_timeout_is_504(self):
+        with _server(request_timeout_s=0.005) as handle:
+            client = ServeClient(port=handle.port)
+            status, doc = client.optimize("mmjik", bound=8)
+            client.close()
+            assert status == 504 and doc["error"]["type"] == "timeout"
+            assert handle.engine.metrics.counter("serve.timeouts") == 1
+
+class TestCoalescing:
+    def test_concurrent_duplicates_share_one_computation(self):
+        # A generous deadline holds the batch open long enough that both
+        # identical requests land in the same flush window.
+        batch = BatchConfig(deadline_s=0.25, max_batch=16)
+        with _server(batch=batch) as handle:
+            results: list[tuple[int, dict]] = []
+            lock = threading.Lock()
+
+            def fire():
+                client = ServeClient(port=handle.port)
+                outcome = client.optimize("jacobi", bound=4)
+                client.close()
+                with lock:
+                    results.append(outcome)
+
+            threads = [threading.Thread(target=fire) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            metrics = handle.engine.metrics
+            # All three answered identically from ONE engine computation.
+            assert metrics.counter("engine.optimize") == 1
+            assert metrics.counter("serve.coalesced") == 2
+            # A later identical request is a serve-side cache hit.
+            client = ServeClient(port=handle.port)
+            late = client.optimize("jacobi", bound=4)
+            client.close()
+            assert metrics.counter("engine.optimize") == 1
+            assert metrics.counter("serve.cache.hit") == 1
+        assert [status for status, _ in results] == [200, 200, 200]
+        vectors = {tuple(doc["unroll"]) for _, doc in results}
+        assert len(vectors) == 1 and tuple(late[1]["unroll"]) in vectors
+
+    def test_distinct_params_do_not_coalesce(self):
+        with _server() as handle:
+            client = ServeClient(port=handle.port)
+            first = client.optimize("jacobi", bound=2)
+            second = client.optimize("jacobi", bound=4)
+            client.close()
+            assert handle.engine.metrics.counter("serve.cache.hit") == 0
+        assert first[0] == second[0] == 200
+
+class TestBackpressure:
+    def test_queue_full_returns_429_with_retry_after(self):
+        # One-job queue, one-at-a-time flushes, single worker thread: a
+        # burst of distinct cold requests must overflow admission.
+        batch = BatchConfig(queue_limit=1, max_batch=1, deadline_s=0.005,
+                            threads=1)
+        kernels = ["jacobi", "mmjik", "sor", "afold", "dmxpy1",
+                   "vpenta.7", "gmtry.3", "btrix.1"]
+        with _server(batch=batch) as handle:
+            statuses: list[int] = []
+            retry_after: list[str | None] = []
+            lock = threading.Lock()
+
+            def fire(name: str) -> None:
+                conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                                  timeout=30)
+                body = json.dumps({"nest": name, "bound": 4}).encode()
+                conn.request("POST", "/v1/optimize", body=body)
+                response = conn.getresponse()
+                response.read()
+                with lock:
+                    statuses.append(response.status)
+                    if response.status == 429:
+                        retry_after.append(
+                            response.getheader("Retry-After"))
+                conn.close()
+
+            threads = [threading.Thread(target=fire, args=(name,))
+                       for name in kernels]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # Overflow must have produced 429s, and the queue recovers.
+            assert 429 in statuses
+            assert statuses.count(200) >= 1
+            assert set(statuses) <= {200, 429}
+            assert all(value and int(value) >= 1 for value in retry_after)
+            assert handle.engine.metrics.counter("serve.rejected") >= 1
+            client = ServeClient(port=handle.port)
+            recovered = client.optimize("jacobi", bound=4)
+            client.close()
+            assert recovered[0] == 200
+
+class TestGracefulShutdown:
+    def test_inprocess_drain_answers_all_accepted(self):
+        batch = BatchConfig(deadline_s=0.05, max_batch=32)
+        handle = _server(batch=batch).start()
+        results: list[int] = []
+        lock = threading.Lock()
+        kernels = ["jacobi", "mmjik", "sor", "afold", "dmxpy1", "shal"]
+
+        def fire(name: str) -> None:
+            client = ServeClient(port=handle.port)
+            status, _ = client.optimize(name, bound=4)
+            client.close()
+            with lock:
+                results.append(status)
+
+        threads = [threading.Thread(target=fire, args=(name,))
+                   for name in kernels]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.02)  # let requests reach the queue
+        handle.stop()  # request shutdown while work is in flight
+        for thread in threads:
+            thread.join(timeout=30)
+        assert results == [200] * len(kernels)
+
+    def test_sigterm_child_drains_and_exits_zero(self, tmp_path):
+        metrics_out = tmp_path / "final_metrics.json"
+        env = dict(os.environ,
+                   PYTHONPATH=_SRC + os.pathsep
+                   + os.environ.get("PYTHONPATH", ""))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--batch-deadline-ms", "50",
+             "--metrics-out", str(metrics_out)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+            text=True)
+        try:
+            line = proc.stdout.readline()
+            assert "listening on" in line, line
+            port = int(line.rsplit(":", 1)[1])
+            assert port > 0
+            statuses: list[int] = []
+            lock = threading.Lock()
+            started = threading.Barrier(7)
+
+            def fire(name: str) -> None:
+                conn = http.client.HTTPConnection("127.0.0.1", port,
+                                                  timeout=60)
+                conn.connect()  # accepted before the SIGTERM below
+                started.wait()
+                body = json.dumps({"nest": name, "bound": 6}).encode()
+                conn.request("POST", "/v1/optimize", body=body)
+                response = conn.getresponse()
+                doc = json.loads(response.read())
+                with lock:
+                    statuses.append(response.status)
+                    assert doc.get("ok") is True, doc
+                conn.close()
+
+            kernels = ["jacobi", "mmjik", "sor", "afold", "dmxpy1", "shal"]
+            threads = [threading.Thread(target=fire, args=(name,))
+                       for name in kernels]
+            for thread in threads:
+                thread.start()
+            started.wait()  # all connections established, requests going out
+            time.sleep(0.05)  # requests now in flight
+            proc.send_signal(signal.SIGTERM)
+            for thread in threads:
+                thread.join(timeout=60)
+            code = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        # Every accepted request was answered, and the exit was clean.
+        assert statuses == [200] * len(kernels)
+        assert code == 0
+        flushed = json.loads(metrics_out.read_text())
+        assert flushed["metrics"]["counters"]["serve.requests"] == \
+            len(kernels)
+
+class TestProtocolUnits:
+    def test_parse_request_validates(self):
+        spec = parse_request("optimize",
+                             json.dumps({"nest": "jacobi", "bound": 3,
+                                         "machine": "pa"}).encode())
+        assert spec.kind == "optimize" and spec.machine == "pa"
+        assert spec.params == {"bound": 3}
+        with pytest.raises(ProtocolError) as err:
+            parse_request("optimize", b"[1, 2]")
+        assert err.value.status == 400
+        with pytest.raises(ProtocolError):
+            parse_request("optimize", json.dumps({"nest": "x",
+                                                  "bound": "big"}).encode())
+        with pytest.raises(ProtocolError) as err:
+            parse_request("explode", b"{}")
+        assert err.value.status == 404
+
+    def test_workload_builder_duplicate_fraction(self):
+        workload = build_workload(38, duplicate_fraction=0.5)
+        names = [nest for _, nest in workload]
+        assert len(workload) == 38 and len(set(names)) == 19
+
+class TestLoadGenerator:
+    def test_run_load_reports_stats(self):
+        with _server() as handle:
+            stats = run_load("127.0.0.1", handle.port,
+                             build_workload(12, duplicate_fraction=0.5),
+                             concurrency=4, bound=3)
+        assert stats["completed"] == 12
+        assert stats["rate_2xx"] == 1.0
+        assert stats["throughput_rps"] > 0
+        assert 0 < stats["latency_s"]["p50"] <= stats["latency_s"]["max"]
