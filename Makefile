@@ -1,0 +1,29 @@
+# Developer entry points; CI runs the same commands (.github/workflows/ci.yml).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint bench-quick bench-check bench-baseline serve
+
+test:
+	$(PYTHON) -m pytest tests/ -x -q
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks
+	-ruff check src tests benchmarks
+
+# Both throughput benchmarks in their CI (--quick) shape.
+bench-quick:
+	$(PYTHON) benchmarks/bench_engine_throughput.py --quick
+	$(PYTHON) benchmarks/bench_serve_throughput.py --quick
+
+# The regression gate: fail on >25% throughput drop or p95 latency growth.
+bench-check: bench-quick
+	$(PYTHON) benchmarks/regression.py --check
+
+# Intentional refresh of the committed baselines (commit the diff).
+bench-baseline: bench-quick
+	$(PYTHON) benchmarks/regression.py --update
+
+serve:
+	$(PYTHON) -m repro serve

@@ -33,6 +33,7 @@ _REPO = pathlib.Path(__file__).resolve().parent.parent
 if str(_REPO / "src") not in sys.path:
     sys.path.insert(0, str(_REPO / "src"))
 
+from repro import obs
 from repro.engine import AnalysisEngine
 from repro.kernels import all_kernels
 from repro.serve.batcher import BatchConfig
@@ -168,12 +169,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--passes", type=int, default=5)
     parser.add_argument("--bound", type=int, default=4)
     parser.add_argument("--results-dir", default=str(_REPO / "results"))
+    parser.add_argument("--emit-trace", action="store_true",
+                        help="record repro.obs spans and write the Chrome "
+                             "trace next to the results JSON")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the serve flushes and write the "
+                             "top-N summary next to the results JSON")
     args = parser.parse_args(argv)
 
-    payload = run_serve_benchmark(concurrency=args.concurrency,
-                                  passes=args.passes, bound=args.bound,
-                                  quick=args.quick)
-    write_results(payload, pathlib.Path(args.results_dir))
+    results_dir = pathlib.Path(args.results_dir)
+    if args.emit_trace:
+        obs.configure(enabled=True)
+    if args.profile:
+        obs.set_profiler(obs.Profiler(enabled=True))
+
+    with obs.span("bench.serve_throughput", quick=args.quick):
+        payload = run_serve_benchmark(concurrency=args.concurrency,
+                                      passes=args.passes, bound=args.bound,
+                                      quick=args.quick)
+    write_results(payload, results_dir)
+
+    if args.emit_trace:
+        trace_path = results_dir / "serve_throughput.trace.json"
+        obs.get_tracer().write_chrome(trace_path)
+        print(f"[trace] {trace_path} ({len(obs.get_tracer())} spans)")
+    if args.profile:
+        profile_path = obs.get_profiler().write(
+            results_dir / "serve_throughput.profile.json")
+        print(f"[profile] {profile_path}")
     print(format_serve(payload))
     problems = _acceptance(payload)
     print(f"\nacceptance: {'PASS' if not problems else 'FAIL'}")

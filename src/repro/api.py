@@ -36,6 +36,7 @@ from repro.engine import (
     NestArtifacts,
 )
 from repro.ir.nodes import LoopNest
+from repro.obs.trace import span as _span
 from repro.ir.parser import ParseError, parse_nest
 from repro.machine.model import MachineModel
 from repro.machine.presets import (
@@ -203,10 +204,11 @@ def default_engine() -> AnalysisEngine:
 def analyze(nest_or_source, machine: "MachineModel | str" = "alpha",
             engine: AnalysisEngine | None = None) -> NestArtifacts:
     """Reuse/safety/dependence analysis of one nest, memoized."""
-    nest = coerce_nest(nest_or_source)
-    model = coerce_machine(machine)
-    engine = engine if engine is not None else default_engine()
-    return engine.analyze(nest, model)
+    with _span("api.analyze"):
+        nest = coerce_nest(nest_or_source)
+        model = coerce_machine(machine)
+        engine = engine if engine is not None else default_engine()
+        return engine.analyze(nest, model)
 
 def optimize(nest_or_source, machine: "MachineModel | str" = "alpha",
              bound: int = DEFAULT_BOUND, max_loops: int = 2,
@@ -214,11 +216,13 @@ def optimize(nest_or_source, machine: "MachineModel | str" = "alpha",
              engine: AnalysisEngine | None = None) -> OptimizationResult:
     """The paper's unroll-and-jam decision for one nest (identical to
     :func:`repro.unroll.optimize.choose_unroll`, served from the cache)."""
-    nest = coerce_nest(nest_or_source)
-    model = coerce_machine(machine)
-    engine = engine if engine is not None else default_engine()
-    return engine.optimize(nest, model, bound=bound, max_loops=max_loops,
-                           include_cache=include_cache, trip=trip)
+    with _span("api.optimize"):
+        nest = coerce_nest(nest_or_source)
+        model = coerce_machine(machine)
+        engine = engine if engine is not None else default_engine()
+        return engine.optimize(nest, model, bound=bound,
+                               max_loops=max_loops,
+                               include_cache=include_cache, trip=trip)
 
 def optimize_many(specs: Sequence, machine: "MachineModel | str" = "alpha",
                   workers: int | None = None, bound: int = DEFAULT_BOUND,
@@ -230,19 +234,21 @@ def optimize_many(specs: Sequence, machine: "MachineModel | str" = "alpha",
     Specifications that fail to coerce become reported failures in the
     returned :class:`BatchReport`; the rest of the batch completes.
     """
-    model = coerce_machine(machine)
-    engine = engine if engine is not None else default_engine()
-    entries: list = []
-    for index, spec in enumerate(specs):
-        try:
-            entries.append(coerce_nest(spec))
-        except NestResolutionError as err:
-            label = spec if isinstance(spec, str) else \
-                getattr(spec, "name", f"item{index}")
-            entries.append(BatchError(name=str(label), message=str(err)))
-    return engine.optimize_many(entries, model, workers=workers, bound=bound,
-                                max_loops=max_loops,
-                                include_cache=include_cache, trip=trip)
+    with _span("api.optimize_many"):
+        model = coerce_machine(machine)
+        engine = engine if engine is not None else default_engine()
+        entries: list = []
+        for index, spec in enumerate(specs):
+            try:
+                entries.append(coerce_nest(spec))
+            except NestResolutionError as err:
+                label = spec if isinstance(spec, str) else \
+                    getattr(spec, "name", f"item{index}")
+                entries.append(BatchError(name=str(label),
+                                          message=str(err)))
+        return engine.optimize_many(entries, model, workers=workers,
+                                    bound=bound, max_loops=max_loops,
+                                    include_cache=include_cache, trip=trip)
 
 def transform(nest_or_source, unroll: Sequence[int] | None = None,
               machine: "MachineModel | str" = "alpha",
@@ -250,10 +256,12 @@ def transform(nest_or_source, unroll: Sequence[int] | None = None,
               engine: AnalysisEngine | None = None) -> UnrolledNest:
     """Unroll-and-jam a nest: by an explicit vector, or by the model's
     chosen vector when ``unroll`` is omitted."""
-    nest = coerce_nest(nest_or_source)
-    if unroll is None:
-        unroll = optimize(nest, machine, bound=bound, engine=engine).unroll
-    return unroll_and_jam(nest, tuple(int(u) for u in unroll))
+    with _span("api.transform"):
+        nest = coerce_nest(nest_or_source)
+        if unroll is None:
+            unroll = optimize(nest, machine, bound=bound,
+                              engine=engine).unroll
+        return unroll_and_jam(nest, tuple(int(u) for u in unroll))
 
 # -- deprecation plumbing -----------------------------------------------------
 

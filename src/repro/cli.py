@@ -9,6 +9,7 @@ Commands:
 * ``simulate <kernel>``            -- trace-driven cycles, before/after
 * ``batch <dir|glob|nest>...``     -- optimize a corpus via the engine
 * ``serve``                        -- the HTTP analysis service (docs/SERVING.md)
+* ``metrics``                      -- dump metrics (JSON or Prometheus text)
 * ``cache (stats|clear)``          -- manage the on-disk table cache
 * ``table1``                       -- the input-dependence experiment
 * ``figure (alpha|pa)``            -- a Figure 8/9 column
@@ -202,17 +203,29 @@ def _collect_batch_specs(patterns: list[str]) -> list:
     return specs
 
 def cmd_batch(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.engine import AnalysisEngine
 
     specs = _collect_batch_specs(args.inputs)
     if not specs:
         raise SystemExit("no nests matched; pass a directory, a glob, "
                          "nest files, or kernel names")
+    profiler = None
+    if args.profile:
+        profiler = obs.Profiler(enabled=True)
+    if args.trace_out:
+        obs.configure(enabled=True)
     engine = AnalysisEngine(disk_cache=args.cache,
-                            cache_dir=args.cache_dir)
+                            cache_dir=args.cache_dir, profiler=profiler)
     report = api.optimize_many(specs, machine=args.machine,
                                workers=args.workers, bound=args.bound,
                                engine=engine)
+    if args.trace_out:
+        obs.get_tracer().write_chrome(args.trace_out)
+        print(f"wrote trace to {args.trace_out}", file=sys.stderr)
+    if profiler is not None:
+        target = profiler.write(args.profile_out)
+        print(f"wrote profile to {target}", file=sys.stderr)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
         return 1 if report.failures else 0
@@ -233,6 +246,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.engine import AnalysisEngine
     from repro.serve.batcher import BatchConfig
     from repro.serve.server import ServeConfig, run_server
@@ -249,8 +263,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
                           queue_limit=args.queue_limit,
                           threads=args.threads,
                           workers=args.workers or 0))
-    engine = AnalysisEngine(disk_cache=args.cache, cache_dir=args.cache_dir)
+    profiler = obs.Profiler(enabled=True) if args.profile else None
+    if args.trace:
+        obs.configure(enabled=True)
+    engine = AnalysisEngine(disk_cache=args.cache, cache_dir=args.cache_dir,
+                            profiler=profiler)
     return run_server(config, engine)
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    if args.from_file:
+        try:
+            document = json.loads(
+                pathlib.Path(args.from_file).read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            raise SystemExit(f"cannot read metrics document "
+                             f"{args.from_file!r}: {err}")
+    else:
+        from repro.serve.client import ServeClient
+
+        client = ServeClient(args.host, args.port)
+        try:
+            status, document = client.metrics()
+        except OSError as err:
+            raise SystemExit(f"cannot scrape http://{args.host}:"
+                             f"{args.port}/metrics: {err}")
+        finally:
+            client.close()
+        if status != 200:
+            raise SystemExit(f"GET /metrics answered HTTP {status}")
+    if args.format == "json":
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(obs.document_to_exposition(document), end="")
+    return 0
 
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.engine import clear_disk_cache, disk_cache_stats
@@ -336,6 +383,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="use the on-disk table cache")
     p_batch.add_argument("--cache-dir", default=None,
                          help="override the cache location")
+    p_batch.add_argument("--profile", action="store_true",
+                         help="cProfile the engine stages (or set "
+                              "REPRO_PROFILE=1)")
+    p_batch.add_argument("--profile-out",
+                         default="results/batch_profile.json",
+                         help="where the per-stage top-N summary lands")
+    p_batch.add_argument("--trace-out", default=None,
+                         help="write a Chrome trace_event JSON here "
+                              "(implies tracing on)")
     p_batch.set_defaults(func=cmd_batch)
 
     p_serve = sub.add_parser(
@@ -369,7 +425,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="use the on-disk table cache")
     p_serve.add_argument("--cache-dir", default=None,
                          help="override the cache location")
+    p_serve.add_argument("--profile", action="store_true",
+                         help="cProfile engine stages and batcher flushes; "
+                              "the summary flushes next to --metrics-out")
+    p_serve.add_argument("--trace", action="store_true",
+                         help="record trace spans (or set REPRO_TRACE=1)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_met = sub.add_parser(
+        "metrics", help="dump metrics as Prometheus text or JSON")
+    p_met.add_argument("--host", default="127.0.0.1")
+    p_met.add_argument("--port", type=int, default=8787)
+    p_met.add_argument("--from", dest="from_file", default=None,
+                       metavar="PATH",
+                       help="render a saved metrics JSON document instead "
+                            "of scraping a live server")
+    p_met.add_argument("--format", choices=("prometheus", "json"),
+                       default="prometheus")
+    p_met.set_defaults(func=cmd_metrics)
 
     p_cache = sub.add_parser("cache", help="on-disk table cache")
     p_cache.add_argument("action", choices=("stats", "clear"))

@@ -40,6 +40,9 @@ from repro.balance import loop_balance
 from repro.dependence.graph import DependenceGraph, build_dependence_graph
 from repro.engine.metrics import Metrics
 from repro.ir.nodes import LoopNest
+from repro.obs import profile as _obs_profile
+from repro.obs import trace as _obs_trace
+from repro.obs.trace import span as _span
 from repro.machine.model import MachineModel
 from repro.reuse.locality import loop_locality_scores
 from repro.reuse.ugs import UniformlyGeneratedSet, partition_ugs
@@ -153,6 +156,7 @@ class BatchItem:
     error: str | None = None
     duration_s: float = 0.0
     metrics: dict | None = None  # worker-side snapshot, merged by the parent
+    spans: list | None = None    # worker-side trace spans, ingested likewise
 
     def to_dict(self) -> dict:
         row: dict = {"index": self.index, "name": self.name, "ok": self.ok,
@@ -218,8 +222,11 @@ class AnalysisEngine:
 
     def __init__(self, capacity: int = 256, metrics: Metrics | None = None,
                  disk_cache: bool = False,
-                 cache_dir: str | os.PathLike | None = None):
+                 cache_dir: str | os.PathLike | None = None,
+                 profiler: "_obs_profile.Profiler | None" = None):
         self.metrics = metrics if metrics is not None else Metrics()
+        self.profiler = (profiler if profiler is not None
+                         else _obs_profile.get_profiler())
         self.disk_cache = disk_cache
         self.cache_dir = (pathlib.Path(cache_dir) if cache_dir is not None
                           else default_cache_dir())
@@ -238,7 +245,8 @@ class AnalysisEngine:
             self.metrics.count("cache.graph.hit")
             return cached
         self.metrics.count("cache.graph.miss")
-        with self.metrics.timer("stage.dependence_graph"):
+        with self.metrics.timer("stage.dependence_graph"), \
+                _span("engine.dependence_graph", nest=nest.name):
             graph = build_dependence_graph(nest, include_input=include_input)
         self._graphs.put(key, graph)
         return graph
@@ -256,13 +264,18 @@ class AnalysisEngine:
             self.metrics.count("cache.artifacts.hit")
             return cached
         self.metrics.count("cache.artifacts.miss")
-        graph = self.dependence_graph(nest, include_input=False)
-        with self.metrics.timer("stage.safety"):
-            safety = safe_unroll_bounds(nest, graph)
-        with self.metrics.timer("stage.locality"):
-            locality = tuple(loop_locality_scores(nest, line_size=line_size))
-        with self.metrics.timer("stage.ugs_partition"):
-            ugs = tuple(partition_ugs(nest))
+        with _span("engine.analyze", nest=nest.name), \
+                self.profiler.profile("stage.analyze"):
+            graph = self.dependence_graph(nest, include_input=False)
+            with self.metrics.timer("stage.safety"), _span("engine.safety"):
+                safety = safe_unroll_bounds(nest, graph)
+            with self.metrics.timer("stage.locality"), \
+                    _span("engine.locality"):
+                locality = tuple(loop_locality_scores(nest,
+                                                      line_size=line_size))
+            with self.metrics.timer("stage.ugs_partition"), \
+                    _span("ugs.partition"):
+                ugs = tuple(partition_ugs(nest))
         artifacts = NestArtifacts(key=key[0], graph=graph, safety=safety,
                                   locality=locality, ugs=ugs,
                                   line_size=line_size)
@@ -285,7 +298,9 @@ class AnalysisEngine:
             self._tables.put(key, loaded)
             return loaded
         self.metrics.count("cache.tables.miss")
-        with self.metrics.timer("stage.build_tables"):
+        with self.metrics.timer("stage.build_tables"), \
+                _span("tables.build", nest=nest.name), \
+                self.profiler.profile("stage.build_tables"):
             tables = build_tables(nest, space, line_size=line_size, trip=trip)
         self._tables.put(key, tables)
         self._store_disk_tables(key, tables)
@@ -299,7 +314,10 @@ class AnalysisEngine:
                  trip: int = 100) -> OptimizationResult:
         """Memoized equivalent of :func:`repro.unroll.optimize.choose_unroll`
         (same decision, byte-identical unroll vector)."""
-        with self.metrics.timer("stage.optimize"):
+        with self.metrics.timer("stage.optimize"), \
+                _span("engine.optimize", nest=nest.name,
+                      machine=machine.name), \
+                self.profiler.profile("stage.optimize"):
             line_size = machine.cache_line_words
             artifacts = self.analyze(nest, line_size=line_size)
             safety = artifacts.safety
@@ -309,7 +327,7 @@ class AnalysisEngine:
             bounds = tuple(min(bound, safety[level]) for level in candidates)
             space = UnrollSpace(nest.depth, candidates, bounds)
             tables = self.tables(nest, space, line_size, trip)
-            with self.metrics.timer("stage.search"):
+            with self.metrics.timer("stage.search"), _span("unroll.search"):
                 chosen, feasible = search_space(tables, machine,
                                                 include_cache)
                 point = tables.point(chosen)
@@ -345,11 +363,13 @@ class AnalysisEngine:
         start = time.monotonic()
         params = dict(bound=bound, max_loops=max_loops,
                       include_cache=include_cache, trip=trip)
-        if workers is not None and workers > 1:
-            items = self._run_parallel(nests, machine, workers, params)
-        else:
-            items = [self._run_one(i, nest, machine, params)
-                     for i, nest in enumerate(nests)]
+        with _span("engine.optimize_many", nests=len(nests),
+                   workers=workers or 1):
+            if workers is not None and workers > 1:
+                items = self._run_parallel(nests, machine, workers, params)
+            else:
+                items = [self._run_one(i, nest, machine, params)
+                         for i, nest in enumerate(nests)]
         wall = time.monotonic() - start
         self.metrics.count("batch.runs")
         self.metrics.count("batch.items", len(items))
@@ -383,6 +403,11 @@ class AnalysisEngine:
                       workers: int, params: dict) -> list[BatchItem]:
         from concurrent import futures
 
+        # When tracing, ship the current (trace_id, span_id) to every
+        # worker so the spans it records come back rooted under this
+        # batch's span -- parent/child nesting survives the pool hop.
+        trace_ctx = (_obs_trace.current_context()
+                     if _obs_trace.get_tracer().enabled else None)
         local: list[BatchItem] = []
         tasks: list[_Task] = []
         for index, nest in enumerate(nests):
@@ -390,7 +415,8 @@ class AnalysisEngine:
                 tasks.append(_Task(index=index, nest=nest, machine=machine,
                                    params=params,
                                    disk_cache=self.disk_cache,
-                                   cache_dir=str(self.cache_dir)))
+                                   cache_dir=str(self.cache_dir),
+                                   trace=trace_ctx))
             else:
                 local.append(self._run_one(index, nest, machine, params))
         items = list(local)
@@ -410,6 +436,9 @@ class AnalysisEngine:
                     if item.metrics is not None:
                         self.metrics.merge(item.metrics)
                         item.metrics = None
+                    if item.spans is not None:
+                        _obs_trace.get_tracer().ingest(item.spans)
+                        item.spans = None
                     items.append(item)
         except (OSError, PermissionError, NotImplementedError):
             # No process pool available here: degrade to in-process.
@@ -531,6 +560,7 @@ class _Task:
     params: dict
     disk_cache: bool
     cache_dir: str
+    trace: tuple[str, str] | None = None  # parent (trace_id, span_id)
 
 _WORKER_ENGINE: AnalysisEngine | None = None
 
@@ -544,15 +574,30 @@ def _optimize_task(task: _Task) -> BatchItem:
                                         cache_dir=task.cache_dir)
     engine = _WORKER_ENGINE
     engine.metrics = Metrics()
+    # Trace propagation: when the parent traced the batch, record this
+    # task's spans into a fresh worker tracer rooted at the parent's
+    # context and ship them back serialized on the item.
+    worker_tracer = None
+    previous_tracer = None
+    if task.trace is not None:
+        worker_tracer = _obs_trace.Tracer(enabled=True)
+        previous_tracer = _obs_trace.set_tracer(worker_tracer)
     t0 = time.monotonic()
     try:
-        result = engine.optimize(task.nest, task.machine, **task.params)
+        with _obs_trace.activate(task.trace):
+            result = engine.optimize(task.nest, task.machine, **task.params)
         item = BatchItem(index=task.index, name=task.nest.name, ok=True,
                          result=result, duration_s=time.monotonic() - t0)
     except Exception as err:
         item = BatchItem(index=task.index, name=task.nest.name, ok=False,
                          error=f"{type(err).__name__}: {err}",
                          duration_s=time.monotonic() - t0)
+    finally:
+        if previous_tracer is not None:
+            _obs_trace.set_tracer(previous_tracer)
+    if worker_tracer is not None:
+        item.spans = [span_obj.to_dict()
+                      for span_obj in worker_tracer.spans()]
     item.metrics = engine.metrics.snapshot()
     return item
 

@@ -62,12 +62,16 @@ class StageStats:
         observed ``min``/``max``, so the estimate always lies inside the
         observed range.  Exact when the stage was observed once.
         """
-        if not self.count:
-            return 0.0
-        if self.count == 1:
-            return self.min
         if not 0.0 < q <= 1.0:
             raise ValueError("percentile rank must be in (0, 1]")
+        if not self.count:
+            return 0.0
+        if self.count == 1 or self.min == self.max:
+            # One observation -- or identical observations merged from
+            # worker snapshots -- pins every percentile to the observed
+            # value; the histogram interpolation below would otherwise
+            # report a bucket bound (or 0.0) instead.
+            return self.min
         target = q * self.count
         cumulative = 0
         lower = 0.0
@@ -81,8 +85,10 @@ class StageStats:
             cumulative += in_bucket
             lower = upper
         # Open-ended final bucket: everything slower than the last bound.
+        # Clamp into [min, max]: a degenerate histogram (e.g. merged from
+        # a snapshot without bucket data) must still answer in range.
         in_bucket = self.buckets[-1]
-        lo = max(lower, self.min)
+        lo = min(max(lower, self.min), self.max)
         hi = max(lo, self.max)
         fraction = (target - cumulative) / in_bucket if in_bucket else 1.0
         return lo + min(fraction, 1.0) * (hi - lo)

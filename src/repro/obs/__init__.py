@@ -1,0 +1,67 @@
+"""repro.obs: the end-to-end observability layer.
+
+Three stdlib-only pieces, threaded through the engine, the serving
+layer, the CLI, and the benchmarks (docs/OBSERVABILITY.md is the guide):
+
+* :mod:`repro.obs.trace` -- hierarchical spans with a context-propagated
+  trace id, a bounded ring buffer, Chrome ``trace_event`` export, and
+  structured JSON log lines (``REPRO_LOG=json``);
+* :mod:`repro.obs.prom` -- Prometheus text-format exposition of the
+  engine/serve metrics (``GET /metrics`` content-negotiates into it);
+* :mod:`repro.obs.profile` -- opt-in cProfile hooks around engine stages
+  and batcher flushes (``REPRO_PROFILE=1``).
+
+Everything is off by default and costs one attribute check when off.
+"""
+
+from repro.obs.profile import (
+    PROFILE_ENV,
+    Profiler,
+    get_profiler,
+    set_profiler,
+)
+from repro.obs.prom import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    document_to_exposition,
+    escape_label,
+    render_exposition,
+    snapshot_to_exposition,
+)
+from repro.obs.trace import (
+    LOG_ENV,
+    TRACE_ENV,
+    Span,
+    Tracer,
+    activate,
+    configure,
+    current_context,
+    current_span_id,
+    current_trace_id,
+    get_tracer,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "LOG_ENV",
+    "PROFILE_ENV",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Profiler",
+    "Span",
+    "TRACE_ENV",
+    "Tracer",
+    "activate",
+    "configure",
+    "current_context",
+    "current_span_id",
+    "current_trace_id",
+    "document_to_exposition",
+    "escape_label",
+    "get_profiler",
+    "get_tracer",
+    "render_exposition",
+    "set_profiler",
+    "set_tracer",
+    "snapshot_to_exposition",
+    "span",
+]

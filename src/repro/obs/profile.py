@@ -1,0 +1,146 @@
+"""Opt-in profiling hooks for engine stages and batcher flushes.
+
+Disabled by default; enable with ``REPRO_PROFILE=1`` (or the ``--profile``
+flags on the CLI and the benchmarks).  When enabled,
+:meth:`Profiler.profile` wraps a stage in :mod:`cProfile` plus a
+``perf_counter_ns`` timer and aggregates, per stage name:
+
+* call count and total wall time;
+* the top-N functions by cumulative time (merged across calls).
+
+cProfile cannot nest, so when a profiled stage runs inside another
+profiled stage only the outermost gets function-level attribution; inner
+stages still get exact wall-time accounting.  :meth:`Profiler.write`
+dumps the summary as JSON next to the results artifact (the
+``*.profile.json`` convention the benchmarks use).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import os
+import pathlib
+import pstats
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["PROFILE_ENV", "Profiler", "get_profiler", "set_profiler"]
+
+#: Set to ``1``/``true``/``on`` to enable the global profiler at import.
+PROFILE_ENV = "REPRO_PROFILE"
+
+class _StageProfile:
+    """Aggregated observations for one profiled stage."""
+
+    __slots__ = ("calls", "total_ns", "functions")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_ns = 0
+        # (file, line, func) -> [ncalls, cumtime_s]
+        self.functions: dict[tuple, list] = {}
+
+    def add(self, elapsed_ns: int, profile: cProfile.Profile | None) -> None:
+        self.calls += 1
+        self.total_ns += elapsed_ns
+        if profile is None:
+            return
+        stats = pstats.Stats(profile)
+        for key, (_cc, ncalls, _tt, cumtime, _callers) in \
+                stats.stats.items():  # type: ignore[attr-defined]
+            entry = self.functions.get(key)
+            if entry is None:
+                entry = self.functions[key] = [0, 0.0]
+            entry[0] += ncalls
+            entry[1] += cumtime
+
+    def top(self, n: int) -> list[dict]:
+        ranked = sorted(self.functions.items(), key=lambda kv: -kv[1][1])
+        return [{
+            "function": f"{file}:{line}({name})",
+            "ncalls": ncalls,
+            "cumtime_s": cumtime,
+        } for (file, line, name), (ncalls, cumtime) in ranked[:n]]
+
+class Profiler:
+    """Per-stage cProfile aggregation behind a cheap enabled check."""
+
+    def __init__(self, enabled: bool | None = None, top_n: int = 10):
+        if enabled is None:
+            enabled = os.environ.get(PROFILE_ENV, "").strip().lower() in (
+                "1", "true", "on", "yes")
+        self.enabled = bool(enabled)
+        self.top_n = top_n
+        self._stages: dict[str, _StageProfile] = {}
+        self._lock = threading.Lock()
+        self._active = threading.local()
+
+    @contextmanager
+    def profile(self, stage: str) -> Iterator[None]:
+        """Profile a block under ``stage``; a no-op when disabled."""
+        if not self.enabled:
+            yield
+            return
+        nested = getattr(self._active, "depth", 0) > 0
+        profile = None if nested else cProfile.Profile()
+        self._active.depth = getattr(self._active, "depth", 0) + 1
+        t0 = time.perf_counter_ns()
+        try:
+            if profile is not None:
+                profile.enable()
+            try:
+                yield
+            finally:
+                if profile is not None:
+                    profile.disable()
+        finally:
+            elapsed = time.perf_counter_ns() - t0
+            self._active.depth -= 1
+            with self._lock:
+                entry = self._stages.get(stage)
+                if entry is None:
+                    entry = self._stages[stage] = _StageProfile()
+                entry.add(elapsed, profile)
+
+    # -- reading -------------------------------------------------------------
+
+    def summary(self, top_n: int | None = None) -> dict:
+        """JSON-ready per-stage totals plus top-N hot functions."""
+        limit = top_n if top_n is not None else self.top_n
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "stages": {
+                    name: {
+                        "calls": entry.calls,
+                        "total_s": entry.total_ns / 1e9,
+                        "top": entry.top(limit),
+                    } for name, entry in sorted(self._stages.items())},
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._stages.clear()
+
+    def write(self, path) -> pathlib.Path:
+        """Dump the summary next to a results artifact; returns the path."""
+        target = pathlib.Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.summary(), indent=2,
+                                     sort_keys=True) + "\n")
+        return target
+
+_PROFILER = Profiler()
+
+def get_profiler() -> Profiler:
+    return _PROFILER
+
+def set_profiler(profiler: Profiler) -> Profiler:
+    """Swap the global profiler; returns the previous one."""
+    global _PROFILER
+    previous = _PROFILER
+    _PROFILER = profiler
+    return previous

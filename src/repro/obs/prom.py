@@ -1,0 +1,147 @@
+"""Prometheus text-format exposition of the engine/serve metrics.
+
+Converts a :meth:`repro.engine.metrics.Metrics.snapshot` (and the serve
+layer's gauges around it) into the Prometheus text exposition format
+(version 0.0.4):
+
+* every counter becomes a sample of the single ``repro_counter_total``
+  counter family, keyed by a ``name`` label (label values are escaped
+  per the exposition spec: backslash, double quote, newline);
+* every stage's log-scale duration histogram becomes a
+  ``repro_stage_duration_seconds`` histogram family sample set -- the
+  cumulative ``_bucket`` series (monotone by construction, closed with
+  ``le="+Inf"``), plus ``_sum``/``_count`` consistent with the JSON
+  snapshot's ``total_s``/``count``;
+* scalar gauges (uptime, queue depth, cache hit rates, ...) each get
+  their own ``gauge`` family.
+
+``GET /metrics`` on the serving layer content-negotiates into
+:func:`render_exposition`; ``python -m repro metrics`` renders the same
+text offline from a saved snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = [
+    "CONTENT_TYPE",
+    "escape_label",
+    "render_exposition",
+    "sanitize_metric_name",
+    "snapshot_to_exposition",
+]
+
+#: The content type Prometheus scrapers expect from a text endpoint.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+COUNTER_FAMILY = "repro_counter_total"
+STAGE_FAMILY = "repro_stage_duration_seconds"
+
+def escape_label(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"`` and
+    newline."""
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+def sanitize_metric_name(name: str) -> str:
+    """A valid metric name: ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    cleaned = "".join(ch if (ch.isascii() and (ch.isalnum() or ch in "_:"))
+                      else "_" for ch in name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return cleaned
+
+def _format_value(value: float) -> str:
+    """Float formatting that round-trips and keeps integers short."""
+    number = float(value)
+    if number.is_integer() and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+def _bound_label(bound: float) -> str:
+    return _format_value(bound)
+
+def render_exposition(counters: Mapping[str, int],
+                      stages: Mapping[str, Mapping],
+                      bounds: list | tuple,
+                      gauges: Mapping[str, float] | None = None) -> str:
+    """The exposition text for one metrics snapshot.
+
+    ``stages`` maps stage name to its ``StageStats.to_dict()`` form
+    (``count``/``total_s``/``histogram``); ``bounds`` is the shared
+    inclusive bucket upper-bound list; ``gauges`` are extra scalar
+    families (already fully named, e.g. ``repro_uptime_seconds``).
+    """
+    lines: list[str] = []
+
+    for name in sorted(gauges or {}):
+        family = sanitize_metric_name(name)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_format_value((gauges or {})[name])}")
+
+    if counters:
+        lines.append(f"# HELP {COUNTER_FAMILY} Monotone event counters "
+                     f"of the analysis engine and serving layer.")
+        lines.append(f"# TYPE {COUNTER_FAMILY} counter")
+        for name in sorted(counters):
+            lines.append(f'{COUNTER_FAMILY}{{name="{escape_label(name)}"}} '
+                         f'{_format_value(counters[name])}')
+
+    if stages:
+        lines.append(f"# HELP {STAGE_FAMILY} Wall-time distribution of "
+                     f"instrumented stages (log-scale buckets).")
+        lines.append(f"# TYPE {STAGE_FAMILY} histogram")
+        for stage in sorted(stages):
+            data = stages[stage]
+            label = escape_label(stage)
+            histogram = list(data.get("histogram", []))
+            # Pad/truncate defensively so the series always closes +Inf.
+            while len(histogram) < len(bounds) + 1:
+                histogram.append(0)
+            cumulative = 0
+            for bound, in_bucket in zip(bounds, histogram):
+                cumulative += in_bucket
+                lines.append(
+                    f'{STAGE_FAMILY}_bucket{{stage="{label}",'
+                    f'le="{_bound_label(bound)}"}} {cumulative}')
+            cumulative += sum(histogram[len(bounds):])
+            lines.append(f'{STAGE_FAMILY}_bucket{{stage="{label}",'
+                         f'le="+Inf"}} {cumulative}')
+            lines.append(f'{STAGE_FAMILY}_sum{{stage="{label}"}} '
+                         f'{_format_value(data.get("total_s", 0.0))}')
+            lines.append(f'{STAGE_FAMILY}_count{{stage="{label}"}} '
+                         f'{data.get("count", 0)}')
+
+    return "\n".join(lines) + "\n"
+
+def snapshot_to_exposition(snapshot: Mapping,
+                           gauges: Mapping[str, float] | None = None) -> str:
+    """Render a bare :meth:`Metrics.snapshot` dict."""
+    return render_exposition(snapshot.get("counters", {}),
+                             snapshot.get("stages", {}),
+                             snapshot.get("histogram_bounds_s", ()),
+                             gauges=gauges)
+
+def document_to_exposition(document: Mapping) -> str:
+    """Render either a serve ``GET /metrics`` JSON document (recognized
+    by its ``metrics`` key) or a bare snapshot.
+
+    The serve document's scalar fields become gauges, and its cache hit
+    rates are exposed as ``repro_cache_hit_rate``-style gauges so a
+    scraper sees the full service picture from one endpoint.
+    """
+    if "metrics" not in document:
+        return snapshot_to_exposition(document)
+    snapshot = document.get("metrics", {})
+    gauges: dict[str, float] = {}
+    for field, family in (("uptime_s", "repro_uptime_seconds"),
+                          ("queue_depth", "repro_queue_depth"),
+                          ("in_flight", "repro_in_flight")):
+        if field in document:
+            gauges[family] = float(document[field])
+    for family, rate in (document.get("cache", {})
+                         .get("hit_rates", {}) or {}).items():
+        gauges[f"repro_cache_hit_rate_{sanitize_metric_name(family)}"] = \
+            float(rate)
+    return snapshot_to_exposition(snapshot, gauges=gauges)

@@ -34,6 +34,7 @@ import math
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.engine import AnalysisEngine, _LRU
 from repro.ir.nodes import LoopNest
 from repro.machine.model import MachineModel
@@ -72,6 +73,11 @@ class _Job:
     params: dict
     unroll: tuple[int, ...] | None
     futures: list[asyncio.Future] = field(default_factory=list)
+    #: The submitting request's (trace_id, span_id): the engine work this
+    #: job triggers is recorded as a child of that request's span, even
+    #: though it executes on an executor thread.  Coalesced followers
+    #: share the first submitter's trace.
+    trace: tuple[str, str] | None = None
 
 class MicroBatcher:
     """The dispatcher; create and :meth:`start` it inside a running loop."""
@@ -142,7 +148,8 @@ class MicroBatcher:
             job.futures.append(future)
             return future
         job = _Job(kind=kind, key=key, nest=nest, machine=machine,
-                   params=params, unroll=unroll, futures=[future])
+                   params=params, unroll=unroll, futures=[future],
+                   trace=obs.current_context())
         try:
             self._queue.put_nowait(job)
         except asyncio.QueueFull:
@@ -180,7 +187,8 @@ class MicroBatcher:
         assert self._loop is not None
         self.metrics.count("serve.batches")
         self.metrics.count("serve.batched_jobs", len(batch))
-        outcomes = await self._execute(batch)
+        with obs.span("serve.flush", jobs=len(batch)):
+            outcomes = await self._execute(batch)
         for job, outcome in zip(batch, outcomes):
             # No awaits between the cache fill, the pending removal, and
             # the future resolution: a submit() for the same key lands
@@ -232,35 +240,45 @@ class MicroBatcher:
     # -- the engine calls (executor threads) ---------------------------------
 
     def _run_job(self, job: _Job) -> tuple:
-        try:
-            if job.kind == "analyze":
-                artifacts = self.engine.analyze(job.nest, job.machine)
-                return protocol.analyze_payload(job.nest, job.machine,
-                                                artifacts), None
-            if job.kind == "optimize":
-                result = self.engine.optimize(job.nest, job.machine,
-                                              **job.params)
-                return protocol.optimize_payload(job.nest, job.machine,
-                                                 result), None
-            unroll = job.unroll
-            if unroll is None:
-                result = self.engine.optimize(job.nest, job.machine,
-                                              **job.params)
-                unroll = result.unroll
-            unrolled = unroll_and_jam(job.nest, unroll)
-            return protocol.transform_payload(job.nest, job.machine,
-                                              unrolled), None
-        except Exception as err:
-            return None, err
+        # Executor threads do not inherit the event loop's contextvars;
+        # re-activate the submitting request's trace context so engine
+        # spans nest under the serve.request span that caused them.
+        with obs.activate(job.trace), \
+                obs.span("serve.execute", kind=job.kind,
+                         nest=job.nest.name), \
+                self.engine.profiler.profile("serve.flush"):
+            try:
+                if job.kind == "analyze":
+                    artifacts = self.engine.analyze(job.nest, job.machine)
+                    return protocol.analyze_payload(job.nest, job.machine,
+                                                    artifacts), None
+                if job.kind == "optimize":
+                    result = self.engine.optimize(job.nest, job.machine,
+                                                  **job.params)
+                    return protocol.optimize_payload(job.nest, job.machine,
+                                                     result), None
+                unroll = job.unroll
+                if unroll is None:
+                    result = self.engine.optimize(job.nest, job.machine,
+                                                  **job.params)
+                    unroll = result.unroll
+                unrolled = unroll_and_jam(job.nest, unroll)
+                return protocol.transform_payload(job.nest, job.machine,
+                                                  unrolled), None
+            except Exception as err:
+                return None, err
 
     def _run_pooled(self, jobs: list[_Job]) -> list[tuple]:
         """One large homogeneous flush through the engine's process pool."""
         self.metrics.count("serve.pool_flushes")
         head = jobs[0]
         try:
-            report = self.engine.optimize_many(
-                [job.nest for job in jobs], head.machine,
-                workers=self.config.workers, **head.params)
+            with obs.activate(head.trace), \
+                    obs.span("serve.pool_flush", jobs=len(jobs)), \
+                    self.engine.profiler.profile("serve.flush"):
+                report = self.engine.optimize_many(
+                    [job.nest for job in jobs], head.machine,
+                    workers=self.config.workers, **head.params)
         except Exception as err:
             return [(None, err) for _ in jobs]
         outcomes: list[tuple] = []

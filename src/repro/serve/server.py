@@ -10,6 +10,13 @@
 * ``GET /healthz`` -- liveness plus the effective defaults;
 * ``GET /metrics`` -- the merged engine+serve metrics snapshot (stage
   timings now carry p50/p95/p99), cache statistics, and queue gauges.
+  Content-negotiated: JSON by default (byte-compatible with earlier
+  releases), Prometheus text exposition with ``Accept: text/plain`` or
+  ``/metrics?format=prometheus`` (see docs/OBSERVABILITY.md).
+
+Every request runs under a :mod:`repro.obs` trace span
+(``serve.request``), which the batcher propagates onto its executor
+threads, so engine stage spans nest under the request that caused them.
 
 Robustness: request bodies are capped (413), admission is bounded (429
 with ``Retry-After``), every request has a server-side timeout (504), and
@@ -30,8 +37,9 @@ import pathlib
 import signal
 import threading
 import time
+import urllib.parse
 
-from repro import api
+from repro import api, obs
 from repro.engine import AnalysisEngine
 from repro.serve import protocol
 from repro.serve.batcher import BatchConfig, MicroBatcher, Overloaded
@@ -141,6 +149,15 @@ class AnalysisServer:
                                        sort_keys=True) + "\n")
         except OSError as err:
             print(f"repro-serve: cannot flush metrics: {err}", flush=True)
+        if self.engine.profiler.enabled:
+            # The profiling contract: the top-N summary lands next to
+            # the results JSON it explains.
+            try:
+                self.engine.profiler.write(
+                    path.with_name(path.stem + ".profile.json"))
+            except OSError as err:
+                print(f"repro-serve: cannot flush profile: {err}",
+                      flush=True)
 
     # -- connection handling -------------------------------------------------
 
@@ -216,25 +233,44 @@ class AnalysisServer:
 
     async def _respond(self, request: _Request) -> bytes:
         close = not request.keep_alive or self._shutdown.is_set()
-        if request.path == "/healthz":
+        path, _, query = request.path.partition("?")
+        if path == "/healthz":
             if request.method != "GET":
                 return _response(405, protocol.error_payload(
                     "method_not_allowed", "use GET"), close=close)
             return _response(200, self._health_document(), close=close)
-        if request.path == "/metrics":
+        if path == "/metrics":
             if request.method != "GET":
                 return _response(405, protocol.error_payload(
                     "method_not_allowed", "use GET"), close=close)
+            if self._wants_prometheus(request, query):
+                return _text_response(
+                    200, obs.document_to_exposition(
+                        self._metrics_document()),
+                    obs.PROMETHEUS_CONTENT_TYPE, close=close)
             return _response(200, self._metrics_document(), close=close)
-        if request.path.startswith("/v1/"):
+        if path.startswith("/v1/"):
             if request.method != "POST":
                 return _response(405, protocol.error_payload(
                     "method_not_allowed", "use POST"), close=close)
-            status, payload, extra = await self._handle_api(
-                request.path[len("/v1/"):], request.body)
+            with obs.span("serve.request", path=path,
+                          method=request.method):
+                status, payload, extra = await self._handle_api(
+                    path[len("/v1/"):], request.body)
             return _response(status, payload, close=close, headers=extra)
         return _response(404, protocol.error_payload(
             "not_found", f"no route {request.path!r}"), close=close)
+
+    @staticmethod
+    def _wants_prometheus(request: _Request, query: str) -> bool:
+        """``?format=prometheus`` wins; else an ``Accept`` header that
+        prefers ``text/plain`` (what Prometheus scrapers send)."""
+        params = urllib.parse.parse_qs(query)
+        fmt = params.get("format", [""])[-1].lower()
+        if fmt:
+            return fmt in ("prometheus", "text", "openmetrics")
+        accept = request.headers.get("accept", "")
+        return "text/plain" in accept.lower()
 
     async def _handle_api(self, kind: str,
                           body: bytes) -> tuple[int, dict, dict]:
@@ -315,8 +351,17 @@ class AnalysisServer:
 def _response(status: int, payload: dict, close: bool = False,
               headers: dict | None = None) -> bytes:
     body = json.dumps(payload).encode("utf-8")
+    return _raw_response(status, body, "application/json", close, headers)
+
+def _text_response(status: int, text: str, content_type: str,
+                   close: bool = False) -> bytes:
+    return _raw_response(status, text.encode("utf-8"), content_type, close)
+
+def _raw_response(status: int, body: bytes, content_type: str,
+                  close: bool = False,
+                  headers: dict | None = None) -> bytes:
     lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-             "content-type: application/json",
+             f"content-type: {content_type}",
              f"content-length: {len(body)}",
              f"connection: {'close' if close else 'keep-alive'}"]
     for name, value in (headers or {}).items():

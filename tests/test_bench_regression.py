@@ -1,0 +1,210 @@
+"""The CI benchmark-regression gate (benchmarks/regression.py).
+
+Proves the acceptance criteria directly against the comparison script:
+
+* a synthetic 2x slowdown (throughput halved, p95 doubled) trips the
+  gate;
+* the committed baselines pass when replayed against themselves;
+* deltas inside the tolerance band pass, just outside fail, and the
+  direction matters (faster-than-baseline never fails);
+* ``--update`` rewrites baselines the ``--check`` mode then accepts;
+* missing results or baselines fail loudly instead of vacuously passing.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_BENCHMARKS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+def _load_regression():
+    spec = importlib.util.spec_from_file_location(
+        "bench_regression_gate", _BENCHMARKS / "regression.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+regression = _load_regression()
+
+#: Plausible committed-baseline metric values.
+BASE_ENGINE = {"cold_nests_per_sec": 40.0, "warm_tables_hit_rate": 1.0}
+BASE_SERVE = {"throughput_rps": 1200.0, "latency_p95_s": 0.004}
+
+def engine_results(nests_per_sec: float = 40.0,
+                   hit_rate: float = 1.0) -> dict:
+    return {"cold": {"nests_per_sec": nests_per_sec},
+            "warm": {"tables_hit_rate": hit_rate}}
+
+def serve_results(rps: float = 1200.0, p95: float = 0.004) -> dict:
+    return {"throughput": {"throughput_rps": rps,
+                           "latency_s": {"p95": p95}}}
+
+def write_tree(tmp_path: pathlib.Path, engine: dict | None,
+               serve: dict | None,
+               baselines: dict[str, dict] | None = None) -> tuple[
+                   pathlib.Path, pathlib.Path]:
+    results = tmp_path / "results"
+    results.mkdir(exist_ok=True)
+    if engine is not None:
+        (results / "engine_throughput.json").write_text(json.dumps(engine))
+    if serve is not None:
+        (results / "serve_throughput.json").write_text(json.dumps(serve))
+    baseline_dir = tmp_path / "baselines"
+    baseline_dir.mkdir(exist_ok=True)
+    for name, metrics in (baselines or {}).items():
+        (baseline_dir / f"{name}.json").write_text(
+            json.dumps({"benchmark": name, "metrics": metrics}))
+    return results, baseline_dir
+
+DEFAULT_BASELINES = {"engine_throughput": BASE_ENGINE,
+                     "serve_throughput": BASE_SERVE}
+
+class TestCompare:
+    def test_synthetic_2x_slowdown_fails(self):
+        """The headline acceptance criterion: halve throughput, double
+        p95 -- every latency/throughput row must go out of band."""
+        rows = regression.compare(
+            "serve_throughput", BASE_SERVE,
+            {"throughput_rps": 600.0, "latency_p95_s": 0.008})
+        verdicts = {row["metric"]: row["ok"] for row in rows}
+        assert verdicts == {"throughput_rps": False,
+                            "latency_p95_s": False}
+
+    def test_identical_results_pass(self):
+        rows = regression.compare("engine_throughput", BASE_ENGINE,
+                                  dict(BASE_ENGINE))
+        assert all(row["ok"] for row in rows)
+        assert all(row["delta_pct"] == 0.0 for row in rows)
+
+    def test_band_edges(self):
+        tol = 0.25
+        inside = regression.compare(
+            "serve_throughput", BASE_SERVE,
+            {"throughput_rps": 1200.0 * (1 - tol) + 1e-6,
+             "latency_p95_s": 0.004 * (1 + tol) - 1e-12}, tolerance=tol)
+        assert all(row["ok"] for row in inside)
+        outside = regression.compare(
+            "serve_throughput", BASE_SERVE,
+            {"throughput_rps": 1200.0 * (1 - tol) - 1e-3,
+             "latency_p95_s": 0.004 * (1 + tol) + 1e-6}, tolerance=tol)
+        assert not any(row["ok"] for row in outside)
+
+    def test_direction_awareness(self):
+        """Faster/better than baseline never trips the gate."""
+        rows = regression.compare(
+            "serve_throughput", BASE_SERVE,
+            {"throughput_rps": 5000.0, "latency_p95_s": 0.0001})
+        assert all(row["ok"] for row in rows)
+
+    def test_missing_metric_fails(self):
+        rows = regression.compare("engine_throughput",
+                                  {"cold_nests_per_sec": 40.0},
+                                  dict(BASE_ENGINE))
+        by_metric = {row["metric"]: row for row in rows}
+        assert not by_metric["warm_tables_hit_rate"]["ok"]
+        assert "missing" in by_metric["warm_tables_hit_rate"]["note"]
+
+class TestCheckAndUpdate:
+    def test_check_passes_on_matching_tree(self, tmp_path):
+        results, baselines = write_tree(tmp_path, engine_results(),
+                                        serve_results(),
+                                        DEFAULT_BASELINES)
+        rows, ok = regression.check(results, baselines, 0.25)
+        assert ok and len(rows) == 4
+
+    def test_check_fails_on_2x_slowdown_tree(self, tmp_path):
+        results, baselines = write_tree(
+            tmp_path, engine_results(nests_per_sec=20.0),
+            serve_results(rps=600.0, p95=0.008), DEFAULT_BASELINES)
+        rows, ok = regression.check(results, baselines, 0.25)
+        assert not ok
+        failed = {row["metric"] for row in rows if not row["ok"]}
+        assert failed == {"cold_nests_per_sec", "throughput_rps",
+                          "latency_p95_s"}
+
+    def test_missing_results_file_fails(self, tmp_path):
+        results, baselines = write_tree(tmp_path, engine_results(), None,
+                                        DEFAULT_BASELINES)
+        rows, ok = regression.check(results, baselines, 0.25)
+        assert not ok
+        assert any(row["note"] == "no results file" for row in rows)
+
+    def test_missing_baseline_fails(self, tmp_path):
+        results, baselines = write_tree(tmp_path, engine_results(),
+                                        serve_results(), baselines={})
+        _, ok = regression.check(results, baselines, 0.25)
+        assert not ok
+
+    def test_update_then_check_roundtrip(self, tmp_path):
+        results, baselines = write_tree(tmp_path,
+                                        engine_results(nests_per_sec=55.5),
+                                        serve_results(rps=999.0))
+        written = regression.update(results, baselines)
+        assert {p.name for p in written} == {"engine_throughput.json",
+                                             "serve_throughput.json"}
+        _, ok = regression.check(results, baselines, 0.25)
+        assert ok
+        doc = json.loads((baselines / "engine_throughput.json").read_text())
+        assert doc["metrics"]["cold_nests_per_sec"] == 55.5
+
+class TestMainAndTable:
+    def test_main_check_exit_codes(self, tmp_path, capsys):
+        results, baselines = write_tree(tmp_path, engine_results(),
+                                        serve_results(),
+                                        DEFAULT_BASELINES)
+        code = regression.main(["--check",
+                                "--results-dir", str(results),
+                                "--baseline-dir", str(baselines)])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+        (results / "serve_throughput.json").write_text(
+            json.dumps(serve_results(rps=10.0)))
+        code = regression.main(["--check",
+                                "--results-dir", str(results),
+                                "--baseline-dir", str(baselines)])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_markdown_table_and_summary_file(self, tmp_path, capsys):
+        results, baselines = write_tree(tmp_path, engine_results(),
+                                        serve_results(),
+                                        DEFAULT_BASELINES)
+        summary = tmp_path / "summary.md"
+        code = regression.main(["--check",
+                                "--results-dir", str(results),
+                                "--baseline-dir", str(baselines),
+                                "--summary", str(summary)])
+        assert code == 0
+        table = summary.read_text()
+        assert table.startswith("### Benchmark regression gate")
+        assert "| benchmark | metric | baseline | current | delta " \
+            "| status |" in table
+        assert table.count("✅") == 4
+        # One data row per tracked metric, rendered as a pipe table.
+        data_rows = [line for line in table.splitlines()
+                     if line.startswith("| engine_throughput")
+                     or line.startswith("| serve_throughput")]
+        assert len(data_rows) == 4
+        capsys.readouterr()
+
+    def test_committed_baselines_are_wellformed(self):
+        """The repo's own baselines replayed against themselves pass."""
+        baseline_dir = _BENCHMARKS / "baselines"
+        for name, spec in regression.SPECS.items():
+            doc = json.loads((baseline_dir / f"{name}.json").read_text())
+            metrics = doc["metrics"]
+            assert set(metrics) == set(spec["metrics"])
+            rows = regression.compare(name, metrics, metrics)
+            assert all(row["ok"] for row in rows)
+            assert all(isinstance(value, float) and value > 0
+                       for value in metrics.values())
+
+@pytest.mark.parametrize("value,expected", [
+    (None, "-"), (1234.5, "1234.5"), (0.00378, "0.00378"), (1.0, "1")])
+def test_format_number(value, expected):
+    assert regression._format_number(value) == expected
