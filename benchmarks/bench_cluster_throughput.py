@@ -1,0 +1,232 @@
+"""Cluster vs single-process serving: scaling, sticky reuse, federation.
+
+Measures the claims of docs/CLUSTER.md over real processes and sockets:
+
+* **scaling** -- the same warm sweep over the Table 2 kernels against a
+  single-process server and against ``--workers N`` shards behind the
+  router.  The acceptance bar is hardware-aware: perfect scaling is
+  ``min(workers, cpu_count)`` (worker processes cannot beat physical
+  cores -- on the 1-core CI container the honest bar is "the router hop
+  does not halve throughput", while on a 4-core box 4 workers must
+  deliver at least ~2x the single process);
+* **sticky reuse** -- a duplicate-heavy workload (50% repeated nests)
+  must coalesce on-shard: the consistent-hash routing sends repeats to
+  the worker that already computed them, so merged engine compute calls
+  stay well below the request count even though the shards share
+  nothing;
+* **federation** -- the router's merged ``GET /metrics`` must account
+  for every 2xx the shards produced.
+
+Runs under pytest (``pytest benchmarks/bench_cluster_throughput.py``)
+and standalone::
+
+    python benchmarks/bench_cluster_throughput.py --quick
+
+Both modes write ``results/cluster_throughput.json`` and the formatted
+``results/cluster_throughput.txt``; the regression gate tracks the
+cluster req/s and the sticky reuse rate against
+``benchmarks/baselines/cluster_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+_REPO = pathlib.Path(__file__).resolve().parent.parent
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro.cluster import ClusterConfig, ClusterThread
+from repro.engine import AnalysisEngine
+from repro.kernels import all_kernels
+from repro.serve.batcher import BatchConfig
+from repro.serve.client import ServeClient, build_workload, run_load
+from repro.serve.server import ServeConfig, ServerThread
+
+#: Required fraction of ideal hardware-aware scaling (0.45 leaves room
+#: for the router hop and scheduler noise without hiding real losses).
+SCALING_EFFICIENCY_BAR = 0.45
+
+#: With 50% duplicates, merged engine compute calls per request must
+#: stay below this -- the proof that duplicates stick to warm shards.
+COMPUTE_RATIO_BAR = 0.75
+
+def _sweep(passes: int) -> list:
+    names = [kernel.name for kernel in all_kernels()]
+    return build_workload(passes * len(names), duplicate_fraction=0.0,
+                          nests=names * passes)
+
+def run_cluster_benchmark(workers: int = 2, concurrency: int = 8,
+                          passes: int = 4, bound: int = 4,
+                          quick: bool = False) -> dict:
+    if quick:
+        concurrency, passes, bound = 4, 2, 3
+    kernel_count = len(all_kernels())
+    cpu_count = os.cpu_count() or 1
+    expected_scaling = max(1, min(workers, cpu_count))
+
+    # Phase 1: the single-process reference, same batch knobs.
+    config = ServeConfig(port=0, batch=BatchConfig(deadline_s=0.005,
+                                                   max_batch=32, threads=4))
+    with ServerThread(config, AnalysisEngine()) as handle:
+        run_load("127.0.0.1", handle.port, _sweep(1),
+                 concurrency=concurrency, bound=bound)  # warm the engine
+        single = run_load("127.0.0.1", handle.port,
+                          _sweep(passes),
+                          concurrency=concurrency, bound=bound)
+
+    # Phase 2 + 3: the sharded cluster.
+    cluster_config = ClusterConfig(workers=workers, port=0,
+                                   probe_interval_s=0.25,
+                                   worker_deadline_ms=5.0,
+                                   worker_batch_max=32)
+    with ClusterThread(cluster_config) as handle:
+        probe = ServeClient(port=handle.port)
+        run_load("127.0.0.1", handle.port, _sweep(1),
+                 concurrency=concurrency, bound=bound)  # warm every shard
+        cluster = run_load("127.0.0.1", handle.port,
+                           _sweep(passes),
+                           concurrency=concurrency, bound=bound)
+
+        # Sticky phase: 50% duplicate nests, fresh counters read around it.
+        _, before = probe.metrics()
+        sticky_load = build_workload(2 * kernel_count,
+                                     duplicate_fraction=0.5)
+        sticky = run_load("127.0.0.1", handle.port, sticky_load,
+                          concurrency=concurrency, bound=bound)
+        _, after = probe.metrics()
+        probe.close()
+
+    def merged(doc: dict, counter: str) -> int:
+        return doc["metrics"]["counters"].get(counter, 0)
+
+    sticky_requests = len(sticky_load)
+    compute_delta = (merged(after, "engine.optimize")
+                     - merged(before, "engine.optimize"))
+    reuse_delta = ((merged(after, "serve.coalesced")
+                    + merged(after, "serve.cache.hit"))
+                   - (merged(before, "serve.coalesced")
+                      + merged(before, "serve.cache.hit")))
+    sticky["engine_optimize_calls"] = compute_delta
+    sticky["compute_per_request"] = compute_delta / sticky_requests
+    sticky["sticky_hit_rate"] = max(0.0, reuse_delta / sticky_requests)
+
+    shard_2xx = {slot: doc["metrics"]["counters"]
+                 .get("serve.responses_2xx", 0)
+                 for slot, doc in after["shards"].items()}
+    return {
+        "kernels": kernel_count,
+        "bound": bound,
+        "concurrency": concurrency,
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "expected_scaling": expected_scaling,
+        "single": single,
+        "cluster": cluster,
+        "sticky": sticky,
+        "scaling": (cluster["throughput_rps"] / single["throughput_rps"]
+                    if single["throughput_rps"] else 0.0),
+        "router_counters": after["router"]["metrics"]["counters"],
+        "shard_2xx": shard_2xx,
+        "federated_2xx": merged(after, "serve.responses_2xx"),
+        "federated_metrics": after,
+    }
+
+def format_cluster(payload: dict) -> str:
+    single = payload["single"]
+    cluster = payload["cluster"]
+    sticky = payload["sticky"]
+    bar = SCALING_EFFICIENCY_BAR * payload["expected_scaling"]
+    return "\n".join([
+        f"Cluster serving, {payload['workers']} workers on "
+        f"{payload['cpu_count']} cpu(s) "
+        f"(bound {payload['bound']}, concurrency "
+        f"{payload['concurrency']})",
+        "",
+        f"single process: {single['throughput_rps']:.1f} req/s, "
+        f"p95 {1000 * single['latency_s']['p95']:.1f}ms",
+        f"cluster:        {cluster['throughput_rps']:.1f} req/s, "
+        f"p95 {1000 * cluster['latency_s']['p95']:.1f}ms",
+        f"scaling {payload['scaling']:.2f}x "
+        f"(hardware-aware ideal {payload['expected_scaling']}x, "
+        f"bar {bar:.2f}x)",
+        "",
+        f"sticky phase ({sticky['requests']} requests, 50% duplicates):",
+        f"  merged engine compute calls {sticky['engine_optimize_calls']} "
+        f"({100 * sticky['compute_per_request']:.0f}% of requests; "
+        f"bar {100 * COMPUTE_RATIO_BAR:.0f}%)",
+        f"  on-shard reuse rate {100 * sticky['sticky_hit_rate']:.0f}%",
+        f"  per-shard 2xx {payload['shard_2xx']} "
+        f"(federated total {payload['federated_2xx']})",
+    ])
+
+def write_results(payload: dict, results_dir: pathlib.Path) -> None:
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "cluster_throughput.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    (results_dir / "cluster_throughput.txt").write_text(
+        format_cluster(payload) + "\n")
+
+def _acceptance(payload: dict) -> list[str]:
+    problems = []
+    for phase in ("single", "cluster", "sticky"):
+        if payload[phase]["rate_2xx"] < 1.0:
+            problems.append(
+                f"{phase} phase 2xx rate {payload[phase]['rate_2xx']}")
+    bar = SCALING_EFFICIENCY_BAR * payload["expected_scaling"]
+    if payload["scaling"] < bar:
+        problems.append(
+            f"scaling {payload['scaling']:.2f}x below the hardware-aware "
+            f"bar {bar:.2f}x ({payload['workers']} workers, "
+            f"{payload['cpu_count']} cpus)")
+    if payload["sticky"]["compute_per_request"] > COMPUTE_RATIO_BAR:
+        problems.append(
+            f"sticky compute/request "
+            f"{payload['sticky']['compute_per_request']:.2f} exceeds "
+            f"{COMPUTE_RATIO_BAR} -- duplicates are not landing on warm "
+            f"shards")
+    if len([count for count in payload["shard_2xx"].values()
+            if count > 0]) < min(2, payload["workers"]):
+        problems.append(f"traffic did not spread: {payload['shard_2xx']}")
+    return problems
+
+# -- pytest mode --------------------------------------------------------------
+
+def test_cluster_throughput(results_dir):
+    payload = run_cluster_benchmark(quick=True)
+    write_results(payload, results_dir)
+    print("\n" + format_cluster(payload))
+    assert not _acceptance(payload), _acceptance(payload)
+
+# -- script mode --------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sweep (CI smoke)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="cluster worker processes (default 2)")
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--passes", type=int, default=4)
+    parser.add_argument("--bound", type=int, default=4)
+    parser.add_argument("--results-dir", default=str(_REPO / "results"))
+    args = parser.parse_args(argv)
+
+    payload = run_cluster_benchmark(workers=args.workers,
+                                    concurrency=args.concurrency,
+                                    passes=args.passes, bound=args.bound,
+                                    quick=args.quick)
+    write_results(payload, pathlib.Path(args.results_dir))
+    print(format_cluster(payload))
+    problems = _acceptance(payload)
+    print(f"\nacceptance: {'PASS' if not problems else 'FAIL'}")
+    for problem in problems:
+        print(f"  {problem}")
+    return 0 if not problems else 1
+
+if __name__ == "__main__":
+    sys.exit(main())

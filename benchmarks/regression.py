@@ -56,6 +56,18 @@ SPECS: dict[str, dict] = {
             "latency_p95_s": (("throughput", "latency_s", "p95"), "lower"),
         },
     },
+    "cluster_throughput": {
+        "results": "cluster_throughput.json",
+        "metrics": {
+            # Cluster latency and the single/cluster scaling ratio are
+            # both quotient-of-noise on shared CI runners; absolute
+            # routed throughput plus the sticky reuse rate are the
+            # stable signals that sharding still pays for itself.
+            "cluster_throughput_rps": (("cluster", "throughput_rps"),
+                                       "higher"),
+            "sticky_hit_rate": (("sticky", "sticky_hit_rate"), "higher"),
+        },
+    },
 }
 
 def extract(payload: Mapping, path: tuple) -> float:

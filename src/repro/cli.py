@@ -8,7 +8,9 @@ Commands:
 * ``optimize <nest>``              -- full unroll-and-jam report
 * ``simulate <kernel>``            -- trace-driven cycles, before/after
 * ``batch <dir|glob|nest>...``     -- optimize a corpus via the engine
-* ``serve``                        -- the HTTP analysis service (docs/SERVING.md)
+* ``serve``                        -- the HTTP analysis service (docs/SERVING.md);
+  ``--workers N`` shards it across N processes (docs/CLUSTER.md)
+* ``cluster (status|drain|scale|reload)`` -- administer a sharded router
 * ``metrics``                      -- dump metrics (JSON or Prometheus text)
 * ``cache (stats|clear)``          -- manage the on-disk table cache
 * ``table1``                       -- the input-dependence experiment
@@ -254,21 +256,46 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.machine not in api.MACHINES:
         raise SystemExit(f"unknown machine {args.machine!r}; choose from "
                          f"{sorted(api.MACHINES)}")
+    if args.workers and args.workers > 0:
+        # Sharded mode: N worker processes behind the consistent-hash
+        # router (docs/CLUSTER.md).  --workers 0 (default) keeps the
+        # classic single-process server.
+        from repro.cluster import ClusterConfig, run_cluster
+
+        cluster = ClusterConfig(
+            workers=args.workers, host=args.host, port=args.port,
+            machine=args.machine, max_body=args.max_body,
+            request_timeout_s=args.timeout,
+            drain_grace_s=args.drain_grace,
+            metrics_path=args.metrics_out,
+            cache=args.cache, cache_dir=args.cache_dir, trace=args.trace,
+            worker_threads=args.threads, worker_batch_max=args.batch_max,
+            worker_deadline_ms=args.batch_deadline_ms,
+            worker_queue_limit=args.queue_limit,
+            worker_pool_workers=args.pool_workers)
+        return run_cluster(cluster)
     config = ServeConfig(
         host=args.host, port=args.port, machine=args.machine,
         max_body=args.max_body, request_timeout_s=args.timeout,
+        shutdown_grace_s=args.drain_grace,
         metrics_path=args.metrics_out,
         batch=BatchConfig(max_batch=args.batch_max,
                           deadline_s=args.batch_deadline_ms / 1000.0,
                           queue_limit=args.queue_limit,
                           threads=args.threads,
-                          workers=args.workers or 0))
+                          workers=args.pool_workers))
     profiler = obs.Profiler(enabled=True) if args.profile else None
     if args.trace:
         obs.configure(enabled=True)
     engine = AnalysisEngine(disk_cache=args.cache, cache_dir=args.cache_dir,
                             profiler=profiler)
     return run_server(config, engine)
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster.admin import run_admin
+
+    return run_admin(args.action, args.host, args.port, to=args.to,
+                     timeout=args.timeout, as_json=args.json)
 
 def cmd_metrics(args: argparse.Namespace) -> int:
     from repro import obs
@@ -410,12 +437,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--queue-limit", type=int, default=256,
                          help="admission queue bound before 429s")
     p_serve.add_argument("--threads", type=int, default=4,
-                         help="inline executor threads")
+                         help="inline executor threads (per worker in "
+                              "sharded mode)")
     p_serve.add_argument("--workers", type=int, default=0,
-                         help="process-pool size for large flushes "
+                         help="run N sharded worker processes behind the "
+                              "consistent-hash router (0 = single-process "
+                              "server; see docs/CLUSTER.md)")
+    p_serve.add_argument("--pool-workers", type=int, default=0,
+                         help="engine process-pool size for large flushes "
                               "(0 disables)")
     p_serve.add_argument("--timeout", type=float, default=30.0,
                          help="per-request timeout in seconds")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         help="seconds to let in-flight work finish on "
+                              "shutdown")
     p_serve.add_argument("--max-body", type=int, default=64 * 1024,
                          help="request body limit in bytes")
     p_serve.add_argument("--metrics-out", default=None,
@@ -431,6 +466,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--trace", action="store_true",
                          help="record trace spans (or set REPRO_TRACE=1)")
     p_serve.set_defaults(func=cmd_serve)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="administer a running sharded router "
+                        "(see docs/CLUSTER.md)")
+    p_cluster.add_argument("action",
+                           choices=("status", "drain", "scale", "reload"))
+    p_cluster.add_argument("--host", default="127.0.0.1")
+    p_cluster.add_argument("--port", type=int, default=8787)
+    p_cluster.add_argument("--to", type=int, default=None,
+                           help="target worker count (scale)")
+    p_cluster.add_argument("--timeout", type=float, default=120.0,
+                           help="HTTP timeout; a rolling reload can take "
+                                "a while")
+    p_cluster.add_argument("--json", action="store_true",
+                           help="print raw JSON instead of the status "
+                                "table")
+    p_cluster.set_defaults(func=cmd_cluster)
 
     p_met = sub.add_parser(
         "metrics", help="dump metrics as Prometheus text or JSON")

@@ -1,0 +1,35 @@
+"""Sharded multi-process serving: router, supervisor, workers.
+
+``python -m repro serve --workers N`` runs :func:`run_cluster`: N worker
+processes (each the full single-process serving stack of
+docs/SERVING.md, with a warm memoizing engine and a per-shard disk-cache
+namespace) behind one asyncio router that consistent-hash-routes
+requests on the engine's structural key.  See docs/CLUSTER.md for the
+architecture and semantics; ``python -m repro cluster`` administers a
+running router.
+"""
+
+# NOTE: repro.cluster.worker is deliberately NOT imported here -- the
+# supervisor spawns it with ``python -m repro.cluster.worker``, and
+# importing it from the package __init__ would make runpy warn about
+# re-executing an already-imported module in every worker process.
+from repro.cluster.membership import HashRing, Membership, WorkerInfo
+from repro.cluster.router import (
+    ClusterRouter,
+    ClusterThread,
+    SHARD_HEADER,
+    run_cluster,
+)
+from repro.cluster.supervisor import ClusterConfig, Supervisor
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterRouter",
+    "ClusterThread",
+    "HashRing",
+    "Membership",
+    "SHARD_HEADER",
+    "Supervisor",
+    "WorkerInfo",
+    "run_cluster",
+]

@@ -1,0 +1,260 @@
+"""Cluster membership: worker states and the consistent-hash ring.
+
+The routing insight (ISSUE 4, after MARS-style usage partitioning): the
+engine memoizes per-nest artifacts behind
+:meth:`~repro.ir.nodes.LoopNest.structural_key`, so partitioning traffic
+by that key keeps reuse local -- a duplicate nest always lands on the
+worker whose caches are already warm for it.
+
+* :class:`HashRing` -- consistent hashing with virtual nodes.  Each
+  member owns ``replicas`` pseudo-random points on a 64-bit ring
+  (SHA-256 of ``"{member}#{vnode}"``); a key routes to the first point
+  clockwise from its own hash.  Adding or removing one member moves only
+  the keys adjacent to that member's points -- about ``1/N`` of the key
+  space -- which is what keeps the other workers' memo caches warm
+  across membership changes (tests/test_cluster_ring.py proves the
+  bound).
+* :class:`WorkerInfo` / :class:`Membership` -- the supervisor's view of
+  each worker slot (state machine below) plus the ring over the READY
+  subset.  The router only consults READY workers; DRAINING/DEAD/FAILED
+  slots are out of the ring, so their keys re-slot onto the survivors.
+
+State machine::
+
+    STARTING -> READY -> DRAINING -> STOPPED
+        |         |
+        v         v
+      DEAD  <-  DEAD -> (backoff restart) -> STARTING
+        |
+        v
+      FAILED  (circuit breaker: too many consecutive failures)
+
+Everything here is loop-confined (mutated only from the router/
+supervisor event loop); no locks are taken.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import time
+from typing import Iterable
+
+__all__ = ["HashRing", "Membership", "WorkerInfo",
+           "STARTING", "READY", "DRAINING", "DEAD", "FAILED", "STOPPED"]
+
+STARTING = "starting"
+READY = "ready"
+DRAINING = "draining"
+DEAD = "dead"
+FAILED = "failed"    # circuit breaker open: no more restarts
+STOPPED = "stopped"  # drained cleanly on request
+
+#: Virtual nodes per member: enough to spread 1/N evenly, cheap to build.
+DEFAULT_REPLICAS = 64
+
+def _ring_hash(value: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(value.encode("utf-8")).digest()[:8], "big")
+
+class HashRing:
+    """Consistent hashing over string member ids with virtual nodes."""
+
+    def __init__(self, members: Iterable[str] = (),
+                 replicas: int = DEFAULT_REPLICAS):
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._points: list[int] = []      # sorted vnode hashes
+        self._owners: dict[int, str] = {}  # vnode hash -> member id
+        self._members: set[str] = set()
+        for member in members:
+            self.add(member)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    @property
+    def members(self) -> set[str]:
+        return set(self._members)
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            return
+        self._members.add(member)
+        for vnode in range(self.replicas):
+            point = _ring_hash(f"{member}#{vnode}")
+            # A full-width SHA collision between distinct member#vnode
+            # labels is negligible; first owner wins deterministically.
+            if point not in self._owners:
+                self._owners[point] = member
+                bisect.insort(self._points, point)
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        dropped = [point for point, owner in self._owners.items()
+                   if owner == member]
+        for point in dropped:
+            del self._owners[point]
+        dropped_set = set(dropped)
+        self._points = [p for p in self._points if p not in dropped_set]
+
+    def lookup(self, key: str) -> str | None:
+        """The member owning ``key``, or ``None`` on an empty ring."""
+        if not self._points:
+            return None
+        point = _ring_hash(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap: first point clockwise
+        return self._owners[self._points[index]]
+
+    def preference(self, key: str) -> list[str]:
+        """Every member, nearest-first, for failover re-routing: the
+        owner, then the member the key would move to if the owner left,
+        and so on."""
+        if not self._points:
+            return []
+        point = _ring_hash(key)
+        start = bisect.bisect_right(self._points, point)
+        seen: list[str] = []
+        for offset in range(len(self._points)):
+            owner = self._owners[
+                self._points[(start + offset) % len(self._points)]]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == len(self._members):
+                    break
+        return seen
+
+class WorkerInfo:
+    """The supervisor's bookkeeping for one worker slot."""
+
+    __slots__ = ("slot", "state", "port", "pid", "restarts",
+                 "consecutive_failures", "pending", "started_at",
+                 "ready_at", "last_error", "next_restart_at")
+
+    def __init__(self, slot: int):
+        self.slot = slot
+        self.state = STARTING
+        self.port: int | None = None
+        self.pid: int | None = None
+        self.restarts = 0
+        self.consecutive_failures = 0
+        self.pending = 0            # router-tracked in-flight requests
+        self.started_at = time.monotonic()
+        self.ready_at: float | None = None
+        self.last_error: str | None = None
+        self.next_restart_at: float | None = None
+
+    @property
+    def member_id(self) -> str:
+        """The ring identity.  Slot-based, not pid-based: a restarted
+        worker re-slots onto exactly the points its predecessor owned,
+        so only the crashed shard's keys ever move."""
+        return f"w{self.slot}"
+
+    def to_dict(self) -> dict:
+        return {
+            "slot": self.slot,
+            "state": self.state,
+            "port": self.port,
+            "pid": self.pid,
+            "restarts": self.restarts,
+            "consecutive_failures": self.consecutive_failures,
+            "pending": self.pending,
+            "uptime_s": (time.monotonic() - self.ready_at
+                         if self.ready_at is not None else 0.0),
+            "last_error": self.last_error,
+        }
+
+class Membership:
+    """Worker slots plus the ring over the READY subset."""
+
+    def __init__(self, replicas: int = DEFAULT_REPLICAS):
+        self.workers: dict[int, WorkerInfo] = {}
+        self.ring = HashRing(replicas=replicas)
+        self.generation = 0  # bumped on every ring change (observability)
+
+    def ensure(self, slot: int) -> WorkerInfo:
+        info = self.workers.get(slot)
+        if info is None:
+            info = self.workers[slot] = WorkerInfo(slot)
+        return info
+
+    def drop(self, slot: int) -> None:
+        info = self.workers.pop(slot, None)
+        if info is not None and info.member_id in self.ring:
+            self.ring.remove(info.member_id)
+            self.generation += 1
+
+    def transition(self, slot: int, state: str) -> WorkerInfo:
+        """Move a slot to ``state``, keeping the ring consistent: only
+        READY workers hold ring points."""
+        info = self.ensure(slot)
+        was_ready = info.state == READY
+        info.state = state
+        if state == READY and not was_ready:
+            info.ready_at = time.monotonic()
+            self.ring.add(info.member_id)
+            self.generation += 1
+        elif state != READY and was_ready:
+            self.ring.remove(info.member_id)
+            self.generation += 1
+        return info
+
+    def by_member(self, member_id: str) -> WorkerInfo | None:
+        for info in self.workers.values():
+            if info.member_id == member_id:
+                return info
+        return None
+
+    def ready(self) -> list[WorkerInfo]:
+        return [info for info in self.workers.values()
+                if info.state == READY]
+
+    def least_pending(self) -> WorkerInfo | None:
+        """The READY worker with the shortest router-side queue -- the
+        fallback for requests whose body yields no structural key."""
+        candidates = self.ready()
+        if not candidates:
+            return None
+        return min(candidates, key=lambda info: (info.pending, info.slot))
+
+    def route(self, key: str | None) -> list[WorkerInfo]:
+        """READY workers to try for ``key``, best first.
+
+        With a key: the ring owner then its failover successors.  Without
+        one: least-pending first.  Workers that left READY since their
+        ring points were read are filtered out.
+        """
+        if key is None:
+            ordered = sorted(self.ready(),
+                             key=lambda info: (info.pending, info.slot))
+            return ordered
+        members = self.ring.preference(key)
+        ordered = []
+        for member in members:
+            info = self.by_member(member)
+            if info is not None and info.state == READY:
+                ordered.append(info)
+        return ordered
+
+    def states(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for info in self.workers.values():
+            tally[info.state] = tally.get(info.state, 0) + 1
+        return tally
+
+    def to_dict(self) -> dict:
+        return {
+            "generation": self.generation,
+            "states": self.states(),
+            "workers": {str(slot): info.to_dict()
+                        for slot, info in sorted(self.workers.items())},
+        }

@@ -1,0 +1,133 @@
+"""The cluster worker: one warm engine behind the serve stack, announced.
+
+``python -m repro.cluster.worker --slot N --announce PATH`` hosts a
+:class:`~repro.serve.server.AnalysisServer` (the full micro-batching /
+coalescing / backpressure stack of docs/SERVING.md) on an ephemeral
+loopback port and *announces* the bound port by atomically writing a
+small JSON document to ``PATH``::
+
+    {"slot": 3, "port": 43817, "pid": 12345}
+
+The supervisor polls for that file instead of parsing stdout, then
+probes ``/healthz`` until the worker turns READY.  Ephemeral ports mean
+N workers never race for a port range, and a restarted worker simply
+re-announces its new port.
+
+Shard discipline:
+
+* the server is tagged ``shard=<slot>`` so its health/metrics documents
+  identify themselves in the router's federated view;
+* with ``--cache``, the on-disk table cache lives under
+  ``<cache-dir>/shard-<slot>`` -- a per-worker namespace.  Together with
+  the router's sticky structural-key routing this gives each cache
+  entry a single writer, so shards never fight over entries (the
+  engine's atomic-replace writes make even accidental sharing safe, but
+  the namespace removes the contention entirely).
+
+SIGTERM drains gracefully through the serve layer's drain: the listener
+closes, every accepted request is answered, then the process exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import signal
+import sys
+
+from repro.engine import AnalysisEngine, default_cache_dir
+from repro.serve.batcher import BatchConfig
+from repro.serve.server import AnalysisServer, ServeConfig
+
+__all__ = ["build_worker_server", "main", "shard_cache_dir"]
+
+def shard_cache_dir(base: str | os.PathLike | None, slot: int) -> pathlib.Path:
+    """The per-worker disk-cache namespace for ``slot``."""
+    root = pathlib.Path(base) if base is not None else default_cache_dir()
+    return root / f"shard-{slot}"
+
+def _write_announce(path: pathlib.Path, document: dict) -> None:
+    """Write-to-temp + atomic rename: the supervisor never reads a
+    partially written announcement."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_text(json.dumps(document, sort_keys=True))
+    os.replace(tmp, path)
+
+def build_worker_server(args: argparse.Namespace) -> AnalysisServer:
+    cache_dir = None
+    if args.cache:
+        cache_dir = shard_cache_dir(args.cache_dir, args.slot)
+    engine = AnalysisEngine(disk_cache=args.cache, cache_dir=cache_dir)
+    config = ServeConfig(
+        host=args.host, port=args.port, machine=args.machine,
+        max_body=args.max_body, request_timeout_s=args.timeout,
+        metrics_path=args.metrics_out, shard=str(args.slot),
+        batch=BatchConfig(max_batch=args.batch_max,
+                          deadline_s=args.batch_deadline_ms / 1000.0,
+                          queue_limit=args.queue_limit,
+                          threads=args.threads,
+                          workers=args.pool_workers))
+    return AnalysisServer(config, engine)
+
+async def _serve(server: AnalysisServer, announce: pathlib.Path | None,
+                 slot: int) -> int:
+    await server.start()
+    if announce is not None:
+        _write_announce(announce, {"slot": slot, "port": server.port,
+                                   "pid": os.getpid()})
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, server.request_shutdown)
+        except (NotImplementedError, RuntimeError):
+            pass
+    await server._shutdown.wait()
+    await server.shutdown()
+    return 0
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="one repro.cluster worker shard (spawned by the "
+                    "supervisor; see docs/CLUSTER.md)")
+    parser.add_argument("--slot", type=int, required=True,
+                        help="shard slot index (stable across restarts)")
+    parser.add_argument("--announce", default=None,
+                        help="write {slot, port, pid} JSON here once "
+                             "listening")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 (default) binds an ephemeral port")
+    parser.add_argument("--machine", default="alpha")
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument("--max-body", type=int, default=64 * 1024)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--batch-max", type=int, default=16)
+    parser.add_argument("--batch-deadline-ms", type=float, default=10.0)
+    parser.add_argument("--queue-limit", type=int, default=256)
+    parser.add_argument("--pool-workers", type=int, default=0,
+                        help="engine process-pool size for large flushes")
+    parser.add_argument("--cache", action="store_true",
+                        help="per-shard on-disk table cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache base; the shard namespace is "
+                             "<dir>/shard-<slot>")
+    parser.add_argument("--metrics-out", default=None,
+                        help="flush the final metrics snapshot here on "
+                             "drain")
+    return parser
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    server = build_worker_server(args)
+    announce = pathlib.Path(args.announce) if args.announce else None
+    try:
+        return asyncio.run(_serve(server, announce, args.slot))
+    except KeyboardInterrupt:
+        return 0
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -502,14 +502,16 @@ class AnalysisEngine:
             with self.metrics.timer("stage.disk_load"):
                 tables = tables_from_json(text)
         except Exception:
-            # Corrupt or truncated entry: evict it so the slot is rebuilt
-            # from scratch, then recompute rather than fail the request.
+            # Corrupt or truncated entry: treat it as evicted and
+            # recompute rather than fail the request.  The slot is NOT
+            # unlinked here -- under concurrent multi-process use another
+            # engine may have just atomically replaced it with a fresh
+            # valid entry, and unlinking would delete that good work.
+            # The recompute path's write-to-temp + os.replace store
+            # overwrites the corrupt bytes instead, which is safe to
+            # race: last writer wins with a complete entry either way.
             self.metrics.count("cache.disk.error")
-            try:
-                path.unlink()
-                self.metrics.count("cache.disk.evict")
-            except OSError:
-                pass
+            self.metrics.count("cache.disk.evict")
             return None
         self.metrics.count("cache.disk.hit")
         return _rebind_tables(tables, nest)

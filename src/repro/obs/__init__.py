@@ -24,6 +24,7 @@ from repro.obs.prom import (
     CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
     document_to_exposition,
     escape_label,
+    federated_to_exposition,
     render_exposition,
     snapshot_to_exposition,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "current_trace_id",
     "document_to_exposition",
     "escape_label",
+    "federated_to_exposition",
     "get_profiler",
     "get_tracer",
     "render_exposition",

@@ -27,6 +27,7 @@ from typing import Mapping
 __all__ = [
     "CONTENT_TYPE",
     "escape_label",
+    "federated_to_exposition",
     "render_exposition",
     "sanitize_metric_name",
     "snapshot_to_exposition",
@@ -123,14 +124,115 @@ def snapshot_to_exposition(snapshot: Mapping,
                              snapshot.get("histogram_bounds_s", ()),
                              gauges=gauges)
 
+def federated_to_exposition(document: Mapping) -> str:
+    """Render a cluster router's federated ``GET /metrics`` document
+    (recognized by its ``shards`` key; see docs/CLUSTER.md).
+
+    Counter and stage-histogram series carry a ``shard`` label -- one
+    sample set per worker plus ``shard="router"`` for the router's own
+    counters -- so ``sum by (name)`` recovers the cluster totals while
+    per-shard balance stays visible.  Cluster-level scalars (ready
+    workers, ring generation, per-shard queue depths) become gauges.
+    """
+    cluster = document.get("cluster", {}) or {}
+    shards = document.get("shards", {}) or {}
+    lines: list[str] = []
+
+    scalar_gauges = {
+        "repro_uptime_seconds": document.get("uptime_s", 0.0),
+        "repro_cluster_workers_target": cluster.get(
+            "target", cluster.get("workers", len(shards))),
+        "repro_cluster_workers_ready": cluster.get("ready", len(shards)),
+        "repro_cluster_generation": cluster.get("generation", 0),
+        "repro_cluster_pending": cluster.get("pending", 0),
+    }
+    for name in sorted(scalar_gauges):
+        family = sanitize_metric_name(name)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_format_value(scalar_gauges[name])}")
+
+    shard_gauges = (
+        ("repro_shard_up", lambda doc: 1),
+        ("repro_shard_uptime_seconds",
+         lambda doc: doc.get("uptime_s", 0.0)),
+        ("repro_shard_queue_depth",
+         lambda doc: doc.get("queue_depth", 0)),
+        ("repro_shard_in_flight", lambda doc: doc.get("in_flight", 0)),
+    )
+    for family, value_of in shard_gauges:
+        if not shards:
+            break
+        lines.append(f"# TYPE {family} gauge")
+        for shard in sorted(shards):
+            lines.append(f'{family}{{shard="{escape_label(shard)}"}} '
+                         f'{_format_value(value_of(shards[shard]))}')
+
+    # One snapshot per source, each tagged with its shard label.
+    sources: list[tuple[str, Mapping]] = [
+        (shard, shards[shard].get("metrics", {}) or {})
+        for shard in sorted(shards)]
+    router_metrics = (document.get("router", {}) or {}).get("metrics")
+    if router_metrics:
+        sources.append(("router", router_metrics))
+
+    if any(snapshot.get("counters") for _, snapshot in sources):
+        lines.append(f"# HELP {COUNTER_FAMILY} Monotone event counters "
+                     f"of the analysis engine and serving layer.")
+        lines.append(f"# TYPE {COUNTER_FAMILY} counter")
+        for shard, snapshot in sources:
+            counters = snapshot.get("counters", {}) or {}
+            for name in sorted(counters):
+                lines.append(
+                    f'{COUNTER_FAMILY}{{name="{escape_label(name)}",'
+                    f'shard="{escape_label(shard)}"}} '
+                    f'{_format_value(counters[name])}')
+
+    if any(snapshot.get("stages") for _, snapshot in sources):
+        lines.append(f"# HELP {STAGE_FAMILY} Wall-time distribution of "
+                     f"instrumented stages (log-scale buckets).")
+        lines.append(f"# TYPE {STAGE_FAMILY} histogram")
+        for shard, snapshot in sources:
+            stages = snapshot.get("stages", {}) or {}
+            bounds = list(snapshot.get("histogram_bounds_s", ()))
+            shard_label = escape_label(shard)
+            for stage in sorted(stages):
+                data = stages[stage]
+                label = escape_label(stage)
+                histogram = list(data.get("histogram", []))
+                while len(histogram) < len(bounds) + 1:
+                    histogram.append(0)
+                cumulative = 0
+                for bound, in_bucket in zip(bounds, histogram):
+                    cumulative += in_bucket
+                    lines.append(
+                        f'{STAGE_FAMILY}_bucket{{stage="{label}",'
+                        f'shard="{shard_label}",'
+                        f'le="{_bound_label(bound)}"}} {cumulative}')
+                cumulative += sum(histogram[len(bounds):])
+                lines.append(f'{STAGE_FAMILY}_bucket{{stage="{label}",'
+                             f'shard="{shard_label}",le="+Inf"}} '
+                             f'{cumulative}')
+                lines.append(f'{STAGE_FAMILY}_sum{{stage="{label}",'
+                             f'shard="{shard_label}"}} '
+                             f'{_format_value(data.get("total_s", 0.0))}')
+                lines.append(f'{STAGE_FAMILY}_count{{stage="{label}",'
+                             f'shard="{shard_label}"}} '
+                             f'{data.get("count", 0)}')
+
+    return "\n".join(lines) + "\n"
+
 def document_to_exposition(document: Mapping) -> str:
-    """Render either a serve ``GET /metrics`` JSON document (recognized
-    by its ``metrics`` key) or a bare snapshot.
+    """Render a metrics JSON document of any of the three shapes: a
+    cluster router's federated document (recognized by its ``shards``
+    key), a serve ``GET /metrics`` document (recognized by its
+    ``metrics`` key), or a bare snapshot.
 
     The serve document's scalar fields become gauges, and its cache hit
     rates are exposed as ``repro_cache_hit_rate``-style gauges so a
     scraper sees the full service picture from one endpoint.
     """
+    if "shards" in document:
+        return federated_to_exposition(document)
     if "metrics" not in document:
         return snapshot_to_exposition(document)
     snapshot = document.get("metrics", {})

@@ -2,8 +2,10 @@
 
 :class:`ServeClient` is a thin keep-alive HTTP client over
 ``http.client`` (stdlib only, like the server).  :func:`run_load` drives
-a workload with a configurable duplicate fraction from a thread pool and
-reports throughput, exact latency percentiles, and the status mix --
+a workload with a configurable duplicate fraction from a thread pool,
+honors ``Retry-After`` on 429 (capped, jittered backoff -- the polite
+half of the admission-control contract), and reports throughput, exact
+latency percentiles (overall and per endpoint), and the status mix --
 the measurement half of ``benchmarks/bench_serve_throughput.py`` and the
 CI smoke job::
 
@@ -22,6 +24,7 @@ import http.client
 import json
 import pathlib
 import queue
+import random
 import sys
 import threading
 import time
@@ -37,6 +40,9 @@ class ServeClient:
         self.port = port
         self.timeout = timeout
         self._conn: http.client.HTTPConnection | None = None
+        #: Response headers of the last exchange (lower-cased names) --
+        #: where ``Retry-After`` and ``x-repro-shard`` are found.
+        self.last_headers: dict[str, str] = {}
 
     # -- plumbing ------------------------------------------------------------
 
@@ -68,6 +74,8 @@ class ServeClient:
                 self.close()
                 if attempt == 2:
                     raise
+        self.last_headers = {name.lower(): value
+                             for name, value in response.getheaders()}
         try:
             doc = json.loads(raw.decode("utf-8")) if raw else {}
         except json.JSONDecodeError:
@@ -145,18 +153,40 @@ def build_workload(n_requests: int, duplicate_fraction: float = 0.5,
     return [(kinds[i % len(kinds)], pool[i % len(pool)])
             for i in range(n_requests)]
 
+def _retry_after_s(headers: dict) -> float | None:
+    """The ``Retry-After`` delay in seconds, or ``None`` when absent or
+    unparseable (only delta-seconds form is produced by this service)."""
+    value = headers.get("retry-after")
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None
+
 def run_load(host: str, port: int, workload: list[tuple[str, object]],
              concurrency: int = 8, machine: str = "alpha",
-             **params) -> dict:
+             max_retries: int = 4, backoff_base_s: float = 0.05,
+             backoff_cap_s: float = 2.0, **params) -> dict:
     """Fire the workload from ``concurrency`` threads; returns the stats
-    document (throughput, latency percentiles, status mix, failures)."""
+    document (throughput, latency percentiles overall and per endpoint,
+    status mix, retries, failures).
+
+    429 responses are retried up to ``max_retries`` times, honoring the
+    server's ``Retry-After`` hint (falling back to exponential
+    ``backoff_base_s * 2^k``), capped at ``backoff_cap_s`` and jittered
+    to half-to-full delay so ``concurrency`` threads never retry in
+    lockstep against the very admission queue that shed them.
+    """
     jobs: queue.Queue = queue.Queue()
     for index, item in enumerate(workload):
         jobs.put((index, item))
     lock = threading.Lock()
     latencies: list[float] = []
+    by_endpoint: dict[str, list[float]] = {}
     statuses: dict[int, int] = {}
     failures: list[str] = []
+    retries = [0]
 
     def worker() -> None:
         client = ServeClient(host, port)
@@ -165,21 +195,36 @@ def run_load(host: str, port: int, workload: list[tuple[str, object]],
                 _, (kind, nest) = jobs.get_nowait()
             except queue.Empty:
                 break
-            t0 = time.monotonic()
-            try:
-                status, doc = client.call(kind, nest, machine, dict(params))
-            except (OSError, http.client.HTTPException) as err:
+            attempt = 0
+            while True:
+                t0 = time.monotonic()
+                try:
+                    status, doc = client.call(kind, nest, machine,
+                                              dict(params))
+                except (OSError, http.client.HTTPException) as err:
+                    with lock:
+                        failures.append(f"{kind} {nest!r}: "
+                                        f"{type(err).__name__}: {err}")
+                    break
+                elapsed = time.monotonic() - t0
+                if status == 429 and attempt < max_retries:
+                    attempt += 1
+                    hint = _retry_after_s(client.last_headers)
+                    delay = hint if hint is not None \
+                        else backoff_base_s * (2 ** (attempt - 1))
+                    delay = min(backoff_cap_s, delay)
+                    with lock:
+                        retries[0] += 1
+                    time.sleep(delay * (0.5 + 0.5 * random.random()))
+                    continue
                 with lock:
-                    failures.append(f"{kind} {nest!r}: "
-                                    f"{type(err).__name__}: {err}")
-                continue
-            elapsed = time.monotonic() - t0
-            with lock:
-                latencies.append(elapsed)
-                statuses[status] = statuses.get(status, 0) + 1
-                if status >= 400:
-                    failures.append(f"{kind} {nest!r}: HTTP {status} "
-                                    f"{doc.get('error')}")
+                    latencies.append(elapsed)
+                    by_endpoint.setdefault(kind, []).append(elapsed)
+                    statuses[status] = statuses.get(status, 0) + 1
+                    if status >= 400:
+                        failures.append(f"{kind} {nest!r}: HTTP {status} "
+                                        f"{doc.get('error')}")
+                break
         client.close()
 
     threads = [threading.Thread(target=worker, daemon=True)
@@ -195,6 +240,17 @@ def run_load(host: str, port: int, workload: list[tuple[str, object]],
     ok_2xx = sum(count for status, count in statuses.items()
                  if 200 <= status < 300)
     latencies.sort()
+
+    def _summary(samples: list[float]) -> dict:
+        samples.sort()
+        return {
+            "count": len(samples),
+            "p50": _percentile(samples, 0.50),
+            "p95": _percentile(samples, 0.95),
+            "p99": _percentile(samples, 0.99),
+            "max": samples[-1] if samples else 0.0,
+        }
+
     return {
         "requests": len(workload),
         "completed": completed,
@@ -202,6 +258,7 @@ def run_load(host: str, port: int, workload: list[tuple[str, object]],
         "wall_time_s": wall,
         "throughput_rps": completed / wall if wall else 0.0,
         "rate_2xx": ok_2xx / len(workload) if workload else 0.0,
+        "retries": retries[0],
         "statuses": {str(status): count
                      for status, count in sorted(statuses.items())},
         "latency_s": {
@@ -210,6 +267,9 @@ def run_load(host: str, port: int, workload: list[tuple[str, object]],
             "p99": _percentile(latencies, 0.99),
             "max": latencies[-1] if latencies else 0.0,
         },
+        "latency_by_endpoint_s": {kind: _summary(samples)
+                                  for kind, samples
+                                  in sorted(by_endpoint.items())},
         "failures": failures[:20],
     }
 
@@ -232,6 +292,10 @@ def main(argv: list[str] | None = None) -> int:
                              "optimize)")
     parser.add_argument("--wait", type=float, default=15.0,
                         help="seconds to wait for /healthz before loading")
+    parser.add_argument("--max-retries", type=int, default=4,
+                        help="retry budget per request for 429 responses")
+    parser.add_argument("--backoff-cap", type=float, default=2.0,
+                        help="upper bound in seconds on the 429 backoff")
     parser.add_argument("--min-2xx", type=float, default=0.0,
                         help="fail (exit 1) when the 2xx rate drops below "
                              "this")
@@ -247,7 +311,8 @@ def main(argv: list[str] | None = None) -> int:
                               kinds=tuple(args.kinds.split(",")))
     stats = run_load(args.host, args.port, workload,
                      concurrency=args.concurrency, machine=args.machine,
-                     bound=args.bound)
+                     max_retries=args.max_retries,
+                     backoff_cap_s=args.backoff_cap, bound=args.bound)
     probe = ServeClient(args.host, args.port)
     try:
         _, stats["server_metrics"] = probe.metrics()
@@ -258,9 +323,15 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"{stats['completed']}/{stats['requests']} completed, "
           f"{100 * stats['rate_2xx']:.1f}% 2xx, "
+          f"{stats['retries']} retried, "
           f"{stats['throughput_rps']:.1f} req/s, "
           f"p50 {1000 * stats['latency_s']['p50']:.1f}ms "
           f"p99 {1000 * stats['latency_s']['p99']:.1f}ms")
+    for kind, summary in stats["latency_by_endpoint_s"].items():
+        print(f"  {kind}: n={summary['count']} "
+              f"p50 {1000 * summary['p50']:.1f}ms "
+              f"p95 {1000 * summary['p95']:.1f}ms "
+              f"p99 {1000 * summary['p99']:.1f}ms")
     for failure in stats["failures"]:
         print(f"  failure: {failure}", file=sys.stderr)
     if args.json:

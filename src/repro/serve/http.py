@@ -1,0 +1,145 @@
+"""Shared HTTP/1.1 primitives of the serving stack.
+
+One module owns the request/response byte-level plumbing so the
+single-process server (:mod:`repro.serve.server`) and the cluster router
+(:mod:`repro.cluster.router`) speak byte-identical HTTP by construction:
+
+* :class:`Request` / :func:`read_request` -- bounded request parsing
+  (request line, capped header count, ``content-length`` body with a
+  caller-supplied limit);
+* :func:`json_response` / :func:`text_response` / :func:`raw_response` --
+  response serialization with keep-alive bookkeeping and extra headers
+  (``Retry-After``, shard tags, ...);
+* :func:`wants_prometheus` -- the ``GET /metrics`` content negotiation
+  shared by every metrics endpoint (``?format=prometheus`` wins, else an
+  ``Accept`` header that prefers ``text/plain``).
+
+Everything here is transport only; routing and semantics stay with the
+callers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+
+__all__ = [
+    "REASONS",
+    "Request",
+    "json_response",
+    "raw_response",
+    "read_request",
+    "text_response",
+    "wants_prometheus",
+]
+
+REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 502: "Bad Gateway",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+#: Upper bound on header lines per request (readline bounds each line).
+MAX_HEADERS = 256
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "headers", "body", "keep_alive")
+
+    def __init__(self, method: str, path: str, headers: dict,
+                 body: bytes, keep_alive: bool):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+        self.keep_alive = keep_alive
+
+async def read_request(reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter,
+                       max_body: int,
+                       error_payload,
+                       on_oversized=None) -> Request | None:
+    """Parse one request off the stream.
+
+    Malformed requests are answered inline (400/413 with the caller's
+    ``error_payload(type, message)`` envelope) and ``None`` is returned;
+    ``None`` also means the peer closed the connection.  ``on_oversized``
+    is called (no arguments) when a body exceeds ``max_body``, so the
+    caller can count the rejection.
+    """
+    try:
+        line = await reader.readline()
+    except (ValueError, ConnectionError):
+        return None
+    if not line or not line.strip():
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3:
+        writer.write(json_response(400, error_payload(
+            "bad_request", "malformed request line"), close=True))
+        await writer.drain()
+        return None
+    method, path = parts[0].upper(), parts[1]
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADERS):
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        writer.write(json_response(400, error_payload(
+            "bad_request", "too many headers"), close=True))
+        await writer.drain()
+        return None
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        length = -1
+    if length < 0 or length > max_body:
+        if on_oversized is not None:
+            on_oversized()
+        writer.write(json_response(413, error_payload(
+            "payload_too_large",
+            f"body limit is {max_body} bytes"), close=True))
+        await writer.drain()
+        return None
+    body = await reader.readexactly(length) if length else b""
+    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+    return Request(method, path, headers, body, keep_alive)
+
+def json_response(status: int, payload: dict, close: bool = False,
+                  headers: dict | None = None) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    return raw_response(status, body, "application/json", close, headers)
+
+def text_response(status: int, text: str, content_type: str,
+                  close: bool = False,
+                  headers: dict | None = None) -> bytes:
+    return raw_response(status, text.encode("utf-8"), content_type, close,
+                        headers)
+
+def raw_response(status: int, body: bytes, content_type: str,
+                 close: bool = False,
+                 headers: dict | None = None) -> bytes:
+    lines = [f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}",
+             f"content-type: {content_type}",
+             f"content-length: {len(body)}",
+             f"connection: {'close' if close else 'keep-alive'}"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+def wants_prometheus(headers: dict, query: str) -> bool:
+    """``?format=prometheus`` wins; else an ``Accept`` header that
+    prefers ``text/plain`` (what Prometheus scrapers send)."""
+    params = urllib.parse.parse_qs(query)
+    fmt = params.get("format", [""])[-1].lower()
+    if fmt:
+        return fmt in ("prometheus", "text", "openmetrics")
+    accept = headers.get("accept", "")
+    return "text/plain" in accept.lower()

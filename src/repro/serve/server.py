@@ -37,22 +37,25 @@ import pathlib
 import signal
 import threading
 import time
-import urllib.parse
 
 from repro import api, obs
 from repro.engine import AnalysisEngine
 from repro.serve import protocol
 from repro.serve.batcher import BatchConfig, MicroBatcher, Overloaded
+from repro.serve.http import (
+    Request as _Request,
+    json_response as _response,
+    read_request as _read_http_request,
+    text_response as _text_response,
+    wants_prometheus as _wants_prometheus_headers,
+)
 
 __all__ = ["ServeConfig", "AnalysisServer", "ServerThread", "run_server"]
 
-_REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 408: "Request Timeout",
-    413: "Payload Too Large", 429: "Too Many Requests",
-    500: "Internal Server Error", 503: "Service Unavailable",
-    504: "Gateway Timeout",
-}
+#: Headers the cluster router uses to parent worker spans under its own
+#: request span (see docs/CLUSTER.md).
+TRACE_ID_HEADER = "x-repro-trace-id"
+PARENT_ID_HEADER = "x-repro-parent-id"
 
 class ServeConfig:
     """Server-level knobs; batching knobs live in :class:`BatchConfig`."""
@@ -62,7 +65,8 @@ class ServeConfig:
                  request_timeout_s: float = 30.0,
                  shutdown_grace_s: float = 30.0,
                  metrics_path: str | None = None,
-                 batch: BatchConfig | None = None):
+                 batch: BatchConfig | None = None,
+                 shard: str | None = None):
         self.host = host
         self.port = port
         self.machine = machine
@@ -71,17 +75,9 @@ class ServeConfig:
         self.shutdown_grace_s = shutdown_grace_s
         self.metrics_path = metrics_path
         self.batch = batch if batch is not None else BatchConfig()
-
-class _Request:
-    __slots__ = ("method", "path", "headers", "body", "keep_alive")
-
-    def __init__(self, method: str, path: str, headers: dict,
-                 body: bytes, keep_alive: bool):
-        self.method = method
-        self.path = path
-        self.headers = headers
-        self.body = body
-        self.keep_alive = keep_alive
+        #: Cluster shard label; a worker under repro.cluster tags its
+        #: health/metrics documents with it so the router can federate.
+        self.shard = shard
 
 class AnalysisServer:
     """One engine, one batcher, one listener; drive with :meth:`run` (CLI)
@@ -96,6 +92,7 @@ class AnalysisServer:
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
         self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
         self._started_at = time.monotonic()
 
     # -- lifecycle -----------------------------------------------------------
@@ -118,6 +115,17 @@ class AnalysisServer:
             self._server.close()
             await self._server.wait_closed()
         await self.batcher.stop()
+        if self._connections:
+            await asyncio.wait(set(self._connections),
+                               timeout=self.config.shutdown_grace_s)
+        # Idle keep-alive connections (parked in a client's or the
+        # cluster router's pool) never finish on their own: closing the
+        # transport feeds the parked readline an EOF, so the handler
+        # exits through its normal path (cancelling instead would make
+        # py3.11's stream done-callback re-raise CancelledError into
+        # the loop's exception handler).
+        for writer in set(self._writers):
+            writer.close()
         if self._connections:
             await asyncio.wait(set(self._connections),
                                timeout=self.config.shutdown_grace_s)
@@ -166,6 +174,7 @@ class AnalysisServer:
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
+        self._writers.add(writer)
         try:
             while True:
                 request = await self._read_request(reader, writer)
@@ -181,6 +190,7 @@ class AnalysisServer:
         finally:
             if task is not None:
                 self._connections.discard(task)
+            self._writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -189,45 +199,9 @@ class AnalysisServer:
 
     async def _read_request(self, reader: asyncio.StreamReader,
                             writer: asyncio.StreamWriter) -> _Request | None:
-        try:
-            line = await reader.readline()
-        except (ValueError, ConnectionError):
-            return None
-        if not line or not line.strip():
-            return None
-        parts = line.decode("latin-1").split()
-        if len(parts) != 3:
-            writer.write(_response(400, protocol.error_payload(
-                "bad_request", "malformed request line"), close=True))
-            await writer.drain()
-            return None
-        method, path = parts[0].upper(), parts[1]
-        headers: dict[str, str] = {}
-        for _ in range(256):  # header-count bound; readline bounds each line
-            header = await reader.readline()
-            if header in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = header.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-        else:
-            writer.write(_response(400, protocol.error_payload(
-                "bad_request", "too many headers"), close=True))
-            await writer.drain()
-            return None
-        try:
-            length = int(headers.get("content-length", "0"))
-        except ValueError:
-            length = -1
-        if length < 0 or length > self.config.max_body:
-            self.engine.metrics.count("serve.oversized")
-            writer.write(_response(413, protocol.error_payload(
-                "payload_too_large",
-                f"body limit is {self.config.max_body} bytes"), close=True))
-            await writer.drain()
-            return None
-        body = await reader.readexactly(length) if length else b""
-        keep_alive = headers.get("connection", "keep-alive").lower() != "close"
-        return _Request(method, path, headers, body, keep_alive)
+        return await _read_http_request(
+            reader, writer, self.config.max_body, protocol.error_payload,
+            on_oversized=lambda: self.engine.metrics.count("serve.oversized"))
 
     # -- routing -------------------------------------------------------------
 
@@ -253,8 +227,11 @@ class AnalysisServer:
             if request.method != "POST":
                 return _response(405, protocol.error_payload(
                     "method_not_allowed", "use POST"), close=close)
-            with obs.span("serve.request", path=path,
-                          method=request.method):
+            # A cluster router forwards its trace context via headers so
+            # this worker's spans nest under the routed request's span.
+            with obs.activate(self._remote_trace(request)), \
+                    obs.span("serve.request", path=path,
+                             method=request.method):
                 status, payload, extra = await self._handle_api(
                     path[len("/v1/"):], request.body)
             return _response(status, payload, close=close, headers=extra)
@@ -262,15 +239,16 @@ class AnalysisServer:
             "not_found", f"no route {request.path!r}"), close=close)
 
     @staticmethod
+    def _remote_trace(request: _Request) -> tuple[str, str] | None:
+        trace_id = request.headers.get(TRACE_ID_HEADER)
+        parent_id = request.headers.get(PARENT_ID_HEADER)
+        if trace_id and parent_id:
+            return (trace_id, parent_id)
+        return None
+
+    @staticmethod
     def _wants_prometheus(request: _Request, query: str) -> bool:
-        """``?format=prometheus`` wins; else an ``Accept`` header that
-        prefers ``text/plain`` (what Prometheus scrapers send)."""
-        params = urllib.parse.parse_qs(query)
-        fmt = params.get("format", [""])[-1].lower()
-        if fmt:
-            return fmt in ("prometheus", "text", "openmetrics")
-        accept = request.headers.get("accept", "")
-        return "text/plain" in accept.lower()
+        return _wants_prometheus_headers(request.headers, query)
 
     async def _handle_api(self, kind: str,
                           body: bytes) -> tuple[int, dict, dict]:
@@ -323,7 +301,7 @@ class AnalysisServer:
     # -- documents -----------------------------------------------------------
 
     def _health_document(self) -> dict:
-        return {
+        doc = {
             "status": "ok",
             "uptime_s": time.monotonic() - self._started_at,
             "machine": self.config.machine,
@@ -331,9 +309,12 @@ class AnalysisServer:
             "queue_depth": self.batcher.queue_depth,
             "in_flight": self.batcher.in_flight,
         }
+        if self.config.shard is not None:
+            doc["shard"] = self.config.shard
+        return doc
 
     def _metrics_document(self) -> dict:
-        return {
+        doc = {
             "uptime_s": time.monotonic() - self._started_at,
             "queue_depth": self.batcher.queue_depth,
             "in_flight": self.batcher.in_flight,
@@ -347,26 +328,9 @@ class AnalysisServer:
                 "workers": self.config.batch.workers,
             },
         }
-
-def _response(status: int, payload: dict, close: bool = False,
-              headers: dict | None = None) -> bytes:
-    body = json.dumps(payload).encode("utf-8")
-    return _raw_response(status, body, "application/json", close, headers)
-
-def _text_response(status: int, text: str, content_type: str,
-                   close: bool = False) -> bytes:
-    return _raw_response(status, text.encode("utf-8"), content_type, close)
-
-def _raw_response(status: int, body: bytes, content_type: str,
-                  close: bool = False,
-                  headers: dict | None = None) -> bytes:
-    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-             f"content-type: {content_type}",
-             f"content-length: {len(body)}",
-             f"connection: {'close' if close else 'keep-alive'}"]
-    for name, value in (headers or {}).items():
-        lines.append(f"{name}: {value}")
-    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+        if self.config.shard is not None:
+            doc["shard"] = self.config.shard
+        return doc
 
 def run_server(config: ServeConfig | None = None,
                engine: AnalysisEngine | None = None) -> int:

@@ -34,6 +34,7 @@ regression = _load_regression()
 #: Plausible committed-baseline metric values.
 BASE_ENGINE = {"cold_nests_per_sec": 40.0, "warm_tables_hit_rate": 1.0}
 BASE_SERVE = {"throughput_rps": 1200.0, "latency_p95_s": 0.004}
+BASE_CLUSTER = {"cluster_throughput_rps": 800.0, "sticky_hit_rate": 1.0}
 
 def engine_results(nests_per_sec: float = 40.0,
                    hit_rate: float = 1.0) -> dict:
@@ -44,16 +45,28 @@ def serve_results(rps: float = 1200.0, p95: float = 0.004) -> dict:
     return {"throughput": {"throughput_rps": rps,
                            "latency_s": {"p95": p95}}}
 
+def cluster_results(rps: float = 800.0, sticky: float = 1.0) -> dict:
+    return {"cluster": {"throughput_rps": rps},
+            "sticky": {"sticky_hit_rate": sticky}}
+
+_DEFAULT_CLUSTER = object()  # sentinel: include plausible cluster results
+
 def write_tree(tmp_path: pathlib.Path, engine: dict | None,
                serve: dict | None,
-               baselines: dict[str, dict] | None = None) -> tuple[
+               baselines: dict[str, dict] | None = None,
+               cluster: dict | None | object = _DEFAULT_CLUSTER) -> tuple[
                    pathlib.Path, pathlib.Path]:
     results = tmp_path / "results"
     results.mkdir(exist_ok=True)
+    if cluster is _DEFAULT_CLUSTER:
+        cluster = cluster_results()
     if engine is not None:
         (results / "engine_throughput.json").write_text(json.dumps(engine))
     if serve is not None:
         (results / "serve_throughput.json").write_text(json.dumps(serve))
+    if cluster is not None:
+        (results / "cluster_throughput.json").write_text(
+            json.dumps(cluster))
     baseline_dir = tmp_path / "baselines"
     baseline_dir.mkdir(exist_ok=True)
     for name, metrics in (baselines or {}).items():
@@ -62,7 +75,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
     return results, baseline_dir
 
 DEFAULT_BASELINES = {"engine_throughput": BASE_ENGINE,
-                     "serve_throughput": BASE_SERVE}
+                     "serve_throughput": BASE_SERVE,
+                     "cluster_throughput": BASE_CLUSTER}
 
 class TestCompare:
     def test_synthetic_2x_slowdown_fails(self):
@@ -115,17 +129,19 @@ class TestCheckAndUpdate:
                                         serve_results(),
                                         DEFAULT_BASELINES)
         rows, ok = regression.check(results, baselines, 0.25)
-        assert ok and len(rows) == 4
+        assert ok and len(rows) == 6
 
     def test_check_fails_on_2x_slowdown_tree(self, tmp_path):
         results, baselines = write_tree(
             tmp_path, engine_results(nests_per_sec=20.0),
-            serve_results(rps=600.0, p95=0.008), DEFAULT_BASELINES)
+            serve_results(rps=600.0, p95=0.008), DEFAULT_BASELINES,
+            cluster=cluster_results(rps=400.0, sticky=0.4))
         rows, ok = regression.check(results, baselines, 0.25)
         assert not ok
         failed = {row["metric"] for row in rows if not row["ok"]}
         assert failed == {"cold_nests_per_sec", "throughput_rps",
-                          "latency_p95_s"}
+                          "latency_p95_s", "cluster_throughput_rps",
+                          "sticky_hit_rate"}
 
     def test_missing_results_file_fails(self, tmp_path):
         results, baselines = write_tree(tmp_path, engine_results(), None,
@@ -146,7 +162,8 @@ class TestCheckAndUpdate:
                                         serve_results(rps=999.0))
         written = regression.update(results, baselines)
         assert {p.name for p in written} == {"engine_throughput.json",
-                                             "serve_throughput.json"}
+                                             "serve_throughput.json",
+                                             "cluster_throughput.json"}
         _, ok = regression.check(results, baselines, 0.25)
         assert ok
         doc = json.loads((baselines / "engine_throughput.json").read_text())
@@ -184,12 +201,13 @@ class TestMainAndTable:
         assert table.startswith("### Benchmark regression gate")
         assert "| benchmark | metric | baseline | current | delta " \
             "| status |" in table
-        assert table.count("✅") == 4
+        assert table.count("✅") == 6
         # One data row per tracked metric, rendered as a pipe table.
         data_rows = [line for line in table.splitlines()
                      if line.startswith("| engine_throughput")
-                     or line.startswith("| serve_throughput")]
-        assert len(data_rows) == 4
+                     or line.startswith("| serve_throughput")
+                     or line.startswith("| cluster_throughput")]
+        assert len(data_rows) == 6
         capsys.readouterr()
 
     def test_committed_baselines_are_wellformed(self):

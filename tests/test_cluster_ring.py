@@ -1,0 +1,162 @@
+"""The consistent-hash ring and cluster membership (no processes).
+
+The load-bearing property is *stability*: when one of N workers leaves,
+at most about 1/N of the key space may move -- that is what keeps the
+other workers' memo caches warm across membership changes.  Plus the
+state machine that decides who is on the ring at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.membership import (
+    DEAD,
+    DRAINING,
+    HashRing,
+    Membership,
+    READY,
+    STARTING,
+)
+
+KEYS = [f"nest-key-{i:04d}" for i in range(2000)]
+
+class TestHashRing:
+    def test_empty_ring_has_no_owner(self):
+        assert HashRing().lookup("anything") is None
+        assert HashRing().preference("anything") == []
+
+    def test_single_member_owns_everything(self):
+        ring = HashRing(["w0"])
+        assert all(ring.lookup(key) == "w0" for key in KEYS)
+
+    def test_lookup_is_deterministic_across_instances(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w2", "w0", "w1"])  # insertion order is irrelevant
+        assert [a.lookup(k) for k in KEYS] == [b.lookup(k) for k in KEYS]
+
+    def test_distribution_is_roughly_even(self):
+        ring = HashRing([f"w{i}" for i in range(4)])
+        counts: dict[str, int] = {}
+        for key in KEYS:
+            owner = ring.lookup(key)
+            counts[owner] = counts.get(owner, 0) + 1
+        # 64 vnodes/member: every member should carry a real share.
+        assert all(count > len(KEYS) / 4 / 3 for count in counts.values())
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_member_leave_moves_at_most_its_share(self, n):
+        """Removing one of n members only re-slots the keys it owned."""
+        members = [f"w{i}" for i in range(n)]
+        ring = HashRing(members)
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.remove("w0")
+        moved = sum(1 for key in KEYS
+                    if ring.lookup(key) != before[key])
+        owned = sum(1 for key in KEYS if before[key] == "w0")
+        # Exactly the departed member's keys move, nothing else...
+        assert moved == owned
+        # ...and its share is near 1/n (generous 2x slack for variance).
+        assert moved <= 2 * len(KEYS) / n
+
+    def test_member_join_steals_only_from_the_share_it_takes(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.add("w3")
+        moved = [key for key in KEYS if ring.lookup(key) != before[key]]
+        # Every moved key moved TO the new member, none between old ones.
+        assert all(ring.lookup(key) == "w3" for key in moved)
+        assert len(moved) <= 2 * len(KEYS) / 4
+
+    def test_rejoin_restores_exact_ownership(self):
+        """A restarted worker (same slot id) re-slots onto exactly the
+        points its predecessor owned."""
+        ring = HashRing(["w0", "w1", "w2"])
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.remove("w1")
+        ring.add("w1")
+        assert {key: ring.lookup(key) for key in KEYS} == before
+
+    def test_preference_starts_with_owner_and_covers_everyone(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        for key in KEYS[:50]:
+            order = ring.preference(key)
+            assert order[0] == ring.lookup(key)
+            assert sorted(order) == ["w0", "w1", "w2"]
+
+    def test_preference_second_choice_is_the_failover_owner(self):
+        """The key moves to preference[1] when the owner leaves."""
+        ring = HashRing(["w0", "w1", "w2"])
+        for key in KEYS[:50]:
+            owner, successor = ring.preference(key)[:2]
+            ring.remove(owner)
+            assert ring.lookup(key) == successor
+            ring.add(owner)
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+class TestMembership:
+    def test_only_ready_workers_hold_ring_points(self):
+        membership = Membership()
+        membership.ensure(0)
+        membership.ensure(1)
+        assert len(membership.ring) == 0
+        membership.transition(0, READY)
+        assert membership.ring.members == {"w0"}
+        membership.transition(1, READY)
+        membership.transition(0, DRAINING)
+        assert membership.ring.members == {"w1"}
+
+    def test_generation_bumps_on_ring_changes_only(self):
+        membership = Membership()
+        membership.ensure(0)
+        g0 = membership.generation
+        membership.transition(0, STARTING)  # no ring change
+        assert membership.generation == g0
+        membership.transition(0, READY)
+        assert membership.generation == g0 + 1
+        membership.transition(0, DEAD)
+        assert membership.generation == g0 + 2
+
+    def test_route_prefers_ring_owner_then_failovers(self):
+        membership = Membership()
+        for slot in range(3):
+            membership.transition(slot, READY)
+        key = "some-structural-key"
+        ordered = membership.route(key)
+        assert [info.member_id for info in ordered] == \
+            membership.ring.preference(key)
+        # The dead owner disappears from the candidate list entirely.
+        owner = ordered[0]
+        membership.transition(owner.slot, DEAD)
+        survivors = membership.route(key)
+        assert owner not in survivors
+        assert len(survivors) == 2
+
+    def test_route_without_key_is_least_pending(self):
+        membership = Membership()
+        for slot in range(3):
+            membership.transition(slot, READY)
+        membership.workers[0].pending = 5
+        membership.workers[1].pending = 1
+        membership.workers[2].pending = 3
+        assert [info.slot for info in membership.route(None)] == [1, 2, 0]
+        assert membership.least_pending().slot == 1
+
+    def test_route_empty_when_nobody_ready(self):
+        membership = Membership()
+        membership.transition(0, DRAINING)
+        assert membership.route("key") == []
+        assert membership.route(None) == []
+        assert membership.least_pending() is None
+
+    def test_to_dict_summarizes_states(self):
+        membership = Membership()
+        membership.transition(0, READY)
+        membership.transition(1, DEAD)
+        document = membership.to_dict()
+        assert document["states"] == {READY: 1, DEAD: 1}
+        assert document["workers"]["0"]["state"] == READY
+        assert document["workers"]["1"]["state"] == DEAD

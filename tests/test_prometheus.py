@@ -283,6 +283,67 @@ class TestStagePercentileRegression:
     def test_empty_stage_answers_zero(self):
         assert StageStats().percentile(0.95) == 0.0
 
+class TestFederatedExposition:
+    """The cluster router's multi-shard document (docs/CLUSTER.md)."""
+
+    def _document(self) -> dict:
+        shard0 = Metrics()
+        shard0.count("serve.responses_2xx", 3)
+        shard0.observe("stage.analysis", 0.02)
+        shard1 = Metrics()
+        shard1.count("serve.responses_2xx", 2)
+        router = Metrics()
+        router.count("cluster.requests", 5)
+        return {
+            "federated": True,
+            "uptime_s": 12.5,
+            "cluster": {"target": 2, "ready": 2, "generation": 4,
+                        "pending": 1, "states": {"ready": 2}},
+            "router": {"metrics": router.snapshot()},
+            "metrics": {},  # merged view not used by the exposition
+            "shards": {
+                "0": {"uptime_s": 10.0, "queue_depth": 1, "in_flight": 2,
+                      "metrics": shard0.snapshot()},
+                "1": {"uptime_s": 9.0, "queue_depth": 0, "in_flight": 0,
+                      "metrics": shard1.snapshot()},
+            },
+        }
+
+    def test_per_shard_labels_and_cluster_gauges(self):
+        text = prom.document_to_exposition(self._document())
+        assert "repro_cluster_workers_ready 2" in text
+        assert "repro_cluster_generation 4" in text
+        assert 'repro_shard_up{shard="0"} 1' in text
+        assert 'repro_shard_queue_depth{shard="0"} 1' in text
+        assert ('repro_counter_total{name="serve.responses_2xx",'
+                'shard="0"} 3') in text
+        assert ('repro_counter_total{name="serve.responses_2xx",'
+                'shard="1"} 2') in text
+        assert ('repro_counter_total{name="cluster.requests",'
+                'shard="router"} 5') in text
+        assert ('repro_stage_duration_seconds_count'
+                '{stage="stage.analysis",shard="0"} 1') in text
+
+    def test_type_headers_appear_once_per_family(self):
+        text = prom.document_to_exposition(self._document())
+        assert text.count("# TYPE repro_counter_total counter") == 1
+        assert text.count(
+            "# TYPE repro_stage_duration_seconds histogram") == 1
+
+    def test_cli_renders_a_saved_federated_document(self, tmp_path,
+                                                    capsys):
+        saved = tmp_path / "federated.json"
+        saved.write_text(json.dumps(self._document()))
+        assert cli_main(["metrics", "--from", str(saved)]) == 0
+        out = capsys.readouterr().out
+        assert 'shard="1"' in out
+        assert "repro_cluster_workers_target 2" in out
+
+    def test_empty_cluster_document_renders(self):
+        text = prom.document_to_exposition(
+            {"shards": {}, "cluster": {}, "uptime_s": 0.0})
+        assert "repro_cluster_workers_ready 0" in text
+
 def _regenerate_golden() -> None:
     GOLDEN.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN.write_text(prom.snapshot_to_exposition(

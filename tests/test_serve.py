@@ -247,6 +247,38 @@ class TestBackpressure:
             client.close()
             assert recovered[0] == 200
 
+    def test_load_generator_retries_429_honoring_retry_after(self):
+        """The same overflow-prone server, driven through run_load:
+        the generator's capped jittered backoff (seeded by the server's
+        Retry-After) must convert shed requests into eventual 200s."""
+        batch = BatchConfig(queue_limit=1, max_batch=1, deadline_s=0.005,
+                            threads=1)
+        kernels = ["jacobi", "mmjik", "sor", "afold", "dmxpy1",
+                   "vpenta.7", "gmtry.3", "btrix.1"]
+        with _server(batch=batch) as handle:
+            stats = run_load("127.0.0.1", handle.port,
+                             [("optimize", name) for name in kernels],
+                             concurrency=len(kernels), max_retries=8,
+                             backoff_cap_s=0.5, bound=4)
+        # Shedding happened (else the scenario proves nothing), every
+        # shed request was retried to completion, and per-endpoint
+        # percentiles cover all completions.
+        assert stats["retries"] >= 1
+        assert handle.engine.metrics.counter("serve.rejected") >= 1
+        assert stats["statuses"] == {"200": len(kernels)}
+        assert stats["rate_2xx"] == 1.0
+        endpoint = stats["latency_by_endpoint_s"]["optimize"]
+        assert endpoint["count"] == len(kernels)
+        assert 0.0 < endpoint["p50"] <= endpoint["p95"] <= endpoint["p99"]
+
+    def test_client_exposes_response_headers(self):
+        with _server() as handle:
+            client = ServeClient(port=handle.port)
+            status, _ = client.optimize("jacobi", bound=4)
+            client.close()
+        assert status == 200
+        assert "content-type" in client.last_headers
+
 class TestGracefulShutdown:
     def test_inprocess_drain_answers_all_accepted(self):
         batch = BatchConfig(deadline_s=0.05, max_batch=32)
