@@ -12,8 +12,9 @@ lint:
 	$(PYTHON) -m compileall -q src tests benchmarks
 	-ruff check src tests benchmarks
 
-# Both throughput benchmarks in their CI (--quick) shape.
+# The throughput benchmarks in their CI (--quick) shape.
 bench-quick:
+	$(PYTHON) benchmarks/bench_cold_analysis.py --quick
 	$(PYTHON) benchmarks/bench_engine_throughput.py --quick
 	$(PYTHON) benchmarks/bench_serve_throughput.py --quick
 

@@ -49,6 +49,28 @@ SPECS: dict[str, dict] = {
                                      "higher"),
         },
     },
+    "cold_analysis": {
+        "results": "cold_analysis.json",
+        "metrics": {
+            "cold_nests_per_sec": (("fast", "nests_per_sec"), "higher"),
+            "speedup_vs_seed": (("speedup_vs_seed",), "higher"),
+            # The live seed measurement is recorded so a baseline refresh
+            # freezes it as the reference the bench's speedup bar divides
+            # by; ``bound`` pins the search bound that reference was
+            # measured under (a config change shows up as a delta here
+            # instead of silently shifting the bar).
+            "seed_nests_per_sec": (("seed", "nests_per_sec"), "higher"),
+            "bound": (("bound",), "higher"),
+            # Per-stage cold latency from the engine's StageStats.  Only
+            # the table build is gated: it dominates the cold path at
+            # ~20ms per nest, so a 25% band is meaningful.  The other
+            # stages (search, locality, dependence graph) run in the
+            # low-millisecond range where the band is pure timer noise;
+            # their p95s stay in the results payload for inspection.
+            "build_tables_p95_s": (("stage_p95_s", "build_tables"),
+                                   "lower"),
+        },
+    },
     "serve_throughput": {
         "results": "serve_throughput.json",
         "metrics": {

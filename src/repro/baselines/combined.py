@@ -41,11 +41,12 @@ class CombinedResult:
     objective: Fraction
     bodies_materialized: int
 
-def _space_for(nest: LoopNest, bound: int, max_loops: int) -> UnrollSpace:
+def _space_for(nest: LoopNest, bound: int, max_loops: int,
+               line_size: int) -> UnrollSpace:
     from repro.unroll.optimize import select_candidate_loops
 
     safety = safe_unroll_bounds(nest)
-    candidates = select_candidate_loops(nest, safety, max_loops)
+    candidates = select_candidate_loops(nest, safety, max_loops, line_size)
     bounds = tuple(min(bound, safety[level]) for level in candidates)
     return UnrollSpace(nest.depth, candidates, bounds)
 
@@ -60,7 +61,7 @@ def combined_brute_force(nest: LoopNest, machine: MachineModel,
     bodies = 0
     for order in legal_permutations(nest):
         permuted = permute(nest, order, check=False)
-        space = _space_for(permuted, bound, max_loops)
+        space = _space_for(permuted, bound, max_loops, line_size)
         for u in space:
             bodies += 1
             point = measure_unrolled(permuted, u, line_size=line_size,

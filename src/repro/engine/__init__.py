@@ -32,11 +32,11 @@ import pathlib
 import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Sequence
 
-from repro.balance import loop_balance
 from repro.dependence.graph import DependenceGraph, build_dependence_graph
 from repro.engine.metrics import Metrics
 from repro.ir.nodes import LoopNest
@@ -46,11 +46,7 @@ from repro.obs.trace import span as _span
 from repro.machine.model import MachineModel
 from repro.reuse.locality import loop_locality_scores
 from repro.reuse.ugs import UniformlyGeneratedSet, partition_ugs
-from repro.unroll.optimize import (
-    OptimizationResult,
-    search_space,
-    select_candidate_loops,
-)
+from repro.unroll.optimize import OptimizationResult, choose_unroll
 from repro.unroll.safety import safe_unroll_bounds
 from repro.unroll.serialize import tables_from_json, tables_to_json
 from repro.unroll.space import DEFAULT_BOUND, UnrollSpace
@@ -283,9 +279,13 @@ class AnalysisEngine:
         return artifacts
 
     def tables(self, nest: LoopNest, space: UnrollSpace, line_size: int,
-               trip: int = 100) -> UnrollTables:
+               trip: int = 100,
+               ugs: Sequence[UniformlyGeneratedSet] | None = None,
+               ) -> UnrollTables:
         """The GTS/GSS/RRS/RL tables, memoized in memory and (optionally)
-        on disk."""
+        on disk.  ``ugs`` optionally reuses a precomputed partition (the
+        partition is a pure function of the nest, so the memo key is
+        unaffected)."""
         key = (nest.structural_key(), space.dims, space.bounds, line_size,
                trip)
         cached = self._tables.get(key)
@@ -301,7 +301,8 @@ class AnalysisEngine:
         with self.metrics.timer("stage.build_tables"), \
                 _span("tables.build", nest=nest.name), \
                 self.profiler.profile("stage.build_tables"):
-            tables = build_tables(nest, space, line_size=line_size, trip=trip)
+            tables = build_tables(nest, space, line_size=line_size, trip=trip,
+                                  ugs=list(ugs) if ugs is not None else None)
         self._tables.put(key, tables)
         self._store_disk_tables(key, tables)
         return tables
@@ -313,37 +314,38 @@ class AnalysisEngine:
                  include_cache: bool = True,
                  trip: int = 100) -> OptimizationResult:
         """Memoized equivalent of :func:`repro.unroll.optimize.choose_unroll`
-        (same decision, byte-identical unroll vector)."""
+        (same decision, byte-identical unroll vector).
+
+        Delegates to :func:`choose_unroll` with the memoized artifacts
+        (dependence graph, safety bounds, locality scores, UGS partition)
+        and this engine's cached table layer, so nothing is rebuilt on the
+        warm path.
+        """
         with self.metrics.timer("stage.optimize"), \
                 _span("engine.optimize", nest=nest.name,
                       machine=machine.name), \
                 self.profiler.profile("stage.optimize"):
             line_size = machine.cache_line_words
             artifacts = self.analyze(nest, line_size=line_size)
-            safety = artifacts.safety
-            candidates = select_candidate_loops(
-                nest, safety, max_loops, line_size,
-                scores=artifacts.locality)
-            bounds = tuple(min(bound, safety[level]) for level in candidates)
-            space = UnrollSpace(nest.depth, candidates, bounds)
-            tables = self.tables(nest, space, line_size, trip)
-            with self.metrics.timer("stage.search"), _span("unroll.search"):
-                chosen, feasible = search_space(tables, machine,
-                                                include_cache)
-                point = tables.point(chosen)
-                breakdown = loop_balance(point, machine, include_cache)
+
+            def tables_builder(target: LoopNest, space: UnrollSpace,
+                               line: int, trip_: int) -> UnrollTables:
+                return self.tables(target, space, line, trip_,
+                                   ugs=artifacts.ugs)
+
+            @contextmanager
+            def stage(name: str):
+                with self.metrics.timer(f"stage.{name}"), \
+                        _span(f"unroll.{name}"):
+                    yield
+
+            result = choose_unroll(
+                nest, machine, bound, max_loops, include_cache, trip,
+                graph=artifacts.graph, safety=artifacts.safety,
+                scores=artifacts.locality, tables_builder=tables_builder,
+                stage=stage)
         self.metrics.count("engine.optimize")
-        return OptimizationResult(
-            nest=nest,
-            unroll=chosen,
-            breakdown=breakdown,
-            objective=abs(breakdown.balance - machine.balance),
-            feasible=feasible,
-            space=space,
-            tables=tables,
-            safety=safety,
-            candidates=candidates,
-        )
+        return result
 
     # -- corpus fan-out ------------------------------------------------------
 

@@ -1,23 +1,57 @@
 """Immutable exact rational matrices.
 
-Sizes in this project are tiny (loop depths <= 6, array ranks <= 4), so the
-implementation favours clarity and exactness over asymptotics: plain
-Gauss-Jordan elimination over :class:`fractions.Fraction`.
+Sizes in this project are tiny (loop depths <= 6, array ranks <= 4), but
+the merge-point solver and the locality scorer run eliminations inside the
+hottest analysis loops, so arithmetic overhead matters.  Two exact paths
+coexist:
+
+* an **integer-first** path for all-integer matrices (the common case for
+  subscript matrices H): fraction-free Bareiss forward elimination over
+  plain ``int``, normalizing to :class:`fractions.Fraction` only at the
+  boundary.  The reduced row echelon form of a matrix is unique, so every
+  derived quantity (rank, nullspace, solve) is bit-identical to the
+  reference path;
+* the reference Gauss-Jordan elimination over ``Fraction``, kept both as
+  the fallback for genuinely rational matrices and as the seed algorithm
+  the parity fuzz suite compares against (see
+  :func:`fraction_elimination`).
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 Rational = int | Fraction
 
 def _frac(value: Rational) -> Fraction:
     return value if isinstance(value, Fraction) else Fraction(value)
 
+#: When False, every elimination runs the reference Fraction path -- the
+#: seed algorithm.  Toggled by :func:`fraction_elimination` for parity
+#: tests and seed-path benchmark measurements.
+_INTEGER_FAST_PATH = True
+
+@contextmanager
+def fraction_elimination() -> Iterator[None]:
+    """Force the reference Fraction elimination (the seed algorithm) for
+    the duration of the block.  Used by parity tests and by the
+    cold-analysis benchmark's seed-path measurement."""
+    global _INTEGER_FAST_PATH
+    previous = _INTEGER_FAST_PATH
+    _INTEGER_FAST_PATH = False
+    try:
+        yield
+    finally:
+        _INTEGER_FAST_PATH = previous
+
 def _freeze(rows: Iterable[Iterable[Rational]]) -> tuple[tuple[Fraction, ...], ...]:
     return tuple(tuple(_frac(x) for x in row) for row in rows)
+
+#: Sentinel for the lazily computed integer-rows cache.
+_UNSET = object()
 
 @dataclass(frozen=True)
 class AffineSolution:
@@ -47,7 +81,7 @@ class Matrix:
     Rows are tuples of :class:`fractions.Fraction`.  All arithmetic is exact.
     """
 
-    __slots__ = ("rows", "nrows", "ncols")
+    __slots__ = ("rows", "nrows", "ncols", "_int_rows")
 
     def __init__(self, rows: Iterable[Iterable[Rational]], ncols: int | None = None):
         frozen = _freeze(rows)
@@ -64,6 +98,7 @@ class Matrix:
         object.__setattr__(self, "rows", frozen)
         object.__setattr__(self, "nrows", len(frozen))
         object.__setattr__(self, "ncols", width)
+        object.__setattr__(self, "_int_rows", _UNSET)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Matrix is immutable")
@@ -134,11 +169,30 @@ class Matrix:
                 for i, row in enumerate(self.rows)]
         return Matrix(rows, ncols=self.ncols)
 
+    def integer_rows(self) -> tuple[tuple[int, ...], ...] | None:
+        """The rows as plain ``int`` tuples when every entry is integral,
+        else None.  Cached: the answer never changes for an immutable
+        matrix."""
+        cached = self._int_rows
+        if cached is _UNSET:
+            if all(x.denominator == 1 for row in self.rows for x in row):
+                cached = tuple(tuple(x.numerator for x in row)
+                               for row in self.rows)
+            else:
+                cached = None
+            object.__setattr__(self, "_int_rows", cached)
+        return cached
+
     # -- arithmetic -----------------------------------------------------------
 
     def matvec(self, vector: Sequence[Rational]) -> tuple[Fraction, ...]:
         if len(vector) != self.ncols:
             raise ValueError(f"vector length {len(vector)} != ncols {self.ncols}")
+        ints = self.integer_rows() if _INTEGER_FAST_PATH else None
+        if ints is not None and all(type(x) is int for x in vector):
+            return tuple(Fraction(sum(row[j] * vector[j]
+                                      for j in range(self.ncols)))
+                         for row in ints)
         vec = [_frac(x) for x in vector]
         return tuple(sum((row[j] * vec[j] for j in range(self.ncols)), Fraction(0))
                      for row in self.rows)
@@ -146,6 +200,14 @@ class Matrix:
     def matmul(self, other: "Matrix") -> "Matrix":
         if self.ncols != other.nrows:
             raise ValueError("dimension mismatch in matmul")
+        if _INTEGER_FAST_PATH:
+            a, b = self.integer_rows(), other.integer_rows()
+            if a is not None and b is not None:
+                return Matrix(
+                    [[sum(a[i][k] * b[k][j] for k in range(self.ncols))
+                      for j in range(other.ncols)]
+                     for i in range(self.nrows)],
+                    ncols=other.ncols)
         return Matrix(
             [[sum((self.rows[i][k] * other.rows[k][j] for k in range(self.ncols)), Fraction(0))
               for j in range(other.ncols)]
@@ -161,7 +223,20 @@ class Matrix:
     # -- elimination ----------------------------------------------------------
 
     def _rref(self) -> tuple[list[list[Fraction]], list[int]]:
-        """Reduced row echelon form; returns (rows, pivot column indices)."""
+        """Reduced row echelon form; returns (rows, pivot column indices).
+
+        Dispatches to the fraction-free Bareiss path for all-integer
+        matrices.  The RREF of a matrix is unique, so both paths return
+        bit-identical results.
+        """
+        ints = self.integer_rows() if _INTEGER_FAST_PATH else None
+        if ints is not None:
+            return _rref_bareiss(ints, self.ncols)
+        return self._rref_fraction()
+
+    def _rref_fraction(self) -> tuple[list[list[Fraction]], list[int]]:
+        """The reference Gauss-Jordan elimination over Fractions (the seed
+        algorithm, exercised directly under :func:`fraction_elimination`)."""
         rows = [list(row) for row in self.rows]
         pivots: list[int] = []
         r = 0
@@ -187,6 +262,12 @@ class Matrix:
         return Matrix(rows, ncols=self.ncols)
 
     def rank(self) -> int:
+        ints = self.integer_rows() if _INTEGER_FAST_PATH else None
+        if ints is not None:
+            # Rank needs only the forward (fraction-free) sweep.
+            _, pivots = _bareiss_forward([list(row) for row in ints],
+                                         self.ncols)
+            return len(pivots)
         _, pivots = self._rref()
         return len(pivots)
 
@@ -217,3 +298,67 @@ class Matrix:
             particular[pc] = rows[r][-1]
         return AffineSolution(exists=True, particular=tuple(particular),
                               homogeneous=self.nullspace())
+
+def _bareiss_forward(rows: list[list[int]],
+                     ncols: int) -> tuple[list[list[int]], list[int]]:
+    """Fraction-free Bareiss forward elimination, in place.
+
+    After step ``r`` with pivot ``p_r``, every entry below row ``r`` is the
+    determinant of a minor of the original matrix divided by the previous
+    pivot, so the ``//`` division is exact.  The update must touch *every*
+    row below the pivot (even ones with a zero multiplier) to keep that
+    invariant; skipping rows would leave stale denominators behind.
+    Returns the echelon rows and the pivot column indices.
+    """
+    pivots: list[int] = []
+    nrows = len(rows)
+    r = 0
+    prev = 1
+    for c in range(ncols):
+        pivot_row = next((i for i in range(r, nrows) if rows[i][c]), None)
+        if pivot_row is None:
+            continue
+        if pivot_row != r:
+            rows[r], rows[pivot_row] = rows[pivot_row], rows[r]
+        pivot = rows[r][c]
+        top = rows[r]
+        for i in range(r + 1, nrows):
+            low = rows[i]
+            factor = low[c]
+            rows[i] = [(pivot * low[j] - factor * top[j]) // prev
+                       for j in range(ncols)]
+        prev = pivot
+        pivots.append(c)
+        r += 1
+        if r == nrows:
+            break
+    return rows, pivots
+
+def _rref_bareiss(int_rows: Sequence[Sequence[int]],
+                  ncols: int) -> tuple[list[list[Fraction]], list[int]]:
+    """RREF of an all-integer matrix via Bareiss + back-substitution.
+
+    The forward sweep stays in exact integer arithmetic; only the final
+    normalization to reduced form produces Fractions.  Because the RREF is
+    unique, the result is bit-identical to :meth:`Matrix._rref_fraction`.
+    """
+    echelon, pivots = _bareiss_forward([list(row) for row in int_rows],
+                                       ncols)
+    nrows = len(echelon)
+    reduced: list[list[Fraction]] = [
+        [Fraction(0)] * ncols for _ in range(nrows)]
+    # Back-substitute from the last pivot row upward: normalize the pivot
+    # to 1, then clear the pivot column in all rows above using the
+    # already-reduced rows below.
+    for r in range(len(pivots) - 1, -1, -1):
+        pc = pivots[r]
+        pivot = echelon[r][pc]
+        row = [Fraction(x, pivot) for x in echelon[r]]
+        for rr in range(r + 1, len(pivots)):
+            factor = row[pivots[rr]]
+            if factor:
+                lower = reduced[rr]
+                row = [a - factor * b for a, b in zip(row, lower)]
+                row[pivots[rr]] = Fraction(0)
+        reduced[r] = row
+    return reduced, pivots

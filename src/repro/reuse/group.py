@@ -11,7 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 
+from repro.fastpath import fast_enabled
 from repro.ir.matrixform import RefOccurrence, constant_vector
 from repro.linalg import Matrix, VectorSpace
 from repro.reuse.ugs import UniformlyGeneratedSet
@@ -28,8 +30,20 @@ class GroupSolution:
 
 NO_GROUP_REUSE = GroupSolution(exists=False)
 
+# The group tests are pure functions of hashable values (Matrix and
+# VectorSpace are immutable), and the locality scorer re-asks them for the
+# same (H, Δc, L) triples across levels and structurally similar nests, so
+# both predicates are memoized.  Seed mode (repro.fastpath.seed_algorithms)
+# bypasses the caches so the reference measurement pays the original cost.
+
 def _solve_in_space(matrix: Matrix, delta: tuple[int, ...],
                     localized: VectorSpace) -> GroupSolution:
+    if fast_enabled():
+        return _solve_in_space_cached(matrix, delta, localized)
+    return _solve_in_space_impl(matrix, delta, localized)
+
+def _solve_in_space_impl(matrix: Matrix, delta: tuple[int, ...],
+                         localized: VectorSpace) -> GroupSolution:
     """Does ``matrix @ x = delta`` admit a solution x in ``localized``?"""
     if all(d == 0 for d in delta):
         return GroupSolution(True, tuple(Fraction(0) for _ in range(matrix.ncols)))
@@ -51,6 +65,8 @@ def _solve_in_space(matrix: Matrix, delta: tuple[int, ...],
             witness[i] += coef * x
     return GroupSolution(True, tuple(witness))
 
+_solve_in_space_cached = lru_cache(maxsize=65536)(_solve_in_space_impl)
+
 def _integral_solution_in_space(matrix: Matrix, delta: tuple[int, ...],
                                 localized: VectorSpace) -> bool:
     """Does ``matrix @ x = delta`` have an *integer* solution x in L?
@@ -68,6 +84,14 @@ def _integral_solution_in_space(matrix: Matrix, delta: tuple[int, ...],
 def spatial_constants_related(matrix: Matrix, delta: tuple[int, ...],
                               localized: VectorSpace,
                               line_size: int | None) -> bool:
+    if fast_enabled():
+        return _spatial_constants_related_cached(matrix, delta, localized,
+                                                 line_size)
+    return _spatial_constants_related_impl(matrix, delta, localized, line_size)
+
+def _spatial_constants_related_impl(matrix: Matrix, delta: tuple[int, ...],
+                                    localized: VectorSpace,
+                                    line_size: int | None) -> bool:
     """The canonical group-spatial test between two constant vectors of a
     UGS: does ``H_S x = trunc(delta)`` have a solution x in L whose
     *minimal achievable* first-dimension residual stays within a line?
@@ -118,6 +142,9 @@ def spatial_constants_related(matrix: Matrix, delta: tuple[int, ...],
         folded = residual - lattice * (residual / lattice).__floor__()
         residual = min(folded, abs(lattice - folded))
     return residual < line_size
+
+_spatial_constants_related_cached = lru_cache(maxsize=65536)(
+    _spatial_constants_related_impl)
 
 def _fraction_gcd(a: Fraction, b: Fraction) -> Fraction:
     from math import gcd

@@ -70,11 +70,18 @@ def ugs_memory_cost(ugs: UniformlyGeneratedSet, localized: VectorSpace,
 
 def nest_memory_cost(nest: LoopNest, localized: VectorSpace | None = None,
                      line_size: int = 4,
-                     trip: int = DEFAULT_TRIP) -> tuple[Fraction, list[LocalitySummary]]:
-    """Total Equation-1 cost of a nest plus the per-UGS breakdown."""
+                     trip: int = DEFAULT_TRIP,
+                     ugs: list[UniformlyGeneratedSet] | None = None,
+                     ) -> tuple[Fraction, list[LocalitySummary]]:
+    """Total Equation-1 cost of a nest plus the per-UGS breakdown.
+
+    ``ugs`` optionally supplies a precomputed partition; callers scoring a
+    nest under several localized spaces partition once and reuse it.
+    """
     localized = localized if localized is not None else innermost_localized_space(nest)
-    summaries = [ugs_memory_cost(ugs, localized, line_size, trip)
-                 for ugs in partition_ugs(nest)]
+    sets = partition_ugs(nest) if ugs is None else ugs
+    summaries = [ugs_memory_cost(group, localized, line_size, trip)
+                 for group in sets]
     total = sum((s.cost for s in summaries), Fraction(0))
     return total, summaries
 
@@ -87,8 +94,10 @@ def loop_locality_scores(nest: LoopNest, line_size: int = 4,
     whose localization removes the most memory cost carry the most reuse,
     and are the best unroll-and-jam candidates.
     """
+    sets = partition_ugs(nest)  # one partition for all depth+1 scorings
     base_space = innermost_localized_space(nest)
-    base_cost, _ = nest_memory_cost(nest, base_space, line_size, trip)
+    base_cost, _ = nest_memory_cost(nest, base_space, line_size, trip,
+                                    ugs=sets)
     scores: list[Fraction] = []
     for level in range(nest.depth):
         if level == nest.depth - 1:
@@ -96,6 +105,6 @@ def loop_locality_scores(nest: LoopNest, line_size: int = 4,
             continue
         extended = base_space.sum(
             VectorSpace.spanned_by_axes([level], nest.depth))
-        cost, _ = nest_memory_cost(nest, extended, line_size, trip)
+        cost, _ = nest_memory_cost(nest, extended, line_size, trip, ugs=sets)
         scores.append(base_cost - cost)
     return scores

@@ -9,18 +9,25 @@ register file.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.balance import loop_balance, objective
 from repro.balance.loop_balance import BalanceBreakdown
-from repro.dependence.graph import build_dependence_graph
+from repro.dependence.graph import DependenceGraph, build_dependence_graph
 from repro.ir.nodes import LoopNest
 from repro.machine.model import MachineModel
 from repro.reuse.locality import loop_locality_scores
 from repro.unroll.safety import safe_unroll_bounds
-from repro.unroll.space import DEFAULT_BOUND, UnrollSpace, UnrollVector, body_copies
+from repro.unroll.space import (
+    DEFAULT_BOUND,
+    UnrollSpace,
+    UnrollVector,
+    body_copies,
+    dominates,
+)
 from repro.unroll.tables import UnrollTables, build_tables
 
 @dataclass(frozen=True)
@@ -42,14 +49,16 @@ class OptimizationResult:
         return self.breakdown.balance
 
 def select_candidate_loops(nest: LoopNest, safety: tuple[int, ...],
-                           max_loops: int = 2,
-                           line_size: int = 4,
+                           max_loops: int, line_size: int,
                            scores: Sequence[Fraction] | None = None,
                            ) -> tuple[int, ...]:
     """The loops to unroll: best locality first (section 4.5), restricted
     to outer loops that safety allows to move at all.
 
-    ``scores`` lets callers (the analysis engine) pass memoized
+    ``line_size`` has no default on purpose: every caller must thread the
+    machine's ``cache_line_words`` through, so locality scoring can never
+    silently diverge from the balance model's line size.  ``scores`` lets
+    callers (the analysis engine) pass memoized
     :func:`loop_locality_scores` instead of recomputing them.
     """
     if scores is None:
@@ -60,18 +69,34 @@ def select_candidate_loops(nest: LoopNest, safety: tuple[int, ...],
     return tuple(sorted(chosen))
 
 def search_space(tables: UnrollTables, machine: MachineModel,
-                 include_cache: bool = True) -> tuple[UnrollVector, bool]:
+                 include_cache: bool = True,
+                 prune: bool = True) -> tuple[UnrollVector, bool]:
     """Exhaustive search of the (precomputed) table for the best vector.
 
     Prefers register-feasible vectors; among those, minimizes the balance
     objective, breaking ties toward fewer body copies then lexicographic
     order.  Falls back to the no-unroll vector when nothing is feasible.
+
+    With ``prune`` (the default) the scan skips every vector that
+    componentwise dominates an already-infeasible one: register pressure
+    is monotone non-decreasing in the unroll vector, so a dominated point
+    is exactly one the plain scan would reject on its register check.
+    The selected vector is identical either way (``prune=False`` keeps the
+    seed scan for the parity suite).
     """
     best_u: UnrollVector | None = None
     best_key: tuple | None = None
-    for u in tables.space:
+    space = tables.space
+    infeasible: list[tuple[int, ...]] = []
+    for reduced in space.reduced_box():
+        if infeasible and any(dominates(reduced, floor)
+                              for floor in infeasible):
+            continue
+        u = space.embed(reduced)
         point = tables.point(u)
         if point.registers > machine.registers:
+            if prune:
+                infeasible.append(reduced)
             continue
         key = (objective(point, machine, include_cache), body_copies(u), u)
         if best_key is None or key < best_key:
@@ -80,23 +105,57 @@ def search_space(tables: UnrollTables, machine: MachineModel,
         return tuple(0 for _ in range(tables.nest.depth)), False
     return best_u, True
 
+def _no_stage(_name: str):
+    return nullcontext()
+
 def choose_unroll(nest: LoopNest, machine: MachineModel,
                   bound: int = DEFAULT_BOUND, max_loops: int = 2,
                   include_cache: bool = True,
-                  trip: int = 100) -> OptimizationResult:
+                  trip: int = 100, *,
+                  graph: DependenceGraph | None = None,
+                  safety: tuple[int, ...] | None = None,
+                  scores: Sequence[Fraction] | None = None,
+                  ugs: Sequence | None = None,
+                  tables_builder: Callable[[LoopNest, UnrollSpace, int, int],
+                                           UnrollTables] | None = None,
+                  prune: bool = True, fast: bool = True,
+                  stage: Callable[[str], object] | None = None,
+                  ) -> OptimizationResult:
     """End-to-end unroll-and-jam decision for one nest (the paper's
     algorithm: tables from uniformly generated sets, then an O(bound^2)
-    search)."""
-    graph = build_dependence_graph(nest, include_input=False)
-    safety = safe_unroll_bounds(nest, graph)
+    search).
+
+    The keyword-only parameters let :class:`repro.engine.AnalysisEngine`
+    supply its memoized artifacts instead of rebuilding them per call:
+    ``graph``/``safety``/``scores``/``ugs`` short-circuit the dependence,
+    safety, locality and UGS-partition stages; ``tables_builder`` replaces
+    the direct :func:`build_tables` call (the engine passes its cached
+    layer); ``stage`` wraps named stages in the caller's instrumentation
+    (a callable returning a context manager).  ``prune=False`` and
+    ``fast=False`` select the seed search/table algorithms for the parity
+    suite and benchmarks.
+    """
+    stage = stage if stage is not None else _no_stage
+    if safety is None:
+        if graph is None:
+            graph = build_dependence_graph(nest, include_input=False)
+        safety = safe_unroll_bounds(nest, graph)
     line_size = machine.cache_line_words
-    candidates = select_candidate_loops(nest, safety, max_loops, line_size)
+    candidates = select_candidate_loops(nest, safety, max_loops, line_size,
+                                        scores=scores)
     bounds = tuple(min(bound, safety[level]) for level in candidates)
     space = UnrollSpace(nest.depth, candidates, bounds)
-    tables = build_tables(nest, space, line_size=line_size, trip=trip)
-    chosen, feasible = search_space(tables, machine, include_cache)
-    point = tables.point(chosen)
-    breakdown = loop_balance(point, machine, include_cache)
+    if tables_builder is not None:
+        tables = tables_builder(nest, space, line_size, trip)
+    else:
+        tables = build_tables(nest, space, line_size=line_size, trip=trip,
+                              ugs=list(ugs) if ugs is not None else None,
+                              fast=fast)
+    with stage("search"):
+        chosen, feasible = search_space(tables, machine, include_cache,
+                                        prune=prune)
+        point = tables.point(chosen)
+        breakdown = loop_balance(point, machine, include_cache)
     return OptimizationResult(
         nest=nest,
         unroll=chosen,

@@ -10,6 +10,7 @@ range over ``0..bound`` and everything else is pinned at 0.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from itertools import product
 from typing import Iterator, Sequence
 
@@ -43,6 +44,11 @@ class UnrollSpace:
                 raise ValueError("the innermost loop is never unrolled")
         if any(b < 0 for b in self.bounds):
             raise ValueError("bounds must be non-negative")
+        # Not a dataclass field (eq/hash/repr are unaffected): a level ->
+        # bound mapping so `contains` runs in O(depth) instead of calling
+        # dims.index per level.
+        object.__setattr__(self, "_bound_by_level",
+                           dict(zip(self.dims, self.bounds)))
 
     @staticmethod
     def for_dims(depth: int, dims: Sequence[int],
@@ -65,9 +71,11 @@ class UnrollSpace:
     def contains(self, full: UnrollVector) -> bool:
         if len(full) != self.depth:
             return False
+        by_level = self._bound_by_level
         for level, value in enumerate(full):
-            if level in self.dims:
-                if not 0 <= value <= self.bounds[self.dims.index(level)]:
+            bound = by_level.get(level)
+            if bound is not None:
+                if not 0 <= value <= bound:
                     return False
             elif value != 0:
                 return False
@@ -75,8 +83,18 @@ class UnrollSpace:
 
     def __iter__(self) -> Iterator[UnrollVector]:
         """All unroll vectors of the box, lexicographic order."""
-        for reduced in product(*(range(b + 1) for b in self.bounds)):
-            yield self.embed(reduced)
+        # Fast path over repeated embed(): write each reduced point into a
+        # reusable full-depth template (the length check is loop-invariant).
+        template = [0] * self.depth
+        dims = self.dims
+        for reduced in box_tuple(tuple(b + 1 for b in self.bounds)):
+            for dim, value in zip(dims, reduced):
+                template[dim] = value
+            yield tuple(template)
+
+    def reduced_box(self) -> tuple[tuple[int, ...], ...]:
+        """All reduced points of the box (cached, lexicographic order)."""
+        return box_tuple(tuple(b + 1 for b in self.bounds))
 
     def __len__(self) -> int:
         size = 1
@@ -91,9 +109,19 @@ def body_copies(u: UnrollVector) -> int:
         copies *= entry + 1
     return copies
 
+@lru_cache(maxsize=4096)
+def box_tuple(sizes: tuple[int, ...]) -> tuple[tuple[int, ...], ...]:
+    """The materialized box ``product(range(s) for s in sizes)``.
+
+    The table builders enumerate the same small boxes thousands of times
+    per analysis; caching the materialized tuples (keyed only on the box
+    shape) removes the repeated product() construction.
+    """
+    return tuple(product(*(range(size) for size in sizes)))
+
 def offsets_box(u: UnrollVector, dims: Sequence[int]) -> Iterator[tuple[int, ...]]:
     """All copy offsets over the given dims: the box 0..u[d] per dim."""
-    yield from product(*(range(u[d] + 1) for d in dims))
+    yield from box_tuple(tuple(u[d] + 1 for d in dims))
 
 def dominates(a: Sequence[int], b: Sequence[int]) -> bool:
     """Componentwise a >= b."""

@@ -16,14 +16,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 from itertools import product
 from typing import Iterator
 
+from repro.fastpath import fast_enabled
 from repro.ir.matrixform import RefOccurrence, constant_vector
 from repro.linalg import Matrix, VectorSpace
 from repro.reuse.ugs import UniformlyGeneratedSet
 from repro.unroll.merge import MergeSolution, solve_merge
-from repro.unroll.space import UnrollVector
+from repro.unroll.space import UnrollVector, box_tuple
 
 def used_dims(matrix: Matrix, dims: tuple[int, ...],
               spatial: bool = False) -> tuple[int, ...]:
@@ -37,36 +39,110 @@ def used_dims(matrix: Matrix, dims: tuple[int, ...],
     return tuple(d for d in dims if any(x != 0 for x in work.column(d)))
 
 def _offsets(u: UnrollVector, dims: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
-    yield from product(*(range(u[d] + 1) for d in dims))
+    yield from box_tuple(tuple(u[d] + 1 for d in dims))
+
+_INT_FRACTIONS: dict[int, Fraction] = {}
+
+def int_fraction(value: int) -> Fraction:
+    """An interned ``Fraction(value)`` for the small integers the counting
+    paths produce; Fractions are immutable, so sharing instances is safe."""
+    got = _INT_FRACTIONS.get(value)
+    if got is None:
+        got = Fraction(value)
+        if len(_INT_FRACTIONS) < 65536:
+            _INT_FRACTIONS[value] = got
+    return got
 
 class _UnionFind:
-    def __init__(self):
-        self.parent: dict = {}
+    """Union-find over dense integer nodes ``0..n-1`` (flat list parents).
 
-    def add(self, node) -> None:
-        self.parent.setdefault(node, node)
+    Lattice nodes are linearized as ``member * box_size + offset_index``
+    (row-major offsets), replacing the former dict-of-tuples forest.  The
+    union sequence and hence the root structure are unchanged, so
+    component counts *and* the discovery order of :meth:`components` are
+    identical to the seed implementation.
+    """
 
-    def find(self, node):
+    __slots__ = ("parent",)
+
+    def __init__(self, count: int):
+        self.parent = list(range(count))
+
+    def find(self, node: int) -> int:
+        parent = self.parent
         root = node
-        while self.parent[root] != root:
-            root = self.parent[root]
-        while self.parent[node] != root:
-            self.parent[node], node = root, self.parent[node]
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
         return root
 
-    def union(self, a, b) -> None:
+    def union(self, a: int, b: int) -> None:
         ra, rb = self.find(a), self.find(b)
         if ra != rb:
             self.parent[rb] = ra
 
     def component_count(self) -> int:
-        return sum(1 for node in self.parent if self.parent[node] == node)
+        return sum(1 for node, up in enumerate(self.parent) if node == up)
 
-    def components(self) -> dict:
-        groups: dict = {}
-        for node in self.parent:
+    def components(self) -> dict[int, list[int]]:
+        groups: dict[int, list[int]] = {}
+        for node in range(len(self.parent)):
             groups.setdefault(self.find(node), []).append(node)
         return groups
+
+def _box_geometry(u: UnrollVector,
+                  reduced: tuple[int, ...]) -> tuple[tuple[int, ...],
+                                                     tuple[int, ...], int]:
+    """(sizes, row-major strides, total cells) of the copy box over
+    ``reduced``; offset ``b`` linearizes to ``sum(b[t] * strides[t])``."""
+    sizes = tuple(u[d] + 1 for d in reduced)
+    strides = [1] * len(sizes)
+    for i in range(len(sizes) - 2, -1, -1):
+        strides[i] = strides[i + 1] * sizes[i + 1]
+    total = 1
+    for size in sizes:
+        total *= size
+    return sizes, tuple(strides), total
+
+@lru_cache(maxsize=16384)
+def _clipped_indices(k: tuple[int, ...],
+                     sizes: tuple[int, ...]) -> tuple[int, ...]:
+    """Linear indices of every offset ``b`` with both ``b`` and ``b + k``
+    inside the box, in lexicographic (= increasing-index) order.
+
+    The seed code tested ``b + k in box_set`` per cell; the in-range cells
+    form a sub-box computable directly from ``k``, and the shifted node is
+    always ``index + dot(k, strides)``.
+    """
+    strides = [1] * len(sizes)
+    for i in range(len(sizes) - 2, -1, -1):
+        strides[i] = strides[i + 1] * sizes[i + 1]
+    ranges = []
+    for kt, size in zip(k, sizes):
+        lo = max(0, -kt)
+        hi = min(size - 1, size - 1 - kt)
+        if lo > hi:
+            return ()
+        ranges.append(range(lo, hi + 1))
+    return tuple(sum(c * s for c, s in zip(coords, strides))
+                 for coords in product(*ranges))
+
+def _union_merges(uf: _UnionFind, merges: list["PairMerge"],
+                  sizes: tuple[int, ...], strides: tuple[int, ...],
+                  box_size: int) -> None:
+    """Apply every pair merge across the whole box (same union sequence as
+    the seed's per-cell membership test)."""
+    for pm in merges:
+        k = pm.solution.offset
+        indices = _clipped_indices(k, sizes)
+        if not indices:
+            continue
+        delta = sum(kt * st for kt, st in zip(k, strides))
+        base_i = pm.i * box_size + delta
+        base_j = pm.j * box_size
+        for idx in indices:
+            uf.union(base_i + idx, base_j + idx)
 
 @dataclass(frozen=True)
 class PairMerge:
@@ -105,18 +181,9 @@ def group_count(ugs: UniformlyGeneratedSet, u: UnrollVector,
     reduced = used_dims(ugs.matrix, dims, spatial)
     if merges is None:
         merges = pairwise_merges(ugs, dims, localized, spatial, line_size)
-    uf = _UnionFind()
-    box = list(_offsets(u, reduced))
-    for idx in range(ugs.size):
-        for b in box:
-            uf.add((idx, b))
-    box_set = set(box)
-    for pm in merges:
-        k = pm.solution.offset
-        for b in box:
-            a = tuple(x + y for x, y in zip(b, k))
-            if a in box_set:
-                uf.union((pm.i, a), (pm.j, b))
+    sizes, strides, box_size = _box_geometry(u, reduced)
+    uf = _UnionFind(ugs.size * box_size)
+    _union_merges(uf, merges, sizes, strides, box_size)
     return uf.component_count()
 
 @dataclass(frozen=True)
@@ -250,24 +317,41 @@ def group_count_spatial(ugs: UniformlyGeneratedSet, u: UnrollVector,
     reduced = used_dims(matrix, dims, spatial=False)
     if relations is None:
         relations = spatial_relations(ugs, dims, localized)
-    box = list(_offsets(u, reduced))
-    box_set = set(box)
-    uf = _UnionFind()
-    for idx in range(ugs.size):
-        for b in box:
-            uf.add((idx, b))
+    sizes, strides, box_size = _box_geometry(u, reduced)
+    uf = _UnionFind(ugs.size * box_size)
     spans = [range(-u[d], u[d] + 1) for d in reduced]
     diffs = list(product(*spans)) if reduced else [()]
+    memoize = fast_enabled()
     for rel in relations:
+        # The relation predicate depends only on (d, line_size), and the
+        # Mobius table construction revisits the same diffs for every
+        # unroll point of the box -- memoize per relation instance (bypassed
+        # in seed mode so the reference measurement pays the original cost).
+        if memoize:
+            memo = rel.__dict__.get("_relates_memo")
+            if memo is None:
+                memo = {}
+                object.__setattr__(rel, "_relates_memo", memo)
         for d in diffs:
             if rel.i == rel.j and not any(d):
                 continue
-            if not rel.relates(d, line_size):
+            if memoize:
+                related = memo.get((d, line_size))
+                if related is None:
+                    related = rel.relates(d, line_size)
+                    memo[(d, line_size)] = related
+            else:
+                related = rel.relates(d, line_size)
+            if not related:
                 continue
-            for b in box:
-                a = tuple(x + y for x, y in zip(b, d))
-                if a in box_set:
-                    uf.union((rel.i, a), (rel.j, b))
+            indices = _clipped_indices(d, sizes)
+            if not indices:
+                continue
+            delta = sum(dt * st for dt, st in zip(d, strides))
+            base_i = rel.i * box_size + delta
+            base_j = rel.j * box_size
+            for idx in indices:
+                uf.union(base_i + idx, base_j + idx)
     return uf.component_count()
 
 @dataclass(frozen=True)
@@ -338,38 +422,65 @@ def stream_chains(ugs: UniformlyGeneratedSet, u: UnrollVector,
     current one.  Registers per chain = innermost span + 1
     (Callahan-Carr-Kennedy).
     """
+    return _chains_impl(ugs, u, dims, merges)[0]
+
+def stream_chains_with_groups(ugs: UniformlyGeneratedSet, u: UnrollVector,
+                              dims: tuple[int, ...],
+                              merges: list[PairMerge] | None = None,
+                              ) -> tuple[StreamSummary, int]:
+    """:func:`stream_chains` plus the temporal group count.
+
+    When the cache-localized space *is* the innermost loop (the default),
+    the GTS relation and the stream relation union the same merges over the
+    same lattice, so one union-find serves both: the group count is the
+    component count of the stream forest -- exactly what
+    :func:`group_count` would return for the same merges.
+    """
+    return _chains_impl(ugs, u, dims, merges)
+
+def _chains_impl(ugs: UniformlyGeneratedSet, u: UnrollVector,
+                 dims: tuple[int, ...],
+                 merges: list[PairMerge] | None = None,
+                 ) -> tuple[StreamSummary, int]:
     depth = ugs.matrix.ncols
     inner_space = VectorSpace.spanned_by_axes([depth - 1], depth)
     reduced = used_dims(ugs.matrix, dims, spatial=False)
     if merges is None:
         merges = pairwise_merges(ugs, dims, inner_space, spatial=False)
 
-    uf = _UnionFind()
-    box = list(_offsets(u, reduced))
-    box_set = set(box)
-    for idx in range(ugs.size):
-        for b in box:
-            uf.add((idx, b))
-    for pm in merges:
-        k = pm.solution.offset
-        for b in box:
-            a = tuple(x + y for x, y in zip(b, k))
-            if a in box_set:
-                uf.union((pm.i, a), (pm.j, b))
+    sizes, strides, box_size = _box_geometry(u, reduced)
+    box = box_tuple(sizes)
+    uf = _UnionFind(ugs.size * box_size)
+    _union_merges(uf, merges, sizes, strides, box_size)
 
     time_row = _inner_time_row(ugs.matrix)
     consts = ugs.constants()
-
-    def touch_time(member: int, offset: tuple[int, ...]) -> Fraction:
-        if time_row is None:
-            return Fraction(0)
-        row, coef = time_row
-        shift = Fraction(0)
-        for pos, dim in enumerate(reduced):
-            shift += ugs.matrix.entry(row, dim) * offset[pos]
+    if time_row is not None:
         # Larger subscript value in the innermost-governed row means the
-        # location is reached at an *earlier* innermost iteration.
-        return -(Fraction(consts[member][row]) + shift) / coef
+        # location is reached at an *earlier* innermost iteration.  The
+        # entries and constants are integral in practice, so the time is a
+        # single normalizing Fraction construction (value-identical to the
+        # chained Fraction arithmetic it replaces); per-node times are
+        # cached and shared between the sort key and the chain spans.
+        row, coef = time_row
+        row_entries = [ugs.matrix.entry(row, dim) for dim in reduced]
+        if coef.denominator == 1 and all(e.denominator == 1
+                                         for e in row_entries):
+            coef = coef.numerator
+            row_entries = [e.numerator for e in row_entries]
+        time_cache: dict[tuple[int, tuple[int, ...]], Fraction] = {}
+
+        def touch_time(member: int, offset: tuple[int, ...]) -> Fraction:
+            key = (member, offset)
+            got = time_cache.get(key)
+            if got is None:
+                shift = sum(e * o for e, o in zip(row_entries, offset))
+                got = Fraction(-(consts[member][row] + shift), coef)
+                time_cache[key] = got
+            return got
+    else:
+        def touch_time(member: int, offset: tuple[int, ...]) -> Fraction:
+            return Fraction(0)
 
     # Copies along dimensions the UGS does not subscript are textually
     # identical references: reads collapse (one load feeds them all), but
@@ -391,12 +502,18 @@ def stream_chains(ugs: UniformlyGeneratedSet, u: UnrollVector,
         # whole innermost loop; its value lives in one register (load
         # hoisted, store sunk) regardless of how many members/copies touch
         # it.
-        for nodes in uf.components().values():
+        components = uf.components()
+        for node_ids in components.values():
+            nodes = [divmod(node, box_size) for node in node_ids]
+            nodes = [(member, box[idx]) for member, idx in nodes]
             chains.append(Chain(tuple(nodes), Fraction(0), hoisted=True,
                                 times=tuple(Fraction(0) for _ in nodes)))
-        return StreamSummary(tuple(chains))
+        return StreamSummary(tuple(chains)), len(components)
 
-    for nodes in uf.components().values():
+    components = uf.components()
+    for node_ids in components.values():
+        nodes = [divmod(node, box_size) for node in node_ids]
+        nodes = [(member, box[idx]) for member, idx in nodes]
         # Ties in touch time resolve by the textual order of the unrolled
         # code: copies are emitted in lexicographic offset order (loop
         # order, outermost first), then original statement order.
@@ -415,11 +532,19 @@ def stream_chains(ugs: UniformlyGeneratedSet, u: UnrollVector,
                 current.append((member_idx, b))
         if current:
             chains.append(_close_chain(current, touch_time))
-    return StreamSummary(tuple(chains))
+    return StreamSummary(tuple(chains)), len(components)
 
 def _close_chain(nodes: list[tuple[int, tuple[int, ...]]],
                  touch_time) -> Chain:
     times = [touch_time(m, b) for m, b in nodes]
+    if all(t.denominator == 1 for t in times):
+        # Integral touch times (the overwhelmingly common case): subtract
+        # as ints and intern the results -- value-identical to the Fraction
+        # subtractions below.
+        nums = [t.numerator for t in times]
+        base = min(nums)
+        return Chain(tuple(nodes), int_fraction(max(nums) - base),
+                     times=tuple(int_fraction(n - base) for n in nums))
     base = min(times)
     span = max(times) - base
     return Chain(tuple(nodes), span,

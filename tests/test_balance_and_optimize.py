@@ -93,7 +93,8 @@ class TestOptimizer:
     def test_candidate_selection_prefers_locality(self):
         nest = intro_nest()
         safety = safe_unroll_bounds(nest)
-        chosen = select_candidate_loops(nest, safety, max_loops=2)
+        chosen = select_candidate_loops(nest, safety, max_loops=2,
+                                        line_size=4)
         assert 0 in chosen
 
     def test_register_constraint_limits_unroll(self):

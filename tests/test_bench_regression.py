@@ -35,11 +35,22 @@ regression = _load_regression()
 BASE_ENGINE = {"cold_nests_per_sec": 40.0, "warm_tables_hit_rate": 1.0}
 BASE_SERVE = {"throughput_rps": 1200.0, "latency_p95_s": 0.004}
 BASE_CLUSTER = {"cluster_throughput_rps": 800.0, "sticky_hit_rate": 1.0}
+BASE_COLD = {"cold_nests_per_sec": 100.0, "speedup_vs_seed": 2.2,
+             "seed_nests_per_sec": 45.0, "bound": 4.0,
+             "build_tables_p95_s": 0.02}
 
 def engine_results(nests_per_sec: float = 40.0,
                    hit_rate: float = 1.0) -> dict:
     return {"cold": {"nests_per_sec": nests_per_sec},
             "warm": {"tables_hit_rate": hit_rate}}
+
+def cold_results(nests_per_sec: float = 100.0, speedup: float = 2.2,
+                 seed_nps: float = 45.0, tables_p95: float = 0.02) -> dict:
+    return {"bound": 4,
+            "fast": {"nests_per_sec": nests_per_sec},
+            "seed": {"nests_per_sec": seed_nps},
+            "speedup_vs_seed": speedup,
+            "stage_p95_s": {"build_tables": tables_p95}}
 
 def serve_results(rps: float = 1200.0, p95: float = 0.004) -> dict:
     return {"throughput": {"throughput_rps": rps,
@@ -49,17 +60,20 @@ def cluster_results(rps: float = 800.0, sticky: float = 1.0) -> dict:
     return {"cluster": {"throughput_rps": rps},
             "sticky": {"sticky_hit_rate": sticky}}
 
-_DEFAULT_CLUSTER = object()  # sentinel: include plausible cluster results
+_DEFAULT = object()  # sentinel: include plausible results for the bench
 
 def write_tree(tmp_path: pathlib.Path, engine: dict | None,
                serve: dict | None,
                baselines: dict[str, dict] | None = None,
-               cluster: dict | None | object = _DEFAULT_CLUSTER) -> tuple[
+               cluster: dict | None | object = _DEFAULT,
+               cold: dict | None | object = _DEFAULT) -> tuple[
                    pathlib.Path, pathlib.Path]:
     results = tmp_path / "results"
     results.mkdir(exist_ok=True)
-    if cluster is _DEFAULT_CLUSTER:
+    if cluster is _DEFAULT:
         cluster = cluster_results()
+    if cold is _DEFAULT:
+        cold = cold_results()
     if engine is not None:
         (results / "engine_throughput.json").write_text(json.dumps(engine))
     if serve is not None:
@@ -67,6 +81,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
     if cluster is not None:
         (results / "cluster_throughput.json").write_text(
             json.dumps(cluster))
+    if cold is not None:
+        (results / "cold_analysis.json").write_text(json.dumps(cold))
     baseline_dir = tmp_path / "baselines"
     baseline_dir.mkdir(exist_ok=True)
     for name, metrics in (baselines or {}).items():
@@ -76,7 +92,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
 
 DEFAULT_BASELINES = {"engine_throughput": BASE_ENGINE,
                      "serve_throughput": BASE_SERVE,
-                     "cluster_throughput": BASE_CLUSTER}
+                     "cluster_throughput": BASE_CLUSTER,
+                     "cold_analysis": BASE_COLD}
 
 class TestCompare:
     def test_synthetic_2x_slowdown_fails(self):
@@ -129,19 +146,27 @@ class TestCheckAndUpdate:
                                         serve_results(),
                                         DEFAULT_BASELINES)
         rows, ok = regression.check(results, baselines, 0.25)
-        assert ok and len(rows) == 6
+        assert ok and len(rows) == 11
 
     def test_check_fails_on_2x_slowdown_tree(self, tmp_path):
         results, baselines = write_tree(
             tmp_path, engine_results(nests_per_sec=20.0),
             serve_results(rps=600.0, p95=0.008), DEFAULT_BASELINES,
-            cluster=cluster_results(rps=400.0, sticky=0.4))
+            cluster=cluster_results(rps=400.0, sticky=0.4),
+            cold=cold_results(nests_per_sec=50.0, speedup=1.1,
+                              tables_p95=0.04))
         rows, ok = regression.check(results, baselines, 0.25)
         assert not ok
-        failed = {row["metric"] for row in rows if not row["ok"]}
-        assert failed == {"cold_nests_per_sec", "throughput_rps",
-                          "latency_p95_s", "cluster_throughput_rps",
-                          "sticky_hit_rate"}
+        failed = {(row["benchmark"], row["metric"])
+                  for row in rows if not row["ok"]}
+        assert failed == {("engine_throughput", "cold_nests_per_sec"),
+                          ("serve_throughput", "throughput_rps"),
+                          ("serve_throughput", "latency_p95_s"),
+                          ("cluster_throughput", "cluster_throughput_rps"),
+                          ("cluster_throughput", "sticky_hit_rate"),
+                          ("cold_analysis", "cold_nests_per_sec"),
+                          ("cold_analysis", "speedup_vs_seed"),
+                          ("cold_analysis", "build_tables_p95_s")}
 
     def test_missing_results_file_fails(self, tmp_path):
         results, baselines = write_tree(tmp_path, engine_results(), None,
@@ -163,7 +188,8 @@ class TestCheckAndUpdate:
         written = regression.update(results, baselines)
         assert {p.name for p in written} == {"engine_throughput.json",
                                              "serve_throughput.json",
-                                             "cluster_throughput.json"}
+                                             "cluster_throughput.json",
+                                             "cold_analysis.json"}
         _, ok = regression.check(results, baselines, 0.25)
         assert ok
         doc = json.loads((baselines / "engine_throughput.json").read_text())
@@ -201,13 +227,14 @@ class TestMainAndTable:
         assert table.startswith("### Benchmark regression gate")
         assert "| benchmark | metric | baseline | current | delta " \
             "| status |" in table
-        assert table.count("✅") == 6
+        assert table.count("✅") == 11
         # One data row per tracked metric, rendered as a pipe table.
         data_rows = [line for line in table.splitlines()
                      if line.startswith("| engine_throughput")
                      or line.startswith("| serve_throughput")
-                     or line.startswith("| cluster_throughput")]
-        assert len(data_rows) == 6
+                     or line.startswith("| cluster_throughput")
+                     or line.startswith("| cold_analysis")]
+        assert len(data_rows) == 11
         capsys.readouterr()
 
     def test_committed_baselines_are_wellformed(self):
