@@ -17,6 +17,7 @@ bench-quick:
 	$(PYTHON) benchmarks/bench_cold_analysis.py --quick
 	$(PYTHON) benchmarks/bench_engine_throughput.py --quick
 	$(PYTHON) benchmarks/bench_serve_throughput.py --quick
+	$(PYTHON) benchmarks/bench_cluster_throughput.py --quick
 
 # The regression gate: fail on >25% throughput drop or p95 latency growth.
 bench-check: bench-quick

@@ -9,11 +9,13 @@ Measures the claims of docs/CLUSTER.md over real processes and sockets:
   cores -- on the 1-core CI container the honest bar is "the router hop
   does not halve throughput", while on a 4-core box 4 workers must
   deliver at least ~2x the single process);
-* **sticky reuse** -- a duplicate-heavy workload (50% repeated nests)
-  must coalesce on-shard: the consistent-hash routing sends repeats to
-  the worker that already computed them, so merged engine compute calls
-  stay well below the request count even though the shards share
-  nothing;
+* **sticky reuse** -- a duplicate-heavy workload (50% repeated nests,
+  *fresh* structurally-unique corpus routines the cluster has never
+  seen, so no phase can ride an earlier phase's warmth) must merge the
+  duplicate compute away: between the router's L2 result cache and the
+  consistent-hash routing that lands repeats on the shard that already
+  computed them, at least ``MERGED_COMPUTE_BAR`` of the duplicate
+  requests must finish without a fresh engine compute call;
 * **federation** -- the router's merged ``GET /metrics`` must account
   for every 2xx the shards produced.
 
@@ -47,18 +49,44 @@ from repro.serve.batcher import BatchConfig
 from repro.serve.client import ServeClient, build_workload, run_load
 from repro.serve.server import ServeConfig, ServerThread
 
-#: Required fraction of ideal hardware-aware scaling (0.45 leaves room
-#: for the router hop and scheduler noise without hiding real losses).
-SCALING_EFFICIENCY_BAR = 0.45
+#: Required fraction of ideal hardware-aware scaling.  The router's L2
+#: result cache answers warm repeats at the front door without a worker
+#: hop, so even on a 1-core box the router must not cost more than 10%.
+SCALING_EFFICIENCY_BAR = 0.90
 
-#: With 50% duplicates, merged engine compute calls per request must
-#: stay below this -- the proof that duplicates stick to warm shards.
-COMPUTE_RATIO_BAR = 0.75
+#: Fraction of *duplicate* sticky-phase requests that must complete
+#: without a fresh engine compute call (router L2 hit, on-shard result
+#: cache, or in-flight coalescing).  The workload is fresh unseen nests,
+#: so the denominator cannot be satisfied vacuously by earlier warmth.
+MERGED_COMPUTE_BAR = 0.75
 
 def _sweep(passes: int) -> list:
     names = [kernel.name for kernel in all_kernels()]
     return build_workload(passes * len(names), duplicate_fraction=0.0,
                           nests=names * passes)
+
+def _fresh_sticky_workload(n_unique: int) -> tuple[list, int]:
+    """A 50%-duplicate workload over ``n_unique`` corpus routines no
+    other phase has touched, deduplicated by structural key so the
+    unique count in the merged-compute denominator is exact."""
+    from repro import api
+    from repro.corpus.generator import CorpusConfig, generate_corpus
+
+    specs: list[dict] = []
+    seen: set = set()
+    for nest in generate_corpus(CorpusConfig(routines=4 * n_unique,
+                                             seed=20260808, max_depth=2,
+                                             max_statements=2)):
+        key = nest.structural_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        specs.append(api.serialize_nest(nest))
+        if len(specs) == n_unique:
+            break
+    workload = build_workload(2 * len(specs), duplicate_fraction=0.5,
+                              nests=specs)
+    return workload, len(specs)
 
 def run_cluster_benchmark(workers: int = 2, concurrency: int = 8,
                           passes: int = 4, bound: int = 4,
@@ -69,15 +97,25 @@ def run_cluster_benchmark(workers: int = 2, concurrency: int = 8,
     cpu_count = os.cpu_count() or 1
     expected_scaling = max(1, min(workers, cpu_count))
 
+    # The scaling ratio is a quotient of two throughput measurements on
+    # a shared box, so each side runs ``trials`` warm sweeps and the
+    # ratio compares best against best -- scheduler noise only ever
+    # subtracts from a trial, never adds.
+    trials = 3
+
+    def _best(results: list[dict]) -> dict:
+        best = max(results, key=lambda r: r["throughput_rps"])
+        return dict(best, trials_rps=[r["throughput_rps"] for r in results])
+
     # Phase 1: the single-process reference, same batch knobs.
     config = ServeConfig(port=0, batch=BatchConfig(deadline_s=0.005,
                                                    max_batch=32, threads=4))
     with ServerThread(config, AnalysisEngine()) as handle:
         run_load("127.0.0.1", handle.port, _sweep(1),
                  concurrency=concurrency, bound=bound)  # warm the engine
-        single = run_load("127.0.0.1", handle.port,
-                          _sweep(passes),
-                          concurrency=concurrency, bound=bound)
+        single = _best([run_load("127.0.0.1", handle.port, _sweep(passes),
+                                 concurrency=concurrency, bound=bound)
+                        for _ in range(trials)])
 
     # Phase 2 + 3: the sharded cluster.
     cluster_config = ClusterConfig(workers=workers, port=0,
@@ -88,14 +126,15 @@ def run_cluster_benchmark(workers: int = 2, concurrency: int = 8,
         probe = ServeClient(port=handle.port)
         run_load("127.0.0.1", handle.port, _sweep(1),
                  concurrency=concurrency, bound=bound)  # warm every shard
-        cluster = run_load("127.0.0.1", handle.port,
-                           _sweep(passes),
-                           concurrency=concurrency, bound=bound)
+        cluster = _best([run_load("127.0.0.1", handle.port, _sweep(passes),
+                                  concurrency=concurrency, bound=bound)
+                         for _ in range(trials)])
 
-        # Sticky phase: 50% duplicate nests, fresh counters read around it.
+        # Sticky phase: 50% duplicates over *fresh* unseen nests, fresh
+        # counters read around it -- earlier phases cannot donate warmth.
+        sticky_load, unique_count = _fresh_sticky_workload(
+            10 if quick else kernel_count)
         _, before = probe.metrics()
-        sticky_load = build_workload(2 * kernel_count,
-                                     duplicate_fraction=0.5)
         sticky = run_load("127.0.0.1", handle.port, sticky_load,
                           concurrency=concurrency, bound=bound)
         _, after = probe.metrics()
@@ -104,16 +143,30 @@ def run_cluster_benchmark(workers: int = 2, concurrency: int = 8,
     def merged(doc: dict, counter: str) -> int:
         return doc["metrics"]["counters"].get(counter, 0)
 
+    def router_counter(doc: dict, counter: str) -> int:
+        return doc["router"]["metrics"]["counters"].get(counter, 0)
+
     sticky_requests = len(sticky_load)
+    duplicates = sticky_requests - unique_count
     compute_delta = (merged(after, "engine.optimize")
                      - merged(before, "engine.optimize"))
     reuse_delta = ((merged(after, "serve.coalesced")
                     + merged(after, "serve.cache.hit"))
                    - (merged(before, "serve.coalesced")
                       + merged(before, "serve.cache.hit")))
+    l2_delta = (router_counter(after, "cluster.l2_hits")
+                - router_counter(before, "cluster.l2_hits"))
+    sticky["unique_nests"] = unique_count
     sticky["engine_optimize_calls"] = compute_delta
     sticky["compute_per_request"] = compute_delta / sticky_requests
+    sticky["l2_hits"] = l2_delta
     sticky["sticky_hit_rate"] = max(0.0, reuse_delta / sticky_requests)
+    # Of the duplicate requests, how many were answered without a fresh
+    # engine compute?  1.0 = every repeat merged (L2, result cache, or
+    # coalescing); 0.0 = every repeat recomputed somewhere.
+    sticky["merged_compute_rate"] = (
+        max(0.0, min(1.0, (sticky_requests - compute_delta) / duplicates))
+        if duplicates else 1.0)
 
     shard_2xx = {slot: doc["metrics"]["counters"]
                  .get("serve.responses_2xx", 0)
@@ -155,10 +208,14 @@ def format_cluster(payload: dict) -> str:
         f"(hardware-aware ideal {payload['expected_scaling']}x, "
         f"bar {bar:.2f}x)",
         "",
-        f"sticky phase ({sticky['requests']} requests, 50% duplicates):",
-        f"  merged engine compute calls {sticky['engine_optimize_calls']} "
-        f"({100 * sticky['compute_per_request']:.0f}% of requests; "
-        f"bar {100 * COMPUTE_RATIO_BAR:.0f}%)",
+        f"sticky phase ({sticky['requests']} requests over "
+        f"{sticky['unique_nests']} fresh nests, 50% duplicates):",
+        f"  engine compute calls {sticky['engine_optimize_calls']} "
+        f"({100 * sticky['compute_per_request']:.0f}% of requests), "
+        f"router L2 hits {sticky['l2_hits']}",
+        f"  merged-compute rate "
+        f"{100 * sticky['merged_compute_rate']:.0f}% of duplicates "
+        f"(bar {100 * MERGED_COMPUTE_BAR:.0f}%)",
         f"  on-shard reuse rate {100 * sticky['sticky_hit_rate']:.0f}%",
         f"  per-shard 2xx {payload['shard_2xx']} "
         f"(federated total {payload['federated_2xx']})",
@@ -183,12 +240,12 @@ def _acceptance(payload: dict) -> list[str]:
             f"scaling {payload['scaling']:.2f}x below the hardware-aware "
             f"bar {bar:.2f}x ({payload['workers']} workers, "
             f"{payload['cpu_count']} cpus)")
-    if payload["sticky"]["compute_per_request"] > COMPUTE_RATIO_BAR:
+    if payload["sticky"]["merged_compute_rate"] < MERGED_COMPUTE_BAR:
         problems.append(
-            f"sticky compute/request "
-            f"{payload['sticky']['compute_per_request']:.2f} exceeds "
-            f"{COMPUTE_RATIO_BAR} -- duplicates are not landing on warm "
-            f"shards")
+            f"sticky merged-compute rate "
+            f"{payload['sticky']['merged_compute_rate']:.2f} below "
+            f"{MERGED_COMPUTE_BAR} -- duplicate requests are recomputing "
+            f"instead of hitting the L2 / warm shards")
     if len([count for count in payload["shard_2xx"].values()
             if count > 0]) < min(2, payload["workers"]):
         problems.append(f"traffic did not spread: {payload['shard_2xx']}")

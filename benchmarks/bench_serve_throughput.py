@@ -11,7 +11,13 @@ the 19 Table 2 kernels:
 * **sustained throughput** -- a warm multiple-pass sweep over all 19
   kernels, reported as requests/sec with exact client-side latency
   percentiles (and the server's own histogram-derived p50/p95/p99 from
-  ``GET /metrics``).
+  ``GET /metrics``);
+* **wire shoot-out** -- the same serialized-source sweep (nests shipped
+  as full specs, the external-client shape -- no server-side kernel
+  lookup) over the v1 JSON transport and the v2 binary-frame transport
+  at equal concurrency.  The frame path (precomputed structural key in
+  the header + the server's encoded-response cache, docs/WIRE.md) must
+  at least halve the warm JSON p50.
 
 Runs under pytest (``pytest benchmarks/bench_serve_throughput.py``) and
 as a standalone script::
@@ -42,6 +48,23 @@ from repro.serve.server import ServeConfig, ServerThread
 
 #: The acceptance bar: with 50% duplicates, compute calls per request.
 COMPUTE_RATIO_BAR = 0.60
+
+#: Warm binary-frame p50 must be at most this fraction of the warm JSON
+#: p50 at equal concurrency (the docs/WIRE.md claim).
+WIRE_P50_RATIO_BAR = 0.50
+
+def _wire_workload(passes: int) -> list:
+    """Every Table 2 kernel as a *serialized* nest spec, ``passes`` times.
+
+    Serialized specs are what an external client actually ships (the
+    server cannot shortcut them through the kernel-name lookup), so the
+    JSON-vs-binary delta is pure wire, parse, and cache-path cost.
+    """
+    from repro.api import serialize_nest
+
+    specs = [serialize_nest(kernel.nest) for kernel in all_kernels()]
+    return build_workload(passes * len(specs), duplicate_fraction=0.0,
+                          nests=specs * passes)
 
 def _engine_optimize_calls(client: ServeClient) -> int:
     _, doc = client.metrics()
@@ -82,6 +105,39 @@ def run_serve_benchmark(concurrency: int = 8, passes: int = 5,
         throughput = run_load("127.0.0.1", handle.port, sweep,
                               concurrency=concurrency, bound=bound)
 
+        # Phase 3: the wire shoot-out.  One unmeasured pass per
+        # transport warms each lane (result cache, frame cache, client
+        # encode cache), then the measured sweeps run fully warm so the
+        # comparison is wire cost, not compute.  Both transports run at
+        # the same concurrency -- pinned to 1, because the warm wire
+        # cost is sub-millisecond and CPython's thread-switch latency
+        # (~5ms default interval) swamps it the moment client threads
+        # outnumber cores.
+        wire_concurrency = 1
+        run_load("127.0.0.1", handle.port, _wire_workload(1),
+                 concurrency=wire_concurrency, bound=bound, transport="json")
+        run_load("127.0.0.1", handle.port, _wire_workload(1),
+                 concurrency=wire_concurrency, bound=bound,
+                 transport="binary")
+        wire_json = run_load("127.0.0.1", handle.port, _wire_workload(passes),
+                             concurrency=wire_concurrency, bound=bound,
+                             transport="json")
+        wire_binary = run_load("127.0.0.1", handle.port,
+                               _wire_workload(passes),
+                               concurrency=wire_concurrency, bound=bound,
+                               transport="binary")
+        json_p50 = wire_json["latency_s"]["p50"]
+        binary_p50 = wire_binary["latency_s"]["p50"]
+        wire = {
+            "json": wire_json,
+            "binary": wire_binary,
+            "concurrency": wire_concurrency,
+            "p50_ratio": (binary_p50 / json_p50 if json_p50 else 0.0),
+            "rps_speedup": (wire_binary["throughput_rps"]
+                            / wire_json["throughput_rps"]
+                            if wire_json["throughput_rps"] else 0.0),
+        }
+
         _, metrics_doc = probe.metrics()
         probe.close()
 
@@ -93,6 +149,7 @@ def run_serve_benchmark(concurrency: int = 8, passes: int = 5,
         "concurrency": concurrency,
         "coalescing": coalescing,
         "throughput": throughput,
+        "wire": wire,
         "server_stage_optimize": {
             key: optimize_stage.get(key, 0.0)
             for key in ("count", "mean_s", "p50_s", "p95_s", "p99_s")},
@@ -125,6 +182,18 @@ def format_serve(payload: dict) -> str:
         f"  server stage.optimize p50 "
         f"{1000 * payload['server_stage_optimize']['p50_s']:.2f}ms  "
         f"p99 {1000 * payload['server_stage_optimize']['p99_s']:.2f}ms",
+        "",
+        f"wire shoot-out ({payload['wire']['json']['requests']} serialized"
+        f"-source requests per transport):",
+        f"  v1 json:   {payload['wire']['json']['throughput_rps']:.1f} "
+        f"req/s, p50 "
+        f"{1000 * payload['wire']['json']['latency_s']['p50']:.2f}ms",
+        f"  v2 binary: {payload['wire']['binary']['throughput_rps']:.1f} "
+        f"req/s, p50 "
+        f"{1000 * payload['wire']['binary']['latency_s']['p50']:.2f}ms",
+        f"  binary/json p50 ratio {payload['wire']['p50_ratio']:.2f} "
+        f"(bar <= {WIRE_P50_RATIO_BAR:.2f}), "
+        f"rps speedup {payload['wire']['rps_speedup']:.2f}x",
     ]
     return "\n".join(lines)
 
@@ -149,6 +218,16 @@ def _acceptance(payload: dict) -> list[str]:
             f"sustained phase 2xx rate {payload['throughput']['rate_2xx']}")
     if payload["throughput"]["throughput_rps"] <= 0:
         problems.append("no sustained throughput measured")
+    wire = payload["wire"]
+    for transport in ("json", "binary"):
+        if wire[transport]["rate_2xx"] < 1.0:
+            problems.append(
+                f"wire {transport} 2xx rate {wire[transport]['rate_2xx']}")
+    if wire["p50_ratio"] > WIRE_P50_RATIO_BAR:
+        problems.append(
+            f"binary/json p50 ratio {wire['p50_ratio']:.2f} exceeds "
+            f"{WIRE_P50_RATIO_BAR} -- the frame transport is not paying "
+            f"for itself")
     return problems
 
 # -- pytest mode --------------------------------------------------------------

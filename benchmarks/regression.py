@@ -76,6 +76,14 @@ SPECS: dict[str, dict] = {
         "metrics": {
             "throughput_rps": (("throughput", "throughput_rps"), "higher"),
             "latency_p95_s": (("throughput", "latency_s", "p95"), "lower"),
+            # The v2 binary-frame transport must keep beating the v1
+            # JSON transport: the p50 ratio is self-normalizing (both
+            # sides measured on the same box in the same run), and the
+            # absolute frame throughput catches fast-path regressions
+            # the ratio could hide.
+            "wire_p50_ratio": (("wire", "p50_ratio"), "lower"),
+            "wire_binary_rps": (("wire", "binary", "throughput_rps"),
+                                "higher"),
         },
     },
     "cluster_throughput": {
@@ -83,11 +91,15 @@ SPECS: dict[str, dict] = {
         "metrics": {
             # Cluster latency and the single/cluster scaling ratio are
             # both quotient-of-noise on shared CI runners; absolute
-            # routed throughput plus the sticky reuse rate are the
-            # stable signals that sharding still pays for itself.
+            # routed throughput plus the merged-compute rate are the
+            # stable signals that sharding still pays for itself.  The
+            # merged rate is over *fresh* nests, so it cannot go vacuous
+            # the way the old sticky_hit_rate did once the router L2
+            # started answering repeats before they reached a shard.
             "cluster_throughput_rps": (("cluster", "throughput_rps"),
                                        "higher"),
-            "sticky_hit_rate": (("sticky", "sticky_hit_rate"), "higher"),
+            "merged_compute_rate": (("sticky", "merged_compute_rate"),
+                                    "higher"),
         },
     },
 }

@@ -35,7 +35,7 @@ from repro.engine import (
     BatchReport,
     NestArtifacts,
 )
-from repro.ir.nodes import LoopNest
+from repro.ir.nodes import LoopNest, intern_nest
 from repro.obs.trace import span as _span
 from repro.ir.parser import ParseError, parse_nest
 from repro.machine.model import MachineModel
@@ -121,11 +121,16 @@ def coerce_nest(spec: "LoopNest | str | os.PathLike",
     a parser error and line number when a file or source string is
     malformed, or with a closest-match suggestion when a kernel name is
     unknown.
+
+    Every result is interned (:func:`repro.ir.nodes.intern_nest`): two
+    resolutions of the same structure yield one shared node whose
+    structural key is computed exactly once, which is what keeps the
+    serving layer's per-request key derivation near-free.
     """
     if isinstance(spec, LoopNest):
-        return spec
+        return intern_nest(spec)
     if isinstance(spec, os.PathLike):
-        return _nest_from_path(pathlib.Path(spec), name)
+        return intern_nest(_nest_from_path(pathlib.Path(spec), name))
     if isinstance(spec, Mapping):
         source = spec.get("source")
         if not isinstance(source, str):
@@ -133,7 +138,7 @@ def coerce_nest(spec: "LoopNest | str | os.PathLike",
                 "a serialized nest needs a 'source' string of DO-loop text")
         label = spec.get("name") or name or "parsed"
         try:
-            return parse_nest(source, name=str(label))
+            return intern_nest(parse_nest(source, name=str(label)))
         except ParseError as err:
             raise NestResolutionError(
                 f"serialized nest does not parse: {err}", kind="parse") \
@@ -143,7 +148,7 @@ def coerce_nest(spec: "LoopNest | str | os.PathLike",
             f"cannot make a loop nest from {type(spec).__name__!s}")
     if _looks_like_source(spec):
         try:
-            return parse_nest(spec, name=name or "parsed")
+            return intern_nest(parse_nest(spec, name=name or "parsed"))
         except ParseError as err:
             raise NestResolutionError(
                 f"nest source does not parse: {err}", kind="parse") from None
@@ -151,12 +156,12 @@ def coerce_nest(spec: "LoopNest | str | os.PathLike",
     from repro.kernels import all_kernels, kernel_by_name
 
     try:
-        return kernel_by_name(spec).nest
+        return intern_nest(kernel_by_name(spec).nest)
     except KeyError:
         pass
     path = pathlib.Path(spec)
     if path.exists():
-        return _nest_from_path(path, name)
+        return intern_nest(_nest_from_path(path, name))
     names = [kernel.name for kernel in all_kernels()]
     close = difflib.get_close_matches(spec, names, n=3, cutoff=0.5)
     hint = f"; did you mean {', '.join(close)}?" if close else \

@@ -9,7 +9,15 @@
   up on the consistent-hash ring.  Identical nests therefore always hit
   the worker whose memo tables and disk-cache namespace are already
   warm for them -- the cluster-level analogue of the engine's own
-  memoization;
+  memoization.  Binary-frame requests (``POST /v2/frame``) carry the
+  key in the frame header, so the router routes them without parsing
+  the body at all;
+* **the L2 result cache** -- analysis requests are pure, so 200
+  responses are cached at the front door keyed on the raw request
+  bytes; a warm repeat is answered without a worker hop (the
+  ``x-repro-cache: hit`` header says so).  Hot keys are tracked, and
+  after ``scale``/``reload`` the top-K hot requests are speculatively
+  replayed to every READY worker so fresh shards start warm;
 * **fallback** -- bodies that yield no key (unparseable JSON, unknown
   kernel names, malformed specs) go to the least-pending READY worker,
   which produces the authoritative error response so error shapes stay
@@ -38,6 +46,7 @@ from __future__ import annotations
 
 import asyncio
 import collections
+import hashlib
 import json
 import signal
 import threading
@@ -51,6 +60,7 @@ from repro.serve import protocol
 from repro.serve.http import (
     Request,
     json_response,
+    negotiated_error,
     raw_response,
     read_request,
     text_response,
@@ -85,6 +95,7 @@ class ClusterRouter:
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
         self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
         self._started_at = time.monotonic()
         # structural-key LRU: normalized nest spec -> ring key (or None
         # when the spec cannot be coerced).
@@ -92,6 +103,17 @@ class ClusterRouter:
             collections.OrderedDict()
         # per-slot idle connection pools, invalidated by port change
         self._pools: dict[tuple[int, int], list] = {}
+        # L2 result cache: digest of (path, raw body) -> the worker's
+        # 200 response (status, content-type, body, shard).  Sound
+        # because the API verbs are pure functions of the request.
+        self._l2: collections.OrderedDict[bytes,
+                                          tuple[int, str, bytes, str]] = \
+            collections.OrderedDict()
+        # hot-key tracker + a replayable sample request per key, feeding
+        # the post-scale/reload speculative pre-warm.
+        self._hot: collections.Counter = collections.Counter()
+        self._warm_bodies: dict[str, tuple[str, str, bytes]] = {}
+        self._prewarm_task: asyncio.Task | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -132,6 +154,11 @@ class ClusterRouter:
         # handler tasks see EOF and exit before the SIGTERM drain.
         self._close_pools()
         await self.supervisor.drain()
+        # Nudge parked keep-alive clients: closing the transport wakes
+        # their handler task out of read_request so the drain below is
+        # bounded by in-flight requests, not idle connections.
+        for writer in list(self._writers):
+            writer.close()
         if self._connections:
             await asyncio.wait(set(self._connections),
                                timeout=self.config.drain_grace_s)
@@ -181,6 +208,7 @@ class ClusterRouter:
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
+        self._writers.add(writer)
         try:
             while True:
                 request = await read_request(
@@ -200,6 +228,7 @@ class ClusterRouter:
         finally:
             if task is not None:
                 self._connections.discard(task)
+            self._writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -240,9 +269,26 @@ class ClusterRouter:
             if request.method != "POST":
                 return json_response(405, protocol.error_payload(
                     "method_not_allowed", "use POST"), close=close)
-            return await self._route_api(path, request, close)
-        return json_response(404, protocol.error_payload(
-            "not_found", f"no route {request.path!r}"), close=close)
+            return await self._route_api(
+                path, request, close,
+                key=self.structural_key(request.body),
+                content_type="application/json")
+        if path == "/v2/frame":
+            if request.method != "POST":
+                return negotiated_error(request, 405, "method_not_allowed",
+                                        "use POST", close=close)
+            # The frame header carries the structural key: route on it
+            # without ever parsing the payload.
+            try:
+                frame = protocol.peek_frame(request.body)
+            except protocol.ProtocolError as err:
+                return negotiated_error(request, err.status, err.error_type,
+                                        str(err), close=close)
+            return await self._route_api(
+                path, request, close, key=frame.key,
+                content_type=protocol.CONTENT_TYPE_FRAME)
+        return negotiated_error(request, 404, "not_found",
+                                f"no route {request.path!r}", close=close)
 
     # -- admin ---------------------------------------------------------------
 
@@ -256,6 +302,7 @@ class ClusterRouter:
                                  close=True)
         if path == "/cluster/reload":
             result = await self.supervisor.reload()
+            result["prewarm"] = self._start_prewarm()
             return json_response(200, {"ok": True, **result}, close=False)
         try:
             document = json.loads(body.decode("utf-8")) if body else {}
@@ -269,7 +316,40 @@ class ClusterRouter:
         except ValueError as err:
             return json_response(400, protocol.error_payload(
                 "bad_request", str(err)), close=False)
+        result["prewarm"] = self._start_prewarm()
         return json_response(200, {"ok": True, **result}, close=False)
+
+    # -- speculative pre-warming ---------------------------------------------
+
+    def _start_prewarm(self) -> int:
+        """Kick off a background replay of the hottest requests to every
+        READY worker; returns how many keys will be replayed."""
+        top = [key for key, _ in
+               self._hot.most_common(self.config.prewarm_top_k)
+               if key in self._warm_bodies]
+        if not top or self.config.prewarm_top_k <= 0:
+            return 0
+        if self._prewarm_task is not None and \
+                not self._prewarm_task.done():
+            self._prewarm_task.cancel()
+        self._prewarm_task = asyncio.ensure_future(self._prewarm(top))
+        return len(top)
+
+    async def _prewarm(self, keys: list[str]) -> None:
+        # Every READY worker gets every hot request: after a scale-up
+        # the ring has re-sliced, so any of them may own any key now.
+        # Repeats are near-free on already-warm workers (result cache).
+        for info in sorted(self.membership.ready(),
+                           key=lambda info: info.slot):
+            for key in keys:
+                path, content_type, body = self._warm_bodies[key]
+                try:
+                    await self._worker_request(info, "POST", path, body,
+                                               content_type=content_type)
+                    self.metrics.count("cluster.prewarm_requests")
+                except _WorkerError:
+                    self.metrics.count("cluster.prewarm_errors")
+                    break
 
     # -- routing -------------------------------------------------------------
 
@@ -308,23 +388,46 @@ class ClusterRouter:
             self._keys.popitem(last=False)
         return key
 
-    async def _route_api(self, path: str, request: Request,
-                         close: bool) -> bytes:
-        key = self.structural_key(request.body)
+    def _note_hot(self, key: str | None, path: str, content_type: str,
+                  body: bytes) -> None:
+        if key is None:
+            return
+        self._hot[key] += 1
+        if key not in self._warm_bodies and \
+                len(self._warm_bodies) < 4 * max(1,
+                                                 self.config.prewarm_top_k):
+            self._warm_bodies[key] = (path, content_type, body)
+
+    async def _route_api(self, path: str, request: Request, close: bool,
+                         key: str | None,
+                         content_type: str) -> bytes:
         self.metrics.count("cluster.requests")
         self.metrics.count("cluster.routed_sticky" if key is not None
                            else "cluster.routed_fallback")
+        self._note_hot(key, path, content_type, request.body)
+        l2_key = None
+        if self.config.l2_cache > 0:
+            l2_key = hashlib.sha256(path.encode("utf-8") + b"\x00"
+                                    + request.body).digest()
+            cached = self._l2.get(l2_key)
+            if cached is not None:
+                self._l2.move_to_end(l2_key)
+                self.metrics.count("cluster.l2_hits")
+                status, cached_type, body, shard = cached
+                return raw_response(status, body, cached_type, close=close,
+                                    headers={"x-repro-cache": "hit",
+                                             SHARD_HEADER: shard})
+            self.metrics.count("cluster.l2_misses")
         with obs.span("cluster.route", path=path,
                       sticky=key is not None):
             candidates = self.membership.route(key)
             if not candidates:
                 self.metrics.count("cluster.no_workers")
-                return json_response(
-                    503, protocol.error_payload(
-                        "no_workers",
-                        "no ready workers (cluster draining or "
-                        "starting); retry later"),
-                    close=close,
+                return negotiated_error(
+                    request, 503, "no_workers",
+                    "no ready workers (cluster draining or "
+                    "starting); retry later",
+                    retry_after=1.0, close=close,
                     headers={"retry-after": "1"})
             attempts = 1 + max(0, self.config.retry_attempts)
             for index, info in enumerate(candidates[:attempts]):
@@ -333,22 +436,28 @@ class ClusterRouter:
                 try:
                     status, headers, body = await self._worker_request(
                         info, "POST", path, request.body,
-                        trace=obs.current_context())
+                        trace=obs.current_context(),
+                        content_type=content_type)
                 except _WorkerError:
                     self.supervisor.note_suspect(info.slot)
                     continue
                 extra = {SHARD_HEADER: str(info.slot)}
                 if "retry-after" in headers:
                     extra["retry-after"] = headers["retry-after"]
-                return raw_response(
-                    status, body,
-                    headers.get("content-type", "application/json"),
-                    close=close, headers=extra)
+                response_type = headers.get("content-type",
+                                            "application/json")
+                if status == 200 and l2_key is not None:
+                    while len(self._l2) >= self.config.l2_cache:
+                        self._l2.popitem(last=False)
+                    self._l2[l2_key] = (status, response_type, body,
+                                        str(info.slot))
+                return raw_response(status, body, response_type,
+                                    close=close, headers=extra)
         self.metrics.count("cluster.unrouted")
-        return json_response(502, protocol.error_payload(
-            "worker_unavailable",
+        return negotiated_error(
+            request, 502, "worker_unavailable",
             "every candidate worker failed; the supervisor is "
-            "restarting them -- retry"), close=close,
+            "restarting them -- retry", retry_after=1.0, close=close,
             headers={"retry-after": "1"})
 
     # -- worker HTTP ---------------------------------------------------------
@@ -356,6 +465,7 @@ class ClusterRouter:
     async def _worker_request(self, info: WorkerInfo, method: str,
                               path: str, body: bytes = b"",
                               trace: tuple[str, str] | None = None,
+                              content_type: str = "application/json",
                               ) -> tuple[int, dict, bytes]:
         """One proxied exchange with a worker; pooled keep-alive
         connections, one fresh-connection retry if a pooled (possibly
@@ -379,7 +489,7 @@ class ClusterRouter:
                 try:
                     result = await asyncio.wait_for(
                         self._exchange(conn, info, method, path, body,
-                                       trace),
+                                       trace, content_type),
                         self.config.request_timeout_s + 5.0)
                 except (OSError, asyncio.TimeoutError, ConnectionError,
                         asyncio.IncompleteReadError) as err:
@@ -400,12 +510,13 @@ class ClusterRouter:
 
     async def _exchange(self, conn, info: WorkerInfo, method: str,
                         path: str, body: bytes,
-                        trace: tuple[str, str] | None):
+                        trace: tuple[str, str] | None,
+                        content_type: str = "application/json"):
         reader, writer = conn
         lines = [f"{method} {path} HTTP/1.1",
                  f"host: shard-{info.slot}",
                  f"content-length: {len(body)}",
-                 "content-type: application/json",
+                 f"content-type: {content_type}",
                  "connection: keep-alive"]
         if trace is not None:
             lines.append(f"{TRACE_ID_HEADER}: {trace[0]}")
@@ -463,6 +574,9 @@ class ClusterRouter:
             "states": self.membership.states(),
             "pending": sum(info.pending
                            for info in self.membership.workers.values()),
+            "l2_cache": {"entries": len(self._l2),
+                         "capacity": self.config.l2_cache},
+            "hot_keys": len(self._hot),
         }
 
     def _health_document(self) -> dict:
@@ -473,6 +587,11 @@ class ClusterRouter:
             "uptime_s": time.monotonic() - self._started_at,
             "machine": self.config.machine,
             "cluster": summary,
+            "wire": {
+                "versions": [1, protocol.WIRE_VERSION],
+                "frame_content_type": protocol.CONTENT_TYPE_FRAME,
+                "frame_path": "/v2/frame",
+            },
         }
 
     def _status_document(self) -> dict:
@@ -534,7 +653,7 @@ class ClusterThread:
     ::
 
         with ClusterThread(ClusterConfig(workers=2)) as cluster:
-            client = ServeClient("127.0.0.1", cluster.port)
+            client = Client("127.0.0.1", cluster.port)
     """
 
     def __init__(self, config: ClusterConfig | None = None,

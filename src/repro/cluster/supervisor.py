@@ -81,6 +81,15 @@ class ClusterConfig:
     ring_replicas: int = 64
     retry_attempts: int = 1
     key_cache: int = 4096
+    #: Router-side second-level result cache entries (0 disables): warm
+    #: repeats are answered at the front door without a worker hop.
+    l2_cache: int = 4096
+    #: Hot structural keys replayed to READY workers after scale/reload
+    #: (0 disables speculative pre-warming).
+    prewarm_top_k: int = 32
+    #: Directory of the cross-worker mmap-backed shared table store
+    #: (default: <runtime_dir>/shared; "" disables sharing).
+    shared_dir: str | None = None
     # worker passthrough
     cache: bool = False
     cache_dir: str | None = None
@@ -135,8 +144,20 @@ class Supervisor:
             cmd.append("--cache")
             if cfg.cache_dir:
                 cmd.extend(["--cache-dir", cfg.cache_dir])
+        shared = self.shared_dir()
+        if shared is not None:
+            cmd.extend(["--shared-dir", str(shared)])
         cmd.extend(cfg.worker_extra_args)
         return cmd
+
+    def shared_dir(self) -> pathlib.Path | None:
+        """The cross-worker shared table store directory (``None`` when
+        sharing is disabled with ``shared_dir=""``)."""
+        if self.config.shared_dir == "":
+            return None
+        if self.config.shared_dir is not None:
+            return pathlib.Path(self.config.shared_dir)
+        return self.runtime_dir / "shared"
 
     def _worker_env(self) -> dict:
         env = dict(os.environ)

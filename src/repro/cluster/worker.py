@@ -22,7 +22,12 @@ Shard discipline:
   the router's sticky structural-key routing this gives each cache
   entry a single writer, so shards never fight over entries (the
   engine's atomic-replace writes make even accidental sharing safe, but
-  the namespace removes the contention entirely).
+  the namespace removes the contention entirely);
+* with ``--shared-dir``, hot unroll tables are shared *across* shards
+  through the mmap-backed read-mostly store
+  (:mod:`repro.engine.shared`): whichever worker builds a table first
+  publishes it, and every other shard -- including ones spawned later
+  by ``scale`` -- reads it straight from the shared page cache.
 
 SIGTERM drains gracefully through the serve layer's drain: the listener
 closes, every accepted request is answered, then the process exits 0.
@@ -61,7 +66,8 @@ def build_worker_server(args: argparse.Namespace) -> AnalysisServer:
     cache_dir = None
     if args.cache:
         cache_dir = shard_cache_dir(args.cache_dir, args.slot)
-    engine = AnalysisEngine(disk_cache=args.cache, cache_dir=cache_dir)
+    engine = AnalysisEngine(disk_cache=args.cache, cache_dir=cache_dir,
+                            shared_dir=getattr(args, "shared_dir", None))
     config = ServeConfig(
         host=args.host, port=args.port, machine=args.machine,
         max_body=args.max_body, request_timeout_s=args.timeout,
@@ -115,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", default=None,
                         help="cache base; the shard namespace is "
                              "<dir>/shard-<slot>")
+    parser.add_argument("--shared-dir", default=None,
+                        help="cross-worker mmap-backed shared table "
+                             "store directory (all shards share it)")
     parser.add_argument("--metrics-out", default=None,
                         help="flush the final metrics snapshot here on "
                              "drain")

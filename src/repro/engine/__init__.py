@@ -219,13 +219,21 @@ class AnalysisEngine:
     def __init__(self, capacity: int = 256, metrics: Metrics | None = None,
                  disk_cache: bool = False,
                  cache_dir: str | os.PathLike | None = None,
-                 profiler: "_obs_profile.Profiler | None" = None):
+                 profiler: "_obs_profile.Profiler | None" = None,
+                 shared_dir: str | os.PathLike | None = None):
         self.metrics = metrics if metrics is not None else Metrics()
         self.profiler = (profiler if profiler is not None
                          else _obs_profile.get_profiler())
         self.disk_cache = disk_cache
         self.cache_dir = (pathlib.Path(cache_dir) if cache_dir is not None
                           else default_cache_dir())
+        #: Cross-process mmap-backed table store (cluster workers share
+        #: one; see repro.engine.shared).  ``None`` = not sharing.
+        self.shared: "SharedTableStore | None" = None
+        if shared_dir is not None:
+            from repro.engine.shared import SharedTableStore
+
+            self.shared = SharedTableStore(shared_dir)
         self._graphs = _LRU(capacity)
         self._artifacts = _LRU(capacity)
         self._tables = _LRU(capacity)
@@ -292,10 +300,16 @@ class AnalysisEngine:
         if cached is not None:
             self.metrics.count("cache.tables.hit")
             return _rebind_tables(cached, nest)
+        shared = self._load_shared_tables(key, nest)
+        if shared is not None:
+            self.metrics.count("cache.tables.hit")
+            self._tables.put(key, shared)
+            return shared
         loaded = self._load_disk_tables(key, nest)
         if loaded is not None:
             self.metrics.count("cache.tables.hit")
             self._tables.put(key, loaded)
+            self._store_shared_tables(key, loaded)
             return loaded
         self.metrics.count("cache.tables.miss")
         with self.metrics.timer("stage.build_tables"), \
@@ -304,6 +318,7 @@ class AnalysisEngine:
             tables = build_tables(nest, space, line_size=line_size, trip=trip,
                                   ugs=list(ugs) if ugs is not None else None)
         self._tables.put(key, tables)
+        self._store_shared_tables(key, tables)
         self._store_disk_tables(key, tables)
         return tables
 
@@ -475,6 +490,8 @@ class AnalysisEngine:
         }
         if self.disk_cache:
             stats["disk"] = disk_cache_stats(self.cache_dir)
+        if self.shared is not None:
+            stats["shared"] = self.shared.stats()
         return stats
 
     def clear(self) -> None:
@@ -486,9 +503,35 @@ class AnalysisEngine:
     # -- disk layer ----------------------------------------------------------
 
     def _disk_path(self, key: tuple) -> pathlib.Path:
+        return self.cache_dir / f"tables-{self._table_digest(key)}.json"
+
+    @staticmethod
+    def _table_digest(key: tuple) -> str:
+        """The stable digest naming a table entry in the disk cache and
+        the shared segment (one derivation, one versioning knob)."""
         digest = hashlib.sha256(
             f"v{DISK_FORMAT_VERSION}:{key!r}".encode("utf-8")).hexdigest()
-        return self.cache_dir / f"tables-{digest[:32]}.json"
+        return digest[:32]
+
+    def _load_shared_tables(self, key: tuple,
+                            nest: LoopNest) -> UnrollTables | None:
+        if self.shared is None:
+            return None
+        with self.metrics.timer("stage.shared_load"):
+            tables = self.shared.get(self._table_digest(key))
+        if tables is None:
+            self.metrics.count("cache.shared.miss")
+            return None
+        self.metrics.count("cache.shared.hit")
+        return _rebind_tables(tables, nest)
+
+    def _store_shared_tables(self, key: tuple,
+                             tables: UnrollTables) -> None:
+        if self.shared is None:
+            return
+        with self.metrics.timer("stage.shared_store"):
+            if self.shared.put(self._table_digest(key), tables):
+                self.metrics.count("cache.shared.store")
 
     def _load_disk_tables(self, key: tuple,
                           nest: LoopNest) -> UnrollTables | None:

@@ -1,0 +1,283 @@
+"""A cross-process, mmap-backed, read-mostly store of hot engine tables.
+
+Cluster workers each memoize unroll tables in-process, so N workers pay
+for every table up to N times and a freshly scaled-up shard starts
+stone-cold.  :class:`SharedTableStore` closes that gap with the classic
+read-mostly design:
+
+* **one segment file** holds every published entry: a small index
+  (key digest -> blob offset/length) followed by the serialized tables
+  (:func:`repro.unroll.serialize.tables_to_json` blobs).  Readers
+  ``mmap`` the segment once and serve lookups straight out of the page
+  cache -- no locks, no syscalls on the hot path, and the physical pages
+  are shared by every worker on the machine;
+* **publish-on-miss** -- a worker that had to build tables appends them
+  to the store by writing a *new* segment (current entries + the new
+  one) to a temp file and atomically swapping it in (``os.replace``),
+  then flipping the ``CURRENT`` pointer file the same way.  Readers that
+  still hold the old mmap keep working; they pick up the new generation
+  on their next miss.  Concurrent publishers race last-writer-wins,
+  which can drop the loser's entry -- acceptable for a cache of
+  deterministic values (the loser republishes on its next miss);
+* **generations** -- every swap increments a generation number embedded
+  in the segment header; :meth:`stats` exposes it so tests and the
+  cluster status document can watch propagation.
+
+Everything is stdlib (``mmap``, ``struct``, ``os.replace``); the store
+degrades to a no-op when the directory cannot be created or written.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import pathlib
+import struct
+
+from repro.unroll.serialize import tables_from_json, tables_to_json
+
+__all__ = ["SharedTableStore"]
+
+_MAGIC = b"RSHM"
+_VERSION = 1
+#: header: magic, format version, generation, entry count, index size.
+_HEADER = struct.Struct("!4sBQII")
+#: index entry: key-digest length, blob offset, blob length.
+_ENTRY = struct.Struct("!HQI")
+
+#: Hard bounds so one runaway corpus cannot grow the segment forever.
+_MAX_ENTRIES = 4096
+_MAX_BLOB = 8 * 1024 * 1024
+
+class SharedTableStore:
+    """One process's handle on the shared segment (reader + publisher)."""
+
+    def __init__(self, directory: "str | os.PathLike",
+                 max_entries: int = _MAX_ENTRIES):
+        self.directory = pathlib.Path(directory)
+        self.max_entries = max_entries
+        self.generation = 0
+        self._index: dict[str, tuple[int, int]] = {}
+        self._mmap: mmap.mmap | None = None
+        self._file = None
+        self._current_seen: bytes | None = None
+        self.hits = 0
+        self.misses = 0
+        self.publishes = 0
+        self.errors = 0
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._enabled = True
+        except OSError:
+            self._enabled = False
+        self._refresh()
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def _current_path(self) -> pathlib.Path:
+        return self.directory / "CURRENT"
+
+    def _refresh(self) -> bool:
+        """Re-open the segment iff the ``CURRENT`` pointer moved."""
+        if not self._enabled:
+            return False
+        try:
+            pointer = self._current_path.read_bytes()
+        except OSError:
+            return False
+        if pointer == self._current_seen:
+            return False
+        segment = self.directory / pointer.decode("utf-8").strip()
+        try:
+            handle = open(segment, "rb")
+        except OSError:
+            return False
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            index, generation = self._parse_index(mapped)
+        except (OSError, ValueError):
+            handle.close()
+            self.errors += 1
+            return False
+        self._close_map()
+        self._file, self._mmap = handle, mapped
+        self._index, self.generation = index, generation
+        self._current_seen = pointer
+        return True
+
+    @staticmethod
+    def _parse_index(mapped) -> tuple[dict[str, tuple[int, int]], int]:
+        header = bytes(mapped[:_HEADER.size])
+        if len(header) < _HEADER.size:
+            raise ValueError("segment too short")
+        magic, version, generation, count, index_size = \
+            _HEADER.unpack(header)
+        if magic != _MAGIC or version != _VERSION:
+            raise ValueError(f"bad segment header {magic!r} v{version}")
+        index: dict[str, tuple[int, int]] = {}
+        cursor = _HEADER.size
+        limit = _HEADER.size + index_size
+        for _ in range(count):
+            if cursor + _ENTRY.size > limit:
+                raise ValueError("truncated segment index")
+            key_len, offset, length = _ENTRY.unpack(
+                bytes(mapped[cursor:cursor + _ENTRY.size]))
+            cursor += _ENTRY.size
+            key = bytes(mapped[cursor:cursor + key_len]).decode("ascii")
+            cursor += key_len
+            if offset + length > len(mapped):
+                raise ValueError("blob beyond segment end")
+            index[key] = (offset, length)
+        return index, generation
+
+    def _close_map(self) -> None:
+        if self._mmap is not None:
+            try:
+                self._mmap.close()
+            except (BufferError, OSError):
+                pass
+            self._mmap = None
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+
+    def get_blob(self, key: str) -> bytes | None:
+        """The raw serialized-tables blob for ``key``, or ``None``."""
+        if not self._enabled:
+            return None
+        entry = self._index.get(key)
+        if entry is None:
+            # Maybe another worker published since we last mapped.
+            if not self._refresh():
+                self.misses += 1
+                return None
+            entry = self._index.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+        offset, length = entry
+        try:
+            blob = bytes(self._mmap[offset:offset + length])
+        except (ValueError, OSError):
+            self.errors += 1
+            return None
+        self.hits += 1
+        return blob
+
+    def get(self, key: str):
+        """Deserialized :class:`~repro.unroll.tables.UnrollTables` for
+        ``key``, or ``None`` (corrupt blobs count as misses)."""
+        blob = self.get_blob(key)
+        if blob is None:
+            return None
+        try:
+            return tables_from_json(blob.decode("utf-8"))
+        except Exception:
+            self.errors += 1
+            return None
+
+    # -- publishing -----------------------------------------------------------
+
+    def put(self, key: str, tables) -> bool:
+        """Publish one entry (serialize, merge with the current segment,
+        atomic generation swap).  Returns whether the entry landed."""
+        if not self._enabled:
+            return False
+        try:
+            blob = tables_to_json(tables).encode("utf-8")
+        except Exception:
+            self.errors += 1
+            return False
+        return self.put_blob(key, blob)
+
+    def put_blob(self, key: str, blob: bytes) -> bool:
+        if not self._enabled or len(blob) > _MAX_BLOB:
+            return False
+        self._refresh()
+        if key in self._index:
+            return True  # someone else already published it
+        merged: dict[str, bytes] = {}
+        for existing, (offset, length) in self._index.items():
+            try:
+                merged[existing] = bytes(self._mmap[offset:offset + length])
+            except (ValueError, OSError):
+                continue
+        merged[key] = blob
+        while len(merged) > self.max_entries:
+            # Drop an arbitrary old entry (insertion order: oldest first).
+            merged.pop(next(iter(merged)))
+        generation = self.generation + 1
+        name = f"segment-{generation:08d}-{os.getpid()}.bin"
+        index_size = sum(_ENTRY.size + len(k.encode("ascii"))
+                         for k in merged)
+        offset = _HEADER.size + index_size
+        index_bytes = bytearray()
+        blob_bytes = bytearray()
+        for k, value in merged.items():
+            raw = k.encode("ascii")
+            index_bytes += _ENTRY.pack(len(raw), offset, len(value))
+            index_bytes += raw
+            blob_bytes += value
+            offset += len(value)
+        payload = _HEADER.pack(_MAGIC, _VERSION, generation, len(merged),
+                               index_size) + bytes(index_bytes) \
+            + bytes(blob_bytes)
+        tmp = self.directory / f".{name}.tmp{os.getpid()}"
+        try:
+            tmp.write_bytes(payload)
+            os.replace(tmp, self.directory / name)
+            pointer_tmp = self.directory / f".CURRENT.tmp{os.getpid()}"
+            pointer_tmp.write_bytes(name.encode("utf-8"))
+            os.replace(pointer_tmp, self._current_path)
+        except OSError:
+            self.errors += 1
+            for leftover in (tmp,):
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+            return False
+        self.publishes += 1
+        self._gc(keep=name)
+        self._refresh()
+        return True
+
+    def _gc(self, keep: str) -> None:
+        """Unlink superseded segments (best-effort; readers holding an
+        old mmap are unaffected -- the inode lives on)."""
+        try:
+            for path in self.directory.glob("segment-*.bin"):
+                if path.name != keep:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+        except OSError:
+            pass
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "enabled": self._enabled,
+            "generation": self.generation,
+            "entries": len(self._index),
+            "hits": self.hits,
+            "misses": self.misses,
+            "publishes": self.publishes,
+            "errors": self.errors,
+        }
+
+    def close(self) -> None:
+        self._close_map()
+        self._current_seen = None
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

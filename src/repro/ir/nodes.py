@@ -3,11 +3,19 @@
 All nodes are immutable dataclasses so they can be shared freely between the
 original and transformed versions of a nest, hashed into sets, and compared
 structurally in tests.
+
+Nests are additionally *hash-consed*: :meth:`LoopNest.structural_key` is
+computed once and cached on the node, and :func:`intern_nest` maps every
+structurally identical nest onto one canonical instance.  The serving data
+plane leans on both -- the engine, the batcher, and the cluster router all
+key their caches on the structural key, so re-deriving it per request used
+to rival the analysis cost itself (see docs/WIRE.md).
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence, Union
 
@@ -325,8 +333,17 @@ class LoopNest:
         patterns.  The spelling of loop induction variables is canonicalized
         away (``DO I``/``DO II`` collide when everything else matches), and
         ``name`` and ``description`` never participate.  The key is the
-        cache identity used by :class:`repro.engine.AnalysisEngine`.
+        cache identity used by :class:`repro.engine.AnalysisEngine` and the
+        routing identity of the serving data plane.
+
+        The derivation runs once per node: the digest is cached on the
+        instance (nodes are immutable), so every later call is an attribute
+        read.  Combined with :func:`intern_nest`, a structure that has been
+        seen before never hashes again anywhere in the process.
         """
+        cached = self.__dict__.get("_structural_key")
+        if cached is not None:
+            return cached
         rename = {loop.index: f"%{pos:03d}"
                   for pos, loop in enumerate(self.loops)}
         parts = []
@@ -338,7 +355,42 @@ class LoopNest:
             parts.append(f"{_key_expr(stmt.lhs, rename)}"
                          f" = {_key_expr(stmt.rhs, rename)}")
         blob = "\n".join(parts)
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        key = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        # Frozen dataclasses only block normal attribute assignment; the
+        # cache is memoization of a pure derivation, not mutation.
+        object.__setattr__(self, "_structural_key", key)
+        return key
+
+# -- hash-consing ------------------------------------------------------------
+
+#: Canonical instance per (structural key, name): the first nest seen for a
+#: structure wins and every later structurally identical nest resolves to
+#: it, so its cached key, dependence graph, and tables are shared for free.
+#: Keyed by name too because callers observe ``nest.name`` in responses.
+_INTERNED: dict[tuple[str, str], "LoopNest"] = {}
+_INTERN_LOCK = threading.Lock()
+_INTERN_CAPACITY = 4096
+
+def intern_nest(nest: "LoopNest") -> "LoopNest":
+    """The canonical instance of ``nest``'s structural equivalence class.
+
+    Returns an already-interned twin (same structural key *and* name) when
+    one exists, else registers ``nest`` as the canonical instance.  The twin
+    carries a pre-computed structural key, so consumers downstream of
+    :func:`repro.api.coerce_nest` never re-hash a known structure.  The
+    table is bounded; when full it is reset rather than LRU-tracked (the
+    working set of distinct structures in one process is tiny next to the
+    bound, and a reset only costs re-hashing each structure once).
+    """
+    key = (nest.structural_key(), nest.name)
+    with _INTERN_LOCK:
+        canonical = _INTERNED.get(key)
+        if canonical is not None:
+            return canonical
+        if len(_INTERNED) >= _INTERN_CAPACITY:
+            _INTERNED.clear()
+        _INTERNED[key] = nest
+        return nest
 
 def _key_bound(bound: Bound) -> str:
     params = ",".join(f"{name}*{coef}"

@@ -7,9 +7,14 @@ single-process server (:mod:`repro.serve.server`) and the cluster router
 * :class:`Request` / :func:`read_request` -- bounded request parsing
   (request line, capped header count, ``content-length`` body with a
   caller-supplied limit);
-* :func:`json_response` / :func:`text_response` / :func:`raw_response` --
-  response serialization with keep-alive bookkeeping and extra headers
-  (``Retry-After``, shard tags, ...);
+* :func:`json_response` / :func:`frame_response` / :func:`text_response`
+  / :func:`raw_response` -- response serialization with keep-alive
+  bookkeeping and extra headers (``Retry-After``, shard tags, ...);
+* :func:`is_frame_request` / :func:`negotiated_error` -- the v2 wire
+  content negotiation: a request that arrived as a binary frame
+  (``application/x-repro-frame``) gets its errors back as frames, every
+  other request gets JSON, both carrying the one
+  :func:`repro.serve.protocol.error_payload` schema;
 * :func:`wants_prometheus` -- the ``GET /metrics`` content negotiation
   shared by every metrics endpoint (``?format=prometheus`` wins, else an
   ``Accept`` header that prefers ``text/plain``).
@@ -27,7 +32,10 @@ import urllib.parse
 __all__ = [
     "REASONS",
     "Request",
+    "frame_response",
+    "is_frame_request",
     "json_response",
+    "negotiated_error",
     "raw_response",
     "read_request",
     "text_response",
@@ -116,6 +124,41 @@ def json_response(status: int, payload: dict, close: bool = False,
                   headers: dict | None = None) -> bytes:
     body = json.dumps(payload).encode("utf-8")
     return raw_response(status, body, "application/json", close, headers)
+
+def frame_response(status: int, frame: bytes, close: bool = False,
+                   headers: dict | None = None) -> bytes:
+    """Serialize an already-encoded binary frame as the response body."""
+    from repro.serve.protocol import CONTENT_TYPE_FRAME
+
+    return raw_response(status, frame, CONTENT_TYPE_FRAME, close, headers)
+
+def is_frame_request(request: Request) -> bool:
+    """Did this request arrive in the binary frame encoding?"""
+    from repro.serve.protocol import CONTENT_TYPE_FRAME
+
+    content_type = request.headers.get("content-type", "")
+    return content_type.split(";", 1)[0].strip().lower() == \
+        CONTENT_TYPE_FRAME
+
+def negotiated_error(request: "Request | None", status: int,
+                     error_type: str, message: str,
+                     retry_after: float | None = None,
+                     close: bool = False,
+                     headers: dict | None = None) -> bytes:
+    """One error response in the encoding the request arrived in.
+
+    Frame requests get a :data:`~repro.serve.protocol.FRAME_ERROR` frame,
+    everything else (including unparsable requests, ``request is None``)
+    gets JSON; both carry the same
+    :func:`repro.serve.protocol.error_payload` document.
+    """
+    from repro.serve.protocol import encode_response_frame, error_payload
+
+    payload = error_payload(error_type, message, retry_after=retry_after)
+    if request is not None and is_frame_request(request):
+        return frame_response(status, encode_response_frame(
+            payload, error=True), close, headers)
+    return json_response(status, payload, close, headers)
 
 def text_response(status: int, text: str, content_type: str,
                   close: bool = False,

@@ -7,6 +7,12 @@
   bodies in any :func:`repro.api.coerce_nest` shape (kernel name, DO-loop
   source, serialized nest), dispatched through the
   :class:`~repro.serve.batcher.MicroBatcher`;
+* ``POST /v2/frame`` -- the same three verbs in the binary frame
+  encoding (``application/x-repro-frame``, see docs/WIRE.md).  Warm
+  repeats are answered from an encoded-response cache keyed on the raw
+  payload digest -- no JSON parse, no nest coercion, no re-hash, no
+  re-encode -- which is what makes the binary path's p50 a fraction of
+  the JSON path's;
 * ``GET /healthz`` -- liveness plus the effective defaults;
 * ``GET /metrics`` -- the merged engine+serve metrics snapshot (stage
   timings now carry p50/p95/p99), cache statistics, and queue gauges.
@@ -44,7 +50,10 @@ from repro.serve import protocol
 from repro.serve.batcher import BatchConfig, MicroBatcher, Overloaded
 from repro.serve.http import (
     Request as _Request,
+    frame_response as _frame_response,
+    is_frame_request as _is_frame_request,
     json_response as _response,
+    negotiated_error as _negotiated_error,
     read_request as _read_http_request,
     text_response as _text_response,
     wants_prometheus as _wants_prometheus_headers,
@@ -66,7 +75,8 @@ class ServeConfig:
                  shutdown_grace_s: float = 30.0,
                  metrics_path: str | None = None,
                  batch: BatchConfig | None = None,
-                 shard: str | None = None):
+                 shard: str | None = None,
+                 frame_cache: int = 2048):
         self.host = host
         self.port = port
         self.machine = machine
@@ -78,6 +88,9 @@ class ServeConfig:
         #: Cluster shard label; a worker under repro.cluster tags its
         #: health/metrics documents with it so the router can federate.
         self.shard = shard
+        #: Encoded-response cache entries for the /v2/frame fast path
+        #: (0 disables it).
+        self.frame_cache = frame_cache
 
 class AnalysisServer:
     """One engine, one batcher, one listener; drive with :meth:`run` (CLI)
@@ -94,6 +107,12 @@ class AnalysisServer:
         self._connections: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
         self._started_at = time.monotonic()
+        #: Encoded 200-response frames by payload digest (loop-confined,
+        #: insertion-ordered; oldest evicted).  Keyed by
+        #: :func:`protocol.request_cache_key`, which is derived from the
+        #: payload bytes server-side -- a client lying in its key header
+        #: cannot plant an entry any other request would hit.
+        self._frame_cache: dict[tuple, bytes] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -235,8 +254,19 @@ class AnalysisServer:
                 status, payload, extra = await self._handle_api(
                     path[len("/v1/"):], request.body)
             return _response(status, payload, close=close, headers=extra)
-        return _response(404, protocol.error_payload(
-            "not_found", f"no route {request.path!r}"), close=close)
+        if path == "/v2/frame":
+            if request.method != "POST":
+                return _negotiated_error(request, 405, "method_not_allowed",
+                                         "use POST", close=close)
+            if not _is_frame_request(request):
+                return _negotiated_error(
+                    request, 415, "unsupported_media_type",
+                    f"POST /v2/frame takes "
+                    f"{protocol.CONTENT_TYPE_FRAME}", close=close)
+            status, frame, extra = await self._handle_frame(request)
+            return _frame_response(status, frame, close=close, headers=extra)
+        return _negotiated_error(request, 404, "not_found",
+                                 f"no route {request.path!r}", close=close)
 
     @staticmethod
     def _remote_trace(request: _Request) -> tuple[str, str] | None:
@@ -255,8 +285,41 @@ class AnalysisServer:
         try:
             spec = protocol.parse_request(kind, body, self.config.machine)
         except protocol.ProtocolError as err:
-            return err.status, protocol.error_payload(err.error_type,
-                                                      str(err)), {}
+            return err.status, err.payload(), {}
+        return await self._execute(spec)
+
+    async def _handle_frame(self,
+                            request: _Request) -> tuple[int, bytes, dict]:
+        """The binary data plane: decode a frame, execute, re-encode --
+        or, on a warm repeat, return the cached encoded response without
+        touching the payload at all."""
+        try:
+            frame = protocol.peek_frame(request.body)
+            cache_key = protocol.request_cache_key(frame)
+            cached = self._frame_cache.get(cache_key)
+            if cached is not None:
+                self.engine.metrics.count("serve.frame_fast_hits")
+                return 200, cached, {}
+            spec, frame = protocol.parse_frame_request(
+                request.body, self.config.machine)
+        except protocol.ProtocolError as err:
+            return err.status, protocol.encode_response_frame(
+                err.payload(), error=True), {}
+        status, payload, extra = await self._execute(spec)
+        encoded = protocol.encode_response_frame(
+            payload, error=status != 200, kind=spec.kind,
+            key=payload.get("structural_key") if status == 200 else None)
+        if status == 200 and self.config.frame_cache > 0:
+            while len(self._frame_cache) >= self.config.frame_cache:
+                self._frame_cache.pop(next(iter(self._frame_cache)))
+            self._frame_cache[cache_key] = encoded
+        self.engine.metrics.count("serve.frame_fast_misses")
+        return status, encoded, extra
+
+    async def _execute(self,
+                       spec: protocol.RequestSpec) -> tuple[int, dict, dict]:
+        """Coerce, dispatch through the batcher, await: the shared core
+        of both wire encodings."""
         try:
             nest = api.coerce_nest(spec.nest)
         except api.NestResolutionError as err:
@@ -276,7 +339,8 @@ class AnalysisServer:
             return (429,
                     protocol.error_payload(
                         "overloaded",
-                        "admission queue is full; retry later"),
+                        "admission queue is full; retry later",
+                        retry_after=err.retry_after_s),
                     {"retry-after": str(err.retry_after_s)})
         except RuntimeError:
             return 503, protocol.error_payload(
@@ -308,6 +372,11 @@ class AnalysisServer:
             "defaults": dict(protocol.DEFAULT_PARAMS),
             "queue_depth": self.batcher.queue_depth,
             "in_flight": self.batcher.in_flight,
+            "wire": {
+                "versions": [1, protocol.WIRE_VERSION],
+                "frame_content_type": protocol.CONTENT_TYPE_FRAME,
+                "frame_path": "/v2/frame",
+            },
         }
         if self.config.shard is not None:
             doc["shard"] = self.config.shard
@@ -320,6 +389,8 @@ class AnalysisServer:
             "in_flight": self.batcher.in_flight,
             "metrics": self.engine.metrics.snapshot(),
             "cache": self.engine.cache_stats(),
+            "frame_cache": {"entries": len(self._frame_cache),
+                            "capacity": self.config.frame_cache},
             "batch_config": {
                 "max_batch": self.config.batch.max_batch,
                 "deadline_s": self.config.batch.deadline_s,

@@ -33,8 +33,10 @@ regression = _load_regression()
 
 #: Plausible committed-baseline metric values.
 BASE_ENGINE = {"cold_nests_per_sec": 40.0, "warm_tables_hit_rate": 1.0}
-BASE_SERVE = {"throughput_rps": 1200.0, "latency_p95_s": 0.004}
-BASE_CLUSTER = {"cluster_throughput_rps": 800.0, "sticky_hit_rate": 1.0}
+BASE_SERVE = {"throughput_rps": 1200.0, "latency_p95_s": 0.004,
+              "wire_p50_ratio": 0.35, "wire_binary_rps": 3000.0}
+BASE_CLUSTER = {"cluster_throughput_rps": 800.0,
+                "merged_compute_rate": 1.0}
 BASE_COLD = {"cold_nests_per_sec": 100.0, "speedup_vs_seed": 2.2,
              "seed_nests_per_sec": 45.0, "bound": 4.0,
              "build_tables_p95_s": 0.02}
@@ -52,13 +54,17 @@ def cold_results(nests_per_sec: float = 100.0, speedup: float = 2.2,
             "speedup_vs_seed": speedup,
             "stage_p95_s": {"build_tables": tables_p95}}
 
-def serve_results(rps: float = 1200.0, p95: float = 0.004) -> dict:
+def serve_results(rps: float = 1200.0, p95: float = 0.004,
+                  wire_ratio: float = 0.35,
+                  wire_rps: float = 3000.0) -> dict:
     return {"throughput": {"throughput_rps": rps,
-                           "latency_s": {"p95": p95}}}
+                           "latency_s": {"p95": p95}},
+            "wire": {"p50_ratio": wire_ratio,
+                     "binary": {"throughput_rps": wire_rps}}}
 
-def cluster_results(rps: float = 800.0, sticky: float = 1.0) -> dict:
+def cluster_results(rps: float = 800.0, merged: float = 1.0) -> dict:
     return {"cluster": {"throughput_rps": rps},
-            "sticky": {"sticky_hit_rate": sticky}}
+            "sticky": {"merged_compute_rate": merged}}
 
 _DEFAULT = object()  # sentinel: include plausible results for the bench
 
@@ -101,10 +107,13 @@ class TestCompare:
         p95 -- every latency/throughput row must go out of band."""
         rows = regression.compare(
             "serve_throughput", BASE_SERVE,
-            {"throughput_rps": 600.0, "latency_p95_s": 0.008})
+            {"throughput_rps": 600.0, "latency_p95_s": 0.008,
+             "wire_p50_ratio": 0.35, "wire_binary_rps": 3000.0})
         verdicts = {row["metric"]: row["ok"] for row in rows}
         assert verdicts == {"throughput_rps": False,
-                            "latency_p95_s": False}
+                            "latency_p95_s": False,
+                            "wire_p50_ratio": True,
+                            "wire_binary_rps": True}
 
     def test_identical_results_pass(self):
         rows = regression.compare("engine_throughput", BASE_ENGINE,
@@ -117,19 +126,24 @@ class TestCompare:
         inside = regression.compare(
             "serve_throughput", BASE_SERVE,
             {"throughput_rps": 1200.0 * (1 - tol) + 1e-6,
-             "latency_p95_s": 0.004 * (1 + tol) - 1e-12}, tolerance=tol)
+             "latency_p95_s": 0.004 * (1 + tol) - 1e-12,
+             "wire_p50_ratio": 0.35 * (1 + tol) - 1e-9,
+             "wire_binary_rps": 3000.0 * (1 - tol) + 1e-6}, tolerance=tol)
         assert all(row["ok"] for row in inside)
         outside = regression.compare(
             "serve_throughput", BASE_SERVE,
             {"throughput_rps": 1200.0 * (1 - tol) - 1e-3,
-             "latency_p95_s": 0.004 * (1 + tol) + 1e-6}, tolerance=tol)
+             "latency_p95_s": 0.004 * (1 + tol) + 1e-6,
+             "wire_p50_ratio": 0.35 * (1 + tol) + 1e-6,
+             "wire_binary_rps": 3000.0 * (1 - tol) - 1e-3}, tolerance=tol)
         assert not any(row["ok"] for row in outside)
 
     def test_direction_awareness(self):
         """Faster/better than baseline never trips the gate."""
         rows = regression.compare(
             "serve_throughput", BASE_SERVE,
-            {"throughput_rps": 5000.0, "latency_p95_s": 0.0001})
+            {"throughput_rps": 5000.0, "latency_p95_s": 0.0001,
+             "wire_p50_ratio": 0.01, "wire_binary_rps": 99999.0})
         assert all(row["ok"] for row in rows)
 
     def test_missing_metric_fails(self):
@@ -146,13 +160,13 @@ class TestCheckAndUpdate:
                                         serve_results(),
                                         DEFAULT_BASELINES)
         rows, ok = regression.check(results, baselines, 0.25)
-        assert ok and len(rows) == 11
+        assert ok and len(rows) == 13
 
     def test_check_fails_on_2x_slowdown_tree(self, tmp_path):
         results, baselines = write_tree(
             tmp_path, engine_results(nests_per_sec=20.0),
             serve_results(rps=600.0, p95=0.008), DEFAULT_BASELINES,
-            cluster=cluster_results(rps=400.0, sticky=0.4),
+            cluster=cluster_results(rps=400.0, merged=0.4),
             cold=cold_results(nests_per_sec=50.0, speedup=1.1,
                               tables_p95=0.04))
         rows, ok = regression.check(results, baselines, 0.25)
@@ -163,7 +177,7 @@ class TestCheckAndUpdate:
                           ("serve_throughput", "throughput_rps"),
                           ("serve_throughput", "latency_p95_s"),
                           ("cluster_throughput", "cluster_throughput_rps"),
-                          ("cluster_throughput", "sticky_hit_rate"),
+                          ("cluster_throughput", "merged_compute_rate"),
                           ("cold_analysis", "cold_nests_per_sec"),
                           ("cold_analysis", "speedup_vs_seed"),
                           ("cold_analysis", "build_tables_p95_s")}
@@ -227,14 +241,14 @@ class TestMainAndTable:
         assert table.startswith("### Benchmark regression gate")
         assert "| benchmark | metric | baseline | current | delta " \
             "| status |" in table
-        assert table.count("✅") == 11
+        assert table.count("✅") == 13
         # One data row per tracked metric, rendered as a pipe table.
         data_rows = [line for line in table.splitlines()
                      if line.startswith("| engine_throughput")
                      or line.startswith("| serve_throughput")
                      or line.startswith("| cluster_throughput")
                      or line.startswith("| cold_analysis")]
-        assert len(data_rows) == 11
+        assert len(data_rows) == 13
         capsys.readouterr()
 
     def test_committed_baselines_are_wellformed(self):

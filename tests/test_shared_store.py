@@ -1,0 +1,137 @@
+"""The mmap-backed cross-process shared table store.
+
+Covers the read-mostly contract of :mod:`repro.engine.shared`: publish
+from one handle, read from another, generation bumps on every swap,
+stale readers refreshing on miss, eviction at the entry cap, corruption
+degrading to typed misses (never exceptions), and the engine-level
+integration -- a second engine with the same ``shared_dir`` serves
+tables without a single build.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro import api
+from repro.engine import AnalysisEngine
+from repro.engine.shared import SharedTableStore
+from repro.unroll.space import UnrollSpace
+
+def _tables(name: str = "jacobi"):
+    engine = AnalysisEngine()
+    nest = api.coerce_nest(name)
+    space = UnrollSpace(nest.depth, (0,), (3,))
+    return engine.tables(nest, space, line_size=4), nest
+
+class TestStore:
+    def test_publish_then_read_from_second_handle(self, tmp_path):
+        tables, _ = _tables()
+        writer = SharedTableStore(tmp_path)
+        assert writer.put("k1", tables)
+        assert writer.generation == 1
+
+        reader = SharedTableStore(tmp_path)
+        loaded = reader.get("k1")
+        assert loaded is not None
+        assert reader.hits == 1
+        # The round-trip is exact: re-serializing reproduces the bytes.
+        from repro.unroll.serialize import tables_to_json
+
+        assert tables_to_json(loaded) == tables_to_json(tables)
+
+    def test_miss_refreshes_to_newer_generation(self, tmp_path):
+        tables, _ = _tables()
+        a = SharedTableStore(tmp_path)
+        b = SharedTableStore(tmp_path)
+        assert b.get("later") is None  # genuinely absent
+        a.put("later", tables)
+        # b's mmap predates the publish; the miss path re-reads CURRENT.
+        assert b.get("later") is not None
+        assert b.generation == a.generation == 1
+
+    def test_put_is_idempotent_and_merges(self, tmp_path):
+        tables, _ = _tables()
+        store = SharedTableStore(tmp_path)
+        assert store.put("a", tables)
+        assert store.put("a", tables)  # already present: no new segment
+        assert store.generation == 1
+        assert store.put("b", tables)
+        assert store.generation == 2
+        fresh = SharedTableStore(tmp_path)
+        assert fresh.get_blob("a") is not None
+        assert fresh.get_blob("b") is not None
+
+    def test_eviction_at_capacity(self, tmp_path):
+        tables, _ = _tables()
+        store = SharedTableStore(tmp_path, max_entries=3)
+        for i in range(5):
+            assert store.put(f"k{i}", tables)
+        assert len(store._index) == 3
+        assert store.get_blob("k4") is not None
+        assert store.get_blob("k0") is None
+
+    def test_old_segments_are_garbage_collected(self, tmp_path):
+        tables, _ = _tables()
+        store = SharedTableStore(tmp_path)
+        for i in range(4):
+            store.put(f"k{i}", tables)
+        segments = list(tmp_path.glob("segment-*.bin"))
+        assert len(segments) == 1
+
+    def test_corrupt_segment_degrades_to_miss(self, tmp_path):
+        tables, _ = _tables()
+        SharedTableStore(tmp_path).put("k", tables)
+        segment = next(tmp_path.glob("segment-*.bin"))
+        segment.write_bytes(b"junk-that-is-not-a-segment-header")
+        fresh = SharedTableStore(tmp_path)
+        assert fresh.get("k") is None
+        assert fresh.errors >= 1
+
+    def test_truncated_index_degrades_to_miss(self, tmp_path):
+        tables, _ = _tables()
+        SharedTableStore(tmp_path).put("k", tables)
+        segment = next(tmp_path.glob("segment-*.bin"))
+        raw = bytearray(segment.read_bytes())
+        # Claim one more entry than the index actually holds.
+        magic, version, gen, count, isize = \
+            struct.unpack_from("!4sBQII", raw, 0)
+        struct.pack_into("!4sBQII", raw, 0, magic, version, gen,
+                         count + 1, isize)
+        segment.write_bytes(bytes(raw))
+        fresh = SharedTableStore(tmp_path)
+        assert fresh.get("k") is None
+
+    def test_unwritable_directory_disables_store(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        store = SharedTableStore(blocker / "sub")
+        assert store.stats()["enabled"] is False
+        assert store.get("k") is None
+        tables, _ = _tables()
+        assert not store.put("k", tables)
+
+    def test_stats_shape(self, tmp_path):
+        store = SharedTableStore(tmp_path)
+        stats = store.stats()
+        assert set(stats) == {"enabled", "generation", "entries", "hits",
+                              "misses", "publishes", "errors"}
+
+class TestEngineIntegration:
+    def test_second_engine_reads_published_tables(self, tmp_path):
+        nest = api.coerce_nest("jacobi")
+        machine = api.coerce_machine("alpha")
+        first = AnalysisEngine(shared_dir=tmp_path)
+        first.optimize(nest, machine, bound=3)
+        assert first.shared.publishes >= 1
+
+        second = AnalysisEngine(shared_dir=tmp_path)
+        second.optimize(nest, machine, bound=3)
+        counters = second.metrics.snapshot()["counters"]
+        assert counters.get("cache.shared.hit", 0) >= 1
+        assert counters.get("cache.tables.miss", 0) == 0
+        assert second.shared.publishes == 0
+
+    def test_shared_stats_in_cache_stats(self, tmp_path):
+        engine = AnalysisEngine(shared_dir=tmp_path)
+        assert engine.cache_stats()["shared"]["enabled"] is True
+        assert AnalysisEngine().cache_stats().get("shared") is None
