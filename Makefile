@@ -3,7 +3,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-quick bench-check bench-baseline serve
+.PHONY: test lint bench-quick bench-check bench-baseline bench-predict \
+	train serve
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -18,6 +19,17 @@ bench-quick:
 	$(PYTHON) benchmarks/bench_engine_throughput.py --quick
 	$(PYTHON) benchmarks/bench_serve_throughput.py --quick
 	$(PYTHON) benchmarks/bench_cluster_throughput.py --quick
+	$(PYTHON) benchmarks/bench_predict.py --quick
+
+# The fast-tier gates at full size (docs/PREDICT.md): held-out top-1
+# >= 0.85 and fast p99 <= 0.05x exact cold p99.
+bench-predict:
+	$(PYTHON) benchmarks/bench_predict.py
+
+# Retrain the committed default fast-tier model artifact (labels the
+# full 4800-nest corpus with the exact engine first -- takes minutes).
+train:
+	$(PYTHON) -m repro train --out src/repro/predict/artifacts/default.json
 
 # The regression gate: fail on >25% throughput drop or p95 latency growth.
 bench-check: bench-quick

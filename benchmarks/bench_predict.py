@@ -1,0 +1,258 @@
+"""The learned fast tier's gates: held-out accuracy and latency ratio.
+
+Two acceptance bars for the committed default model (docs/PREDICT.md):
+
+* **accuracy** -- top-1 agreement with the exact engine on a held-out
+  corpus slice the model never trained on (seeded routines *after* the
+  training range, so the evaluation set is deterministic: accuracy only
+  moves when the model, the featurizer, or the corpus generator
+  changes).  Bar: ``ACCURACY_BAR`` (0.85).
+* **latency** -- the fast tier's per-nest decision time (featurize +
+  score, the server's ``predict.fast`` span) against the exact cold
+  path's per-nest time on the same nests.  Bar: fast p99 at most
+  ``P99_RATIO_BAR`` (0.05) of exact cold p99.
+
+The regression gate additionally tracks accuracy, fast decisions/sec,
+and the p99 ratio against ``benchmarks/baselines/predict.json``.
+
+Runs under pytest (``pytest benchmarks/bench_predict.py``) and as a
+standalone script for the CI job::
+
+    python benchmarks/bench_predict.py --quick
+
+Both modes write ``results/predict.txt`` and ``results/predict.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_REPO = pathlib.Path(__file__).resolve().parent.parent
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro import api
+from repro.corpus import CorpusConfig
+from repro.corpus.generator import generate_corpus
+from repro.engine import AnalysisEngine
+from repro.predict.model import load_default_model
+
+#: Held-out top-1 agreement the default model must clear (the ISSUE bar).
+ACCURACY_BAR = 0.85
+
+#: fast p99 / exact cold p99 must stay at or below this.
+P99_RATIO_BAR = 0.05
+
+#: The evaluation slice starts where the default model's training corpus
+#: ends (see the artifact's ``trained.routines``); nests are drawn from
+#: the same seeded sequential generator, so the slice is disjoint from
+#: training yet identically distributed.
+EVAL_NESTS = 600
+EVAL_NESTS_QUICK = 200
+
+#: Exact cold-path timing nests (labeling already times them all; this
+#: caps the dedicated cold-latency pass).
+LATENCY_NESTS = 60
+LATENCY_NESTS_QUICK = 25
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+def _latency_summary(samples_s: list[float]) -> dict:
+    ordered = sorted(samples_s)
+    return {
+        "count": len(ordered),
+        "p50_s": _percentile(ordered, 0.50),
+        "p95_s": _percentile(ordered, 0.95),
+        "p99_s": _percentile(ordered, 0.99),
+        "mean_s": sum(ordered) / len(ordered) if ordered else 0.0,
+    }
+
+def run_predict_bench(quick: bool = False,
+                      workers: int | None = 8) -> dict:
+    """The full experiment; returns the JSON-ready payload."""
+    predictor = load_default_model()
+    if predictor is None:
+        raise RuntimeError(
+            "no committed default model artifact; run `make train`")
+    trained_routines = int(predictor.trained.get("routines", 4800))
+    eval_count = EVAL_NESTS_QUICK if quick else EVAL_NESTS
+    machine = api.coerce_machine("alpha")
+
+    nests = generate_corpus(CorpusConfig(
+        routines=trained_routines + eval_count,
+        seed=int(predictor.trained.get("corpus_seed", 1997))))
+    eval_nests = nests[trained_routines:]
+
+    # -- exact labels for the held-out slice (the accuracy reference) --------
+    t0 = time.monotonic()
+    report = api.optimize_many(eval_nests, machine, workers=workers)
+    label_wall = time.monotonic() - t0
+    labels = [tuple(item.result.unroll) if item.ok and item.result else None
+              for item in report.items]
+
+    # -- accuracy ------------------------------------------------------------
+    hits = total = unsupported = 0
+    per_depth: dict[str, dict] = {}
+    mismatches: list[dict] = []
+    for nest, label in zip(eval_nests, labels):
+        if label is None:
+            continue
+        prediction = predictor.predict(nest, machine)
+        if prediction is None:
+            unsupported += 1
+            continue
+        hit = prediction.unroll == label
+        total += 1
+        hits += hit
+        bucket = per_depth.setdefault(str(nest.depth),
+                                      {"correct": 0, "total": 0})
+        bucket["total"] += 1
+        bucket["correct"] += hit
+        if not hit and len(mismatches) < 10:
+            mismatches.append({"nest": nest.name,
+                               "predicted": list(prediction.unroll),
+                               "exact": list(label),
+                               "confidence": prediction.confidence})
+    for bucket in per_depth.values():
+        bucket["top1"] = bucket["correct"] / bucket["total"]
+    accuracy = hits / total if total else 0.0
+
+    # -- fast-tier decision latency ------------------------------------------
+    # One warm-up pass (bytecode, caches), then time every eval nest.
+    for nest in eval_nests[:20]:
+        predictor.predict(nest, machine)
+    fast_samples: list[float] = []
+    for nest in eval_nests:
+        t0 = time.perf_counter()
+        predictor.predict(nest, machine)
+        fast_samples.append(time.perf_counter() - t0)
+    fast = _latency_summary(fast_samples)
+
+    # -- exact cold-path latency on the same nests ---------------------------
+    latency_count = LATENCY_NESTS_QUICK if quick else LATENCY_NESTS
+    engine = AnalysisEngine()  # fresh: every nest below is a cold miss
+    exact_samples: list[float] = []
+    for nest in eval_nests[:latency_count]:
+        t0 = time.perf_counter()
+        engine.optimize(nest, machine)
+        exact_samples.append(time.perf_counter() - t0)
+    exact = _latency_summary(exact_samples)
+
+    p99_ratio = fast["p99_s"] / exact["p99_s"] if exact["p99_s"] else 0.0
+    return {
+        "model_id": predictor.model_id,
+        "quick": quick,
+        "eval": {
+            "nests": len(eval_nests),
+            "first_routine": trained_routines,
+            "labeled": total,
+            "unsupported_depths": unsupported,
+            "label_wall_s": label_wall,
+            "accuracy": accuracy,
+            "mismatch_rate": 1.0 - accuracy,
+            "per_depth": per_depth,
+            "sample_mismatches": mismatches,
+        },
+        "latency": {
+            "fast": fast,
+            "exact_cold": exact,
+            "p99_ratio": p99_ratio,
+            "speedup_p50": (exact["p50_s"] / fast["p50_s"]
+                            if fast["p50_s"] else 0.0),
+            "fast_per_sec": (1.0 / fast["mean_s"]
+                             if fast["mean_s"] else 0.0),
+        },
+        "training_metrics": dict(predictor.metrics),
+    }
+
+def acceptance(payload: dict) -> tuple[bool, list[str]]:
+    """The hard bars: held-out accuracy and the fast/exact p99 ratio."""
+    problems = []
+    accuracy = payload["eval"]["accuracy"]
+    if accuracy < ACCURACY_BAR:
+        problems.append(
+            f"held-out top-1 {accuracy:.3f} below the "
+            f"{ACCURACY_BAR:.2f} bar")
+    ratio = payload["latency"]["p99_ratio"]
+    if ratio > P99_RATIO_BAR:
+        problems.append(
+            f"fast p99 is {ratio:.3f}x exact cold p99 "
+            f"(bar {P99_RATIO_BAR:.2f}x)")
+    if payload["eval"]["unsupported_depths"]:
+        problems.append(
+            f"{payload['eval']['unsupported_depths']} eval nest(s) at "
+            f"depths the committed model cannot serve")
+    return not problems, problems
+
+def format_predict(payload: dict) -> str:
+    eval_doc = payload["eval"]
+    latency = payload["latency"]
+    lines = [
+        f"Fast-tier gates for {payload['model_id']} "
+        f"({eval_doc['nests']} held-out nests from routine "
+        f"{eval_doc['first_routine']})",
+        f"held-out top-1: {eval_doc['accuracy']:.4f} "
+        f"(bar {ACCURACY_BAR:.2f})",
+    ]
+    for depth, bucket in sorted(eval_doc["per_depth"].items()):
+        lines.append(f"  depth {depth}: {bucket['top1']:.3f} "
+                     f"({bucket['correct']}/{bucket['total']})")
+    lines.append("")
+    lines.append(f"{'path':<12s} {'p50':>10s} {'p99':>10s}")
+    lines.append(f"{'fast':<12s} {1e6 * latency['fast']['p50_s']:>8.0f}us "
+                 f"{1e6 * latency['fast']['p99_s']:>8.0f}us")
+    lines.append(f"{'exact cold':<12s} "
+                 f"{1e3 * latency['exact_cold']['p50_s']:>8.1f}ms "
+                 f"{1e3 * latency['exact_cold']['p99_s']:>8.1f}ms")
+    lines.append(f"p99 ratio: {latency['p99_ratio']:.4f} "
+                 f"(bar {P99_RATIO_BAR:.2f}), p50 speedup "
+                 f"{latency['speedup_p50']:.0f}x, "
+                 f"{latency['fast_per_sec']:.0f} decisions/s")
+    return "\n".join(lines)
+
+def write_results(payload: dict, results_dir: pathlib.Path) -> None:
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "predict.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    (results_dir / "predict.txt").write_text(
+        format_predict(payload) + "\n")
+
+# -- pytest mode --------------------------------------------------------------
+
+def test_predict_gates(results_dir):
+    payload = run_predict_bench(quick=True)
+    write_results(payload, results_dir)
+    print("\n" + format_predict(payload))
+    ok, problems = acceptance(payload)
+    assert ok, problems
+
+# -- script mode --------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller eval slice (CI smoke)")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="labeling process-pool size")
+    parser.add_argument("--results-dir", default=str(_REPO / "results"))
+    args = parser.parse_args(argv)
+
+    payload = run_predict_bench(quick=args.quick, workers=args.workers)
+    write_results(payload, pathlib.Path(args.results_dir))
+    print(format_predict(payload))
+    ok, problems = acceptance(payload)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 0 if ok else 1
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""``repro.predict`` -- the learned fast tier in front of the exact engine.
+
+The exact UGS table search (:mod:`repro.unroll.optimize`) answers in
+milliseconds cold; this package trains a small stdlib-only model on
+engine-labeled corpora and serves its unroll predictions in
+microseconds as the ``tier=fast`` serving mode (docs/PREDICT.md):
+
+* :mod:`repro.predict.features` -- the deterministic per-nest feature
+  vectors (schema v1) every model is trained and served on;
+* :mod:`repro.predict.train` -- corpus labeling through
+  :func:`repro.api.optimize_many`, per-depth softmax training, and the
+  versioned JSON model artifact (``python -m repro train``);
+* :mod:`repro.predict.model` -- :class:`UnrollPredictor`, the loaded
+  artifact the serving layer calls per request.
+
+The committed default artifact lives at
+``src/repro/predict/artifacts/default.json`` and is what
+``repro serve`` loads when no ``--model`` is given.
+"""
+
+from repro.predict.features import (
+    FEATURE_SCHEMA_VERSION,
+    MAX_DEPTH,
+    feature_names,
+    featurize,
+)
+from repro.predict.model import (
+    ModelFormatError,
+    Prediction,
+    UnrollPredictor,
+    default_model_path,
+    load_default_model,
+    load_model,
+)
+
+__all__ = [
+    "FEATURE_SCHEMA_VERSION",
+    "MAX_DEPTH",
+    "ModelFormatError",
+    "Prediction",
+    "UnrollPredictor",
+    "default_model_path",
+    "feature_names",
+    "featurize",
+    "load_default_model",
+    "load_model",
+]

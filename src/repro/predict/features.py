@@ -1,0 +1,272 @@
+"""Feature schema v1: deterministic, microsecond-scale nest featurization.
+
+The fast tier's budget is a small fraction of the exact cold path, so
+nothing here touches the dependence graph, the locality scores, or the
+unroll tables.  One walk over the statements and array references
+derives cheap proxies for exactly the quantities the exact search
+weighs -- per-level invariant and group-reused references (the loads
+unroll-and-jam can amortize), register cost per unroll copy, and the
+gap between the nest's naive loop balance and the machine balance --
+plus the machine-preset parameters, so one model can serve every
+preset.
+
+The schema is frozen per version: :func:`feature_names` is embedded in
+every model artifact and checked at load time, so a model can never be
+applied to vectors laid out differently from its training data.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable
+
+from repro.ir.nodes import ArrayRef, LoopNest
+from repro.machine.model import MachineModel
+from repro.unroll.space import DEFAULT_BOUND
+
+__all__ = [
+    "FEATURE_SCHEMA_VERSION",
+    "MAX_DEPTH",
+    "feature_names",
+    "featurize",
+]
+
+#: Bumped whenever the vector layout changes; artifacts record it.
+FEATURE_SCHEMA_VERSION = 1
+
+#: Per-level feature slots are padded/truncated to this many loops.
+MAX_DEPTH = 4
+
+#: Reuse lags are capped here so one outlier constant cannot dominate.
+_LAG_CAP = 16.0
+
+_GLOBAL_NAMES = (
+    "depth", "statements", "flops", "reads", "writes", "arrays",
+    "scalar_temps", "params", "ref_groups", "max_group_size",
+    "group_excess", "self_rw_statements", "naive_loads", "loop_balance",
+    "machine_balance", "balance_gap", "balance_ratio",
+)
+
+_LEVEL_NAMES = (
+    "active", "invariant_refs", "contiguous_refs", "carried_groups",
+    "reuse_pairs", "reuse_lag", "loads_saved", "register_cost",
+    "saved_per_flop", "max_unroll_by_regs", "gap_closure",
+    "contiguous_frac", "balance_unroll", "feasible_unroll",
+    "saved_margin",
+)
+
+_MACHINE_NAMES = (
+    "m_balance", "m_registers", "m_line_words", "m_log_cache_words",
+    "m_miss_penalty", "m_mem_issue", "m_fp_issue", "m_prefetch_bw",
+)
+
+_PARAM_NAMES = ("p_bound", "p_trip")
+
+
+def feature_names(max_depth: int = MAX_DEPTH) -> list[str]:
+    """The frozen, ordered names of schema v1 (length 75 at depth 4)."""
+    names = list(_GLOBAL_NAMES)
+    for level in range(max_depth):
+        names.extend(f"l{level}_{name}" for name in _LEVEL_NAMES)
+    names.extend(_MACHINE_NAMES)
+    names.extend(_PARAM_NAMES)
+    return names
+
+
+def _group_key(ref: ArrayRef) -> tuple:
+    """References whose subscripts differ only in constants form one
+    group -- the cheap stand-in for a uniformly generated set."""
+    return (ref.array,
+            tuple((sub.loop_coeffs, sub.param_coeffs)
+                  for sub in ref.subscripts))
+
+
+def _collect_refs(nest: LoopNest) -> tuple[list[ArrayRef], list[ArrayRef]]:
+    reads: list[ArrayRef] = []
+    writes: list[ArrayRef] = []
+    for statement in nest.body:
+        reads.extend(statement.array_reads())
+        writes.extend(statement.array_writes())
+    return reads, writes
+
+
+def _level_features(refs: list[ArrayRef],
+                    groups: dict[tuple, list[ArrayRef]],
+                    by_array: dict[str, list[ArrayRef]],
+                    index_name: str, flops: int, naive_loads: int,
+                    registers: int, bound: int,
+                    machine_balance: float) -> list[float]:
+    invariant = sum(
+        1 for ref in refs
+        if all(sub.coeff(index_name) == 0 for sub in ref.subscripts))
+    contiguous = sum(
+        1 for ref in refs
+        if ref.subscripts and ref.subscripts[0].coeff(index_name) != 0
+        and all(sub.coeff(index_name) == 0 for sub in ref.subscripts[1:]))
+    carried_groups = sum(
+        1 for members in groups.values()
+        if any(sub.coeff(index_name) != 0
+               for sub in members[0].subscripts))
+    # Temporal reuse pairs this level carries: same array, identical
+    # coefficient structure, constants differing only where this index
+    # participates.  Unrolling the level turns each pair into a register
+    # reuse, which is the load the exact model amortizes.
+    reuse_pairs = 0
+    lag_total = 0.0
+    for members in by_array.values():
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                a, b = members[i], members[j]
+                if len(a.subscripts) != len(b.subscripts):
+                    continue
+                carried = 0
+                for sub_a, sub_b in zip(a.subscripts, b.subscripts):
+                    if (sub_a.loop_coeffs != sub_b.loop_coeffs
+                            or sub_a.param_coeffs != sub_b.param_coeffs):
+                        carried = -1
+                        break
+                    if sub_a.const != sub_b.const:
+                        if sub_a.coeff(index_name) != 0:
+                            carried = max(carried,
+                                          abs(sub_a.const - sub_b.const))
+                        else:
+                            carried = -1
+                            break
+                if carried > 0:
+                    reuse_pairs += 1
+                    lag_total += min(float(carried), _LAG_CAP)
+    saved = invariant + reuse_pairs
+    register_cost = len(refs) - invariant
+    feasible_unroll = min(float(bound),
+                          registers / max(1.0, float(register_cost)))
+    # Unrolling this level by u amortizes ~``saved`` loads over u+1
+    # copies: loads(u) = naive_loads - saved*u/(u+1).  Solving
+    # loads(u)/flops = machine_balance for u gives the balance-optimal
+    # unroll in closed form -- the quantity the exact search converges
+    # to when one level dominates.
+    gap_loads = naive_loads - machine_balance * flops
+    if gap_loads <= 0.0:
+        balance_unroll = 0.0
+    elif saved <= gap_loads:
+        balance_unroll = float(bound)  # unreachable balance: saturate
+    else:
+        balance_unroll = min(float(bound), gap_loads / (saved - gap_loads))
+    return [
+        1.0,
+        float(invariant),
+        float(contiguous),
+        float(carried_groups),
+        float(reuse_pairs),
+        min(lag_total, _LAG_CAP),
+        float(saved),
+        float(register_cost),
+        saved / max(1.0, float(flops)),
+        feasible_unroll,
+        saved / max(1.0, float(naive_loads)),
+        contiguous / max(1.0, float(len(refs))),
+        balance_unroll,
+        min(balance_unroll, feasible_unroll),
+        float(saved),  # saved_margin: rewritten below vs the best sibling
+    ]
+
+
+def featurize(nest: LoopNest, machine: MachineModel,
+              bound: int = DEFAULT_BOUND, trip: int = 100,
+              max_depth: int = MAX_DEPTH) -> list[float]:
+    """The schema-v1 feature vector of one nest on one machine.
+
+    Purely structural and arithmetic -- no dependence analysis, no
+    table construction -- so the cost is a few hundred microseconds on
+    the deepest corpus nests.  Deterministic for equal structural keys:
+    two nests that coerce to the same interned structure produce the
+    same vector on the same machine and parameters.
+    """
+    reads, writes = _collect_refs(nest)
+    refs = reads + writes
+    groups: dict[tuple, list[ArrayRef]] = defaultdict(list)
+    by_array: dict[str, list[ArrayRef]] = defaultdict(list)
+    for ref in refs:
+        groups[_group_key(ref)].append(ref)
+        by_array[ref.array].append(ref)
+    group_sizes = [len(members) for members in groups.values()] or [0]
+    flops = nest.flops_per_iteration()
+    naive_loads = len(groups)
+    loop_balance = naive_loads / max(1.0, float(flops))
+    machine_balance = float(machine.balance)
+    self_rw = sum(
+        1 for statement in nest.body
+        if {w.array for w in statement.array_writes()}
+        & {r.array for r in statement.array_reads()})
+
+    vector = [
+        float(nest.depth),
+        float(len(nest.body)),
+        float(flops),
+        float(len(reads)),
+        float(len(writes)),
+        float(len(by_array)),
+        float(len(nest.scalar_temporaries())),
+        float(len(nest.parameters())),
+        float(len(groups)),
+        float(max(group_sizes)),
+        float(sum(size - 1 for size in group_sizes)),
+        float(self_rw),
+        float(naive_loads),
+        loop_balance,
+        machine_balance,
+        loop_balance - machine_balance,
+        loop_balance / max(1e-9, machine_balance),
+    ]
+    index_names = nest.index_names
+    level_rows = []
+    for level in range(max_depth):
+        if level >= nest.depth:
+            level_rows.append([0.0] * len(_LEVEL_NAMES))
+            continue
+        level_rows.append(_level_features(
+            refs, groups, by_array, index_names[level], flops,
+            naive_loads, machine.registers, bound, machine_balance))
+    # ``saved_margin``: this level's amortizable loads minus the best
+    # sibling's -- the cross-level comparison that decides *which* loop
+    # the exact search unrolls.
+    saved_slot = _LEVEL_NAMES.index("loads_saved")
+    margin_slot = _LEVEL_NAMES.index("saved_margin")
+    for level in range(min(nest.depth, max_depth)):
+        siblings = [level_rows[other][saved_slot]
+                    for other in range(min(nest.depth, max_depth))
+                    if other != level]
+        best_other = max(siblings) if siblings else 0.0
+        level_rows[level][margin_slot] = \
+            level_rows[level][saved_slot] - best_other
+    for row in level_rows:
+        vector.extend(row)
+    vector.extend([
+        machine_balance,
+        float(machine.registers),
+        float(machine.cache_line_words),
+        math.log2(max(2.0, float(machine.cache_size_words))),
+        float(machine.miss_penalty),
+        float(machine.mem_issue),
+        float(machine.fp_issue),
+        float(machine.prefetch_bandwidth or 0.0),
+    ])
+    vector.extend([float(bound), float(trip)])
+    return vector
+
+
+def standardize_stats(rows: Iterable[list[float]]) -> tuple[list[float],
+                                                            list[float]]:
+    """Per-column mean and (floored) standard deviation of a sample --
+    the normalization embedded in every artifact."""
+    matrix = list(rows)
+    if not matrix:
+        raise ValueError("cannot standardize an empty sample")
+    count = len(matrix)
+    dims = len(matrix[0])
+    means = [sum(row[d] for row in matrix) / count for d in range(dims)]
+    sds = []
+    for d in range(dims):
+        variance = sum((row[d] - means[d]) ** 2 for row in matrix) / count
+        sds.append(max(1e-9, math.sqrt(variance)))
+    return means, sds

@@ -1,0 +1,235 @@
+"""The loaded model artifact: microsecond unroll prediction.
+
+:class:`UnrollPredictor` wraps one versioned JSON artifact produced by
+:mod:`repro.predict.train`.  An artifact embeds everything scoring
+needs -- the feature schema it was trained on, per-depth class lists,
+standardization statistics, and weights -- so loading validates the
+schema once and every prediction is a dot product:
+
+* ``algorithm="softmax"`` -- per-depth multinomial logistic: scores are
+  ``W @ standardized(x)``, confidence is the softmax probability of the
+  arg-max class;
+* ``algorithm="stumps"`` -- per-depth boosted depth-1 trees: each round
+  adds a per-class left/right value keyed on one feature threshold;
+  confidence is the softmax of the summed scores.
+
+Depths the artifact has no head for (never seen in training) predict
+``None`` -- the serving layer then falls through to the exact engine
+and counts ``predict.unsupported``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from dataclasses import dataclass
+
+from repro.ir.nodes import LoopNest
+from repro.machine.model import MachineModel
+from repro.predict.features import (
+    FEATURE_SCHEMA_VERSION,
+    feature_names,
+    featurize,
+)
+from repro.unroll.space import DEFAULT_BOUND
+
+__all__ = [
+    "ModelFormatError",
+    "Prediction",
+    "UnrollPredictor",
+    "default_model_path",
+    "load_default_model",
+    "load_model",
+]
+
+#: The artifact format this module reads; bumped on incompatible change.
+ARTIFACT_FORMAT_VERSION = 1
+
+#: Where the committed default artifact ships inside the package.
+_DEFAULT_ARTIFACT = pathlib.Path(__file__).parent / "artifacts" / \
+    "default.json"
+
+
+class ModelFormatError(ValueError):
+    """An artifact this build of the predictor cannot serve."""
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One fast-tier answer: the predicted vector and how sure the model
+    is (the arg-max softmax probability, in ``(0, 1]``)."""
+
+    unroll: tuple[int, ...]
+    confidence: float
+    model_id: str
+
+
+def default_model_path() -> pathlib.Path:
+    """The committed default artifact's location."""
+    return _DEFAULT_ARTIFACT
+
+
+def load_model(path: "str | pathlib.Path") -> "UnrollPredictor":
+    """Load and validate one artifact file."""
+    path = pathlib.Path(path)
+    try:
+        artifact = json.loads(path.read_text())
+    except OSError as err:
+        raise ModelFormatError(f"cannot read model {path}: {err}") from None
+    except json.JSONDecodeError as err:
+        raise ModelFormatError(
+            f"model {path} is not valid JSON: {err}") from None
+    return UnrollPredictor(artifact, source=str(path))
+
+
+def load_default_model() -> "UnrollPredictor | None":
+    """The committed default artifact, or ``None`` when absent (a
+    source tree stripped of artifacts still serves ``tier=exact``)."""
+    if not _DEFAULT_ARTIFACT.exists():
+        return None
+    return load_model(_DEFAULT_ARTIFACT)
+
+
+def _softmax(scores: list[float]) -> list[float]:
+    peak = max(scores)
+    exps = [math.exp(score - peak) for score in scores]
+    total = sum(exps)
+    return [value / total for value in exps]
+
+
+class UnrollPredictor:
+    """One artifact, ready to score; all reads, no mutation, so a single
+    instance is safely shared across server threads."""
+
+    def __init__(self, artifact: dict, source: str | None = None):
+        if not isinstance(artifact, dict):
+            raise ModelFormatError("artifact must be a JSON object")
+        version = artifact.get("format_version")
+        if version != ARTIFACT_FORMAT_VERSION:
+            raise ModelFormatError(
+                f"artifact format {version!r} unsupported (this build "
+                f"reads {ARTIFACT_FORMAT_VERSION})")
+        schema = artifact.get("feature_schema") or {}
+        if schema.get("version") != FEATURE_SCHEMA_VERSION:
+            raise ModelFormatError(
+                f"feature schema {schema.get('version')!r} unsupported "
+                f"(this build computes {FEATURE_SCHEMA_VERSION})")
+        if schema.get("names") != feature_names():
+            raise ModelFormatError(
+                "artifact feature names do not match this build's schema")
+        algorithm = artifact.get("algorithm")
+        if algorithm not in ("softmax", "stumps"):
+            raise ModelFormatError(f"unknown algorithm {algorithm!r}")
+        self.algorithm = algorithm
+        self.source = source
+        self.model_id = str(artifact.get("model_id", "unversioned"))
+        self.confidence_floor = float(artifact.get("confidence_floor", 0.0))
+        self.metrics = dict(artifact.get("metrics") or {})
+        self.trained = dict(artifact.get("trained") or {})
+        self._dims = len(feature_names())
+        self._heads: dict[int, dict] = {}
+        depths = artifact.get("depths")
+        if not isinstance(depths, dict) or not depths:
+            raise ModelFormatError("artifact carries no depth heads")
+        for key, head in depths.items():
+            try:
+                depth = int(key)
+            except (TypeError, ValueError):
+                raise ModelFormatError(
+                    f"bad depth key {key!r}") from None
+            self._heads[depth] = self._validate_head(depth, head)
+
+    def _validate_head(self, depth: int, head: dict) -> dict:
+        classes = [tuple(int(u) for u in cls)
+                   for cls in head.get("classes", [])]
+        if not classes or any(len(cls) != depth for cls in classes):
+            raise ModelFormatError(
+                f"depth-{depth} head has malformed classes")
+        mean, sd = head.get("mean"), head.get("sd")
+        if (not isinstance(mean, list) or not isinstance(sd, list)
+                or len(mean) != self._dims or len(sd) != self._dims):
+            raise ModelFormatError(
+                f"depth-{depth} head standardization does not match the "
+                f"{self._dims}-feature schema")
+        validated = {"classes": classes, "mean": mean, "sd": sd}
+        if self.algorithm == "softmax":
+            weights = head.get("weights")
+            if (not isinstance(weights, list)
+                    or len(weights) != len(classes)
+                    or any(len(row) != self._dims + 1 for row in weights)):
+                raise ModelFormatError(
+                    f"depth-{depth} softmax weights are malformed")
+            validated["weights"] = weights
+        else:
+            base = head.get("base")
+            rounds = head.get("rounds")
+            if (not isinstance(base, list) or len(base) != len(classes)
+                    or not isinstance(rounds, list)):
+                raise ModelFormatError(
+                    f"depth-{depth} stump head is malformed")
+            for entry in rounds:
+                if (not isinstance(entry, list)
+                        or len(entry) != len(classes)
+                        or any(len(stump) != 4 for stump in entry)):
+                    raise ModelFormatError(
+                        f"depth-{depth} stump rounds are malformed")
+            validated["base"] = base
+            validated["rounds"] = rounds
+        return validated
+
+    # -- scoring -------------------------------------------------------------
+
+    @property
+    def depths(self) -> tuple[int, ...]:
+        return tuple(sorted(self._heads))
+
+    def supports_depth(self, depth: int) -> bool:
+        return depth in self._heads
+
+    def _scores(self, head: dict, vector: list[float]) -> list[float]:
+        mean, sd = head["mean"], head["sd"]
+        x = [(vector[d] - mean[d]) / sd[d] for d in range(self._dims)]
+        if self.algorithm == "softmax":
+            x.append(1.0)
+            return [sum(w[d] * x[d] for d in range(self._dims + 1))
+                    for w in head["weights"]]
+        scores = list(head["base"])
+        for entry in head["rounds"]:
+            for cls, (feat, threshold, left, right) in enumerate(entry):
+                scores[cls] += left if x[feat] <= threshold else right
+        return scores
+
+    def predict_vector(self, vector: list[float],
+                       depth: int) -> Prediction | None:
+        """Score one pre-computed feature vector, or ``None`` when the
+        artifact has no head for this depth."""
+        head = self._heads.get(depth)
+        if head is None:
+            return None
+        scores = self._scores(head, vector)
+        probabilities = _softmax(scores)
+        best = max(range(len(scores)), key=scores.__getitem__)
+        return Prediction(unroll=head["classes"][best],
+                          confidence=probabilities[best],
+                          model_id=self.model_id)
+
+    def predict(self, nest: LoopNest, machine: MachineModel,
+                bound: int = DEFAULT_BOUND,
+                trip: int = 100) -> Prediction | None:
+        """Featurize and score one nest (the serving layer's call)."""
+        vector = featurize(nest, machine, bound=bound, trip=trip)
+        return self.predict_vector(vector, nest.depth)
+
+    # -- introspection -------------------------------------------------------
+
+    def describe(self) -> dict:
+        """The summary the server's health document advertises."""
+        return {
+            "model_id": self.model_id,
+            "algorithm": self.algorithm,
+            "depths": list(self.depths),
+            "feature_schema_version": FEATURE_SCHEMA_VERSION,
+            "held_out_top1": self.metrics.get("held_out_top1"),
+            "confidence_floor": self.confidence_floor,
+        }

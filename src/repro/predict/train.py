@@ -1,0 +1,407 @@
+"""Train the fast tier: label a corpus exactly, fit per-depth softmax.
+
+``python -m repro train`` drives :func:`train`:
+
+1. **Label** -- generate the seeded corpus
+   (:mod:`repro.corpus.generator`) and run every nest through the exact
+   engine via :func:`repro.api.optimize_many` (process-pool fan-out;
+   labeling dominates training wall time).  The label of a nest is the
+   exact search's chosen unroll vector.
+2. **Fit** -- per nest depth, a multinomial logistic head over the
+   schema-v1 feature vectors (:mod:`repro.predict.features`), trained
+   by seeded full-batch-shuffled SGD with L2 and ordinal label
+   smoothing: corpus unroll vectors order naturally by their unroll
+   amounts, and spreading a little target mass onto adjacent amounts
+   steers mistakes toward near-misses the objective barely
+   distinguishes.
+3. **Gate** -- accuracy is measured on a held-out split that never
+   touched the fit; :func:`save_artifact` refuses to write an artifact
+   whose held-out top-1 is below the configured floor (``--force``
+   overrides, for experiments).
+
+The artifact is JSON with the feature schema embedded; see
+docs/PREDICT.md for the format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import math
+import pathlib
+import random
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro import api
+from repro.corpus import CorpusConfig
+from repro.corpus.generator import generate_corpus
+from repro.predict.features import (
+    FEATURE_SCHEMA_VERSION,
+    feature_names,
+    featurize,
+    standardize_stats,
+)
+from repro.predict.model import ARTIFACT_FORMAT_VERSION, UnrollPredictor
+from repro.unroll.space import DEFAULT_BOUND
+
+__all__ = [
+    "Example",
+    "TrainConfig",
+    "TrainError",
+    "label_corpus",
+    "fit_heads",
+    "train",
+    "save_artifact",
+    "main",
+]
+
+#: Below this held-out top-1, :func:`save_artifact` refuses to write.
+DEFAULT_ACCURACY_FLOOR = 0.85
+
+#: The default suggested ``tier=auto`` confidence threshold embedded in
+#: artifacts (the server can override it).
+DEFAULT_CONFIDENCE_FLOOR = 0.5
+
+
+class TrainError(RuntimeError):
+    """Training could not produce (or refuse to ship) an artifact."""
+
+
+@dataclass(frozen=True)
+class Example:
+    """One labeled sample: features, exact unroll vector, nest depth."""
+
+    name: str
+    features: list[float]
+    label: tuple[int, ...]
+    depth: int
+    machine: str
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Everything one training run depends on (all seeded)."""
+
+    routines: int = 4800
+    corpus_seed: int = 1997
+    machines: tuple[str, ...] = ("alpha",)
+    bound: int = DEFAULT_BOUND
+    trip: int = 100
+    max_loops: int = 2
+    workers: int | None = None
+    held_out_fraction: float = 0.2
+    shuffle_seed: int = 7
+    epochs: int = 250
+    learning_rate: float = 0.05
+    lr_decay: float = 0.99
+    l2: float = 1e-4
+    label_smoothing: float = 0.08
+    accuracy_floor: float = DEFAULT_ACCURACY_FLOOR
+    confidence_floor: float = DEFAULT_CONFIDENCE_FLOOR
+
+
+# -- labeling -----------------------------------------------------------------
+
+def label_corpus(config: TrainConfig, engine=None,
+                 log=lambda msg: None) -> list[Example]:
+    """Generate the corpus and label it with the exact engine, once per
+    configured machine preset (machine parameters are features, so one
+    model serves every preset it was trained for)."""
+    nests = generate_corpus(CorpusConfig(routines=config.routines,
+                                         seed=config.corpus_seed))
+    examples: list[Example] = []
+    for machine_name in config.machines:
+        machine = api.coerce_machine(machine_name)
+        started = time.monotonic()
+        report = api.optimize_many(
+            nests, machine, workers=config.workers, bound=config.bound,
+            max_loops=config.max_loops, trip=config.trip, engine=engine)
+        log(f"labeled {len(nests)} nests on {machine_name} in "
+            f"{time.monotonic() - started:.1f}s "
+            f"({report.nests_per_sec:.1f}/s)")
+        for nest, item in zip(nests, report.items):
+            if not item.ok or item.result is None:
+                continue
+            examples.append(Example(
+                name=nest.name,
+                features=featurize(nest, machine, bound=config.bound,
+                                   trip=config.trip),
+                label=tuple(item.result.unroll),
+                depth=nest.depth,
+                machine=machine_name))
+    if not examples:
+        raise TrainError("labeling produced no usable examples")
+    return examples
+
+
+# -- fitting ------------------------------------------------------------------
+
+def _ordinal_targets(classes: list[tuple[int, ...]], label: tuple[int, ...],
+                     smoothing: float) -> list[float]:
+    """Soft targets: ``1 - smoothing`` on the exact label, the rest
+    spread over classes whose unroll amounts differ from it by one in a
+    single position (the near-misses the exact objective barely
+    separates).  Falls back to a hard target when no neighbor exists."""
+    target = [0.0] * len(classes)
+    exact = classes.index(label)
+    if smoothing <= 0.0:
+        target[exact] = 1.0
+        return target
+    neighbors = [
+        index for index, cls in enumerate(classes)
+        if index != exact
+        and sum(abs(a - b) for a, b in zip(cls, label)) == 1
+    ]
+    if not neighbors:
+        target[exact] = 1.0
+        return target
+    target[exact] = 1.0 - smoothing
+    share = smoothing / len(neighbors)
+    for index in neighbors:
+        target[index] = share
+    return target
+
+
+def fit_heads(examples: list[Example],
+              config: TrainConfig) -> dict[str, dict]:
+    """One softmax head per depth present in ``examples``."""
+    rng = random.Random(config.shuffle_seed)
+    dims = len(feature_names())
+    by_depth: dict[int, list[Example]] = {}
+    for example in examples:
+        by_depth.setdefault(example.depth, []).append(example)
+    heads: dict[str, dict] = {}
+    for depth in sorted(by_depth):
+        sample = by_depth[depth]
+        classes = sorted({example.label for example in sample})
+        class_index = {cls: i for i, cls in enumerate(classes)}
+        means, sds = standardize_stats(
+            [example.features for example in sample])
+        standardized = [
+            [(example.features[d] - means[d]) / sds[d]
+             for d in range(dims)] + [1.0]
+            for example in sample
+        ]
+        targets = [
+            _ordinal_targets(classes, example.label,
+                             config.label_smoothing)
+            for example in sample
+        ]
+        count = len(classes)
+        weights = [[0.0] * (dims + 1) for _ in range(count)]
+        rate = config.learning_rate
+        order = list(range(len(sample)))
+        for _epoch in range(config.epochs):
+            rng.shuffle(order)
+            for row in order:
+                x = standardized[row]
+                scores = [sum(w[d] * x[d] for d in range(dims + 1))
+                          for w in weights]
+                peak = max(scores)
+                exps = [math.exp(score - peak) for score in scores]
+                total = sum(exps)
+                target = targets[row]
+                for cls in range(count):
+                    gradient = exps[cls] / total - target[cls]
+                    w = weights[cls]
+                    for d in range(dims + 1):
+                        w[d] -= rate * (gradient * x[d] + config.l2 * w[d])
+            rate *= config.lr_decay
+        heads[str(depth)] = {
+            "classes": [list(cls) for cls in classes],
+            "mean": means,
+            "sd": sds,
+            "weights": weights,
+        }
+        _ = class_index  # kept for symmetry; targets already indexed
+    return heads
+
+
+# -- the full run -------------------------------------------------------------
+
+def _split(examples: list[Example],
+           config: TrainConfig) -> tuple[list[Example], list[Example]]:
+    rng = random.Random(config.shuffle_seed)
+    order = list(range(len(examples)))
+    rng.shuffle(order)
+    held = max(1, int(len(order) * config.held_out_fraction))
+    held_idx = set(order[:held])
+    train_set = [examples[i] for i in order[held:]]
+    held_set = [examples[i] for i in sorted(held_idx)]
+    return train_set, held_set
+
+
+def _accuracy(predictor: UnrollPredictor,
+              examples: list[Example]) -> tuple[float, dict[str, dict]]:
+    correct = 0
+    per_depth: dict[str, dict] = {}
+    for example in examples:
+        prediction = predictor.predict_vector(example.features,
+                                              example.depth)
+        hit = prediction is not None and prediction.unroll == example.label
+        correct += hit
+        bucket = per_depth.setdefault(str(example.depth),
+                                      {"correct": 0, "total": 0})
+        bucket["total"] += 1
+        bucket["correct"] += hit
+    for bucket in per_depth.values():
+        bucket["top1"] = bucket["correct"] / bucket["total"]
+    return (correct / len(examples) if examples else 0.0), per_depth
+
+
+def _model_id(heads: dict[str, dict]) -> str:
+    digest = hashlib.sha256(
+        json.dumps(heads, sort_keys=True).encode("utf-8")).hexdigest()
+    return f"predict-v{ARTIFACT_FORMAT_VERSION}-{digest[:12]}"
+
+
+def build_artifact(heads: dict[str, dict], config: TrainConfig,
+                   metrics: dict) -> dict:
+    return {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "algorithm": "softmax",
+        "model_id": _model_id(heads),
+        "feature_schema": {
+            "version": FEATURE_SCHEMA_VERSION,
+            "names": feature_names(),
+        },
+        "confidence_floor": config.confidence_floor,
+        "depths": heads,
+        "trained": {
+            "routines": config.routines,
+            "corpus_seed": config.corpus_seed,
+            "machines": list(config.machines),
+            "bound": config.bound,
+            "trip": config.trip,
+            "max_loops": config.max_loops,
+            "held_out_fraction": config.held_out_fraction,
+            "shuffle_seed": config.shuffle_seed,
+            "epochs": config.epochs,
+            "label_smoothing": config.label_smoothing,
+        },
+        "metrics": metrics,
+    }
+
+
+def train(config: TrainConfig | None = None, engine=None,
+          examples: list[Example] | None = None,
+          log=lambda msg: None) -> dict:
+    """Label (unless ``examples`` is given), fit, evaluate; returns the
+    artifact dict (not yet written -- :func:`save_artifact` gates that)."""
+    config = config or TrainConfig()
+    if examples is None:
+        examples = label_corpus(config, engine=engine, log=log)
+    train_set, held_set = _split(examples, config)
+    log(f"fitting on {len(train_set)} examples "
+        f"({len(held_set)} held out) across depths "
+        f"{sorted({e.depth for e in train_set})}")
+    started = time.monotonic()
+    heads = fit_heads(train_set, config)
+    log(f"fit {len(heads)} depth head(s) in "
+        f"{time.monotonic() - started:.1f}s")
+    probe = UnrollPredictor(build_artifact(heads, config, {}))
+    train_top1, _ = _accuracy(probe, train_set)
+    held_top1, per_depth = _accuracy(probe, held_set)
+    metrics = {
+        "train_top1": train_top1,
+        "held_out_top1": held_top1,
+        "held_out_n": len(held_set),
+        "per_depth": per_depth,
+    }
+    log(f"train top-1 {train_top1:.3f}, held-out top-1 {held_top1:.3f} "
+        f"on {len(held_set)} examples")
+    return build_artifact(heads, config, metrics)
+
+
+def save_artifact(artifact: dict, path: "str | pathlib.Path",
+                  floor: float = DEFAULT_ACCURACY_FLOOR,
+                  force: bool = False) -> pathlib.Path:
+    """Write the artifact -- unless its held-out accuracy is below the
+    floor, in which case refuse loudly (``force`` overrides)."""
+    held = float(artifact.get("metrics", {}).get("held_out_top1", 0.0))
+    if held < floor and not force:
+        raise TrainError(
+            f"refusing to save: held-out top-1 {held:.3f} is below the "
+            f"accuracy floor {floor:.2f} (use --force to override)")
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+# -- CLI (python -m repro train) ---------------------------------------------
+
+def add_train_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--routines", type=int, default=4800,
+                        help="corpus size to label (default 4800)")
+    parser.add_argument("--seed", type=int, default=1997,
+                        help="corpus generator seed")
+    parser.add_argument("--machine", action="append", default=None,
+                        help="machine preset(s) to label on (repeatable; "
+                             "default alpha)")
+    parser.add_argument("--bound", type=int, default=DEFAULT_BOUND)
+    parser.add_argument("--trip", type=int, default=100)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="labeling process-pool size")
+    parser.add_argument("--epochs", type=int, default=250)
+    parser.add_argument("--held-out", type=float, default=0.2,
+                        help="held-out fraction for the accuracy gate")
+    parser.add_argument("--floor", type=float,
+                        default=DEFAULT_ACCURACY_FLOOR,
+                        help="refuse to save below this held-out top-1")
+    parser.add_argument("--force", action="store_true",
+                        help="save even below the accuracy floor")
+    parser.add_argument("--out", default=None,
+                        help="artifact path (default: the committed "
+                             "default artifact location)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the metrics document as JSON")
+
+
+def run_train(args: argparse.Namespace) -> int:
+    from repro.predict.model import default_model_path
+
+    config = TrainConfig(
+        routines=args.routines,
+        corpus_seed=args.seed,
+        machines=tuple(args.machine) if args.machine else ("alpha",),
+        bound=args.bound,
+        trip=args.trip,
+        workers=args.workers,
+        held_out_fraction=args.held_out,
+        epochs=args.epochs,
+        accuracy_floor=args.floor,
+    )
+    log = (lambda msg: None) if args.json else \
+        (lambda msg: print(msg, flush=True))
+    artifact = train(config, log=log)
+    target = pathlib.Path(args.out) if args.out else default_model_path()
+    try:
+        written = save_artifact(artifact, target, floor=args.floor,
+                                force=args.force)
+    except TrainError as err:
+        print(f"repro train: {err}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({"model_id": artifact["model_id"],
+                          "path": str(written),
+                          "metrics": artifact["metrics"]},
+                         indent=2, sort_keys=True))
+    else:
+        print(f"saved {artifact['model_id']} to {written}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="train the tier=fast unroll predictor "
+                    "(see docs/PREDICT.md)")
+    add_train_arguments(parser)
+    return run_train(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,9 @@ from repro.unroll.transform import UnrolledNest
 __all__ = [
     "CONTENT_TYPE_FRAME",
     "CONTENT_TYPE_JSON",
+    "FLAG_HAS_KEY",
+    "FLAG_TIER_AUTO",
+    "FLAG_TIER_FAST",
     "FRAME_ERROR",
     "FRAME_REQUEST",
     "FRAME_RESPONSE",
@@ -55,6 +58,7 @@ __all__ = [
     "MACHINE_NAMES",
     "ProtocolError",
     "RequestSpec",
+    "TIERS",
     "WIRE_VERSION",
     "analyze_payload",
     "decode_frame",
@@ -65,6 +69,7 @@ __all__ = [
     "pack_obj",
     "parse_frame_request",
     "parse_request",
+    "predict_payload",
     "peek_frame",
     "request_cache_key",
     "spec_from_document",
@@ -76,6 +81,13 @@ __all__ = [
 #: The API verbs the service understands (the ``/v1/<kind>`` routes and
 #: the frame header's kind codes).
 KINDS = ("analyze", "optimize", "transform")
+
+#: Serving tiers an optimize request may ask for.  ``exact`` (and an
+#: omitted tier, which is wire-identical to the pre-tier protocol) runs
+#: the full table search; ``fast`` answers from the learned predictor
+#: (docs/PREDICT.md); ``auto`` serves fast when the model is confident
+#: and falls back to exact otherwise.
+TIERS = ("exact", "fast", "auto")
 
 #: Content types of the two negotiated encodings.
 CONTENT_TYPE_JSON = "application/json"
@@ -120,6 +132,9 @@ class RequestSpec:
     machine: str
     params: dict = field(default_factory=dict)
     unroll: tuple[int, ...] | None = None  # transform only
+    #: ``None`` when the request did not name a tier -- the pre-tier
+    #: request space, answered (and echoed) exactly as before.
+    tier: str | None = None
 
     def params_key(self) -> tuple:
         """The hashable parameter facet of the coalescing key."""
@@ -173,6 +188,16 @@ def spec_from_document(kind: str, doc: object,
     if "bound" in params and not 1 <= params["bound"] <= 64:
         raise ProtocolError(400, "bad_request",
                             "'bound' must be between 1 and 64")
+    tier = doc.get("tier")
+    if tier is not None:
+        if not isinstance(tier, str) or tier not in TIERS:
+            raise ProtocolError(
+                400, "bad_request",
+                f"'tier' must be one of {', '.join(TIERS)}")
+        if tier != "exact" and kind != "optimize":
+            raise ProtocolError(
+                400, "bad_request",
+                f"tier={tier!r} applies only to optimize requests")
     unroll = None
     if kind == "transform" and doc.get("unroll") is not None:
         raw = doc["unroll"]
@@ -183,12 +208,13 @@ def spec_from_document(kind: str, doc: object,
                                 "'unroll' must be a list of non-negative "
                                 "integers")
         unroll = tuple(raw)
-    unknown = set(doc) - {"nest", "machine", "unroll"} - set(_PARAM_TYPES)
+    unknown = (set(doc) - {"nest", "machine", "unroll", "tier"}
+               - set(_PARAM_TYPES))
     if unknown:
         raise ProtocolError(400, "bad_request",
                             f"unknown field(s): {', '.join(sorted(unknown))}")
     return RequestSpec(kind=kind, nest=nest, machine=machine, params=params,
-                       unroll=unroll)
+                       unroll=unroll, tier=tier)
 
 # -- response bodies ----------------------------------------------------------
 
@@ -224,6 +250,24 @@ def optimize_payload(nest: LoopNest, machine: MachineModel,
         "registers": float(result.tables.point(result.unroll).registers),
         "candidates": list(result.candidates),
         "safety": list(result.safety),
+    }
+
+def predict_payload(nest: LoopNest, machine: MachineModel,
+                    prediction) -> dict:
+    """The ``tier=fast`` optimize response: the predicted unroll vector
+    plus model provenance.  No balance/objective/registers fields -- the
+    fast tier never builds the tables that define them; clients that
+    need those ask ``tier=exact``."""
+    return {
+        "ok": True,
+        "kind": "optimize",
+        "nest": nest.name,
+        "machine": machine.name,
+        "structural_key": nest.structural_key(),
+        "unroll": list(prediction.unroll),
+        "tier": "fast",
+        "confidence": float(prediction.confidence),
+        "model_id": prediction.model_id,
     }
 
 def transform_payload(nest: LoopNest, machine: MachineModel,
@@ -432,8 +476,16 @@ FRAME_REQUEST = 0
 FRAME_RESPONSE = 1
 FRAME_ERROR = 2
 
-#: Header flag bits.
+#: Header flag bits.  The tier bits let the router and the server's
+#: warm path see the requested tier without unpacking the payload; a
+#: frame with neither tier bit set is byte-identical to the pre-tier
+#: encoding.
 FLAG_HAS_KEY = 0x01
+FLAG_TIER_FAST = 0x02
+FLAG_TIER_AUTO = 0x04
+
+_TIER_FLAGS = {"fast": FLAG_TIER_FAST, "auto": FLAG_TIER_AUTO}
+_FLAG_TIERS = {flag: tier for tier, flag in _TIER_FLAGS.items()}
 
 _KIND_CODES = {kind: code for code, kind in enumerate(KINDS, start=1)}
 _KIND_NAMES = {code: kind for kind, code in _KIND_CODES.items()}
@@ -470,12 +522,13 @@ class Frame:
         return unpack_obj(self.payload_bytes)
 
 def _encode_frame(ftype: int, kind_code: int, machine_id: int,
-                  key: str | bytes | None, payload: object) -> bytes:
+                  key: str | bytes | None, payload: object,
+                  extra_flags: int = 0) -> bytes:
     if isinstance(key, str):
         key = bytes.fromhex(key)
     if key is not None and len(key) != 32:
         raise ValueError("structural key must be 32 raw bytes")
-    flags = FLAG_HAS_KEY if key is not None else 0
+    flags = (FLAG_HAS_KEY if key is not None else 0) | extra_flags
     body = pack_obj(payload)
     header = _HEADER.pack(FRAME_MAGIC, WIRE_VERSION, ftype, kind_code,
                           flags, machine_id, key or _ZERO_KEY, len(body))
@@ -490,7 +543,10 @@ def encode_request_frame(kind: str, doc: dict, *,
     has a registered id -- and is then *omitted* from the payload --
     otherwise it stays a payload field.  ``key`` is the nest's structural
     key (hex or raw); shipping it lets the router route and the server
-    fast-path without parsing the payload.
+    fast-path without parsing the payload.  A ``fast``/``auto`` tier in
+    the document moves into the header flag bits the same way (an
+    explicit ``exact`` stays a payload field); a tier-less document
+    encodes byte-identically to the pre-tier wire format.
     """
     code = _KIND_CODES.get(kind)
     if code is None:
@@ -503,7 +559,12 @@ def encode_request_frame(kind: str, doc: dict, *,
             doc.pop("machine", None)
         else:
             doc["machine"] = machine
-    return _encode_frame(FRAME_REQUEST, code, machine_id, key, doc)
+    tier_flag = _TIER_FLAGS.get(doc.get("tier"), 0)
+    if tier_flag:
+        doc = dict(doc)
+        doc.pop("tier")
+    return _encode_frame(FRAME_REQUEST, code, machine_id, key, doc,
+                         extra_flags=tier_flag)
 
 def encode_response_frame(payload: dict, *, error: bool = False,
                           kind: str | None = None,
@@ -570,6 +631,13 @@ def parse_frame_request(body: bytes,
         if name is None:
             raise _bad_frame(f"unknown machine id {frame.machine_id}")
         doc = dict(doc, machine=name)
+    tier_bits = frame.flags & (FLAG_TIER_FAST | FLAG_TIER_AUTO)
+    if tier_bits:
+        if tier_bits == (FLAG_TIER_FAST | FLAG_TIER_AUTO):
+            raise _bad_frame("both tier flag bits are set")
+        if "tier" in doc:
+            raise _bad_frame("tier set in both header flags and payload")
+        doc = dict(doc, tier=_FLAG_TIERS[tier_bits])
     spec = spec_from_document(kind, doc, default_machine)
     return spec, frame
 
@@ -577,9 +645,12 @@ def request_cache_key(frame: Frame) -> tuple:
     """The server's encoded-response cache key for a request frame.
 
     Deliberately *excludes* the client-supplied structural key: the
-    response is fully determined by the verb, the machine slot, and the
-    payload bytes, so a client lying in the key header can never poison
-    an entry another client would hit.
+    response is fully determined by the verb, the machine slot, the tier
+    flag bits, and the payload bytes, so a client lying in the key
+    header can never poison an entry another client would hit.  The tier
+    bits *are* included -- a ``tier=fast`` response must never be served
+    to an exact request for the same payload, or vice versa.
     """
     digest = hashlib.sha256(frame.payload_bytes).digest()
-    return (frame.kind_code, frame.machine_id, digest)
+    tier_bits = frame.flags & (FLAG_TIER_FAST | FLAG_TIER_AUTO)
+    return (frame.kind_code, frame.machine_id, tier_bits, digest)

@@ -46,6 +46,7 @@ import time
 
 from repro import api, obs
 from repro.engine import AnalysisEngine
+from repro.predict.model import load_default_model, load_model
 from repro.serve import protocol
 from repro.serve.batcher import BatchConfig, MicroBatcher, Overloaded
 from repro.serve.http import (
@@ -76,7 +77,11 @@ class ServeConfig:
                  metrics_path: str | None = None,
                  batch: BatchConfig | None = None,
                  shard: str | None = None,
-                 frame_cache: int = 2048):
+                 frame_cache: int = 2048,
+                 model_path: str | None = None,
+                 predict: bool = True,
+                 auto_confidence: float | None = None,
+                 validate_fast: bool = True):
         self.host = host
         self.port = port
         self.machine = machine
@@ -91,6 +96,19 @@ class ServeConfig:
         #: Encoded-response cache entries for the /v2/frame fast path
         #: (0 disables it).
         self.frame_cache = frame_cache
+        #: Model artifact for the tier=fast predictor; ``None`` loads
+        #: the committed default (docs/PREDICT.md).
+        self.model_path = model_path
+        #: ``False`` disables the fast tier entirely (tier=fast then
+        #: falls back to exact and counts ``predict.unsupported``).
+        self.predict = predict
+        #: tier=auto serves fast only at or above this confidence;
+        #: ``None`` uses the artifact's embedded floor.
+        self.auto_confidence = auto_confidence
+        #: Asynchronously re-answer every fast response with the exact
+        #: engine and count agreement (``predict.validated`` /
+        #: ``predict.mismatch``).
+        self.validate_fast = validate_fast
 
 class AnalysisServer:
     """One engine, one batcher, one listener; drive with :meth:`run` (CLI)
@@ -101,6 +119,16 @@ class AnalysisServer:
         self.config = config if config is not None else ServeConfig()
         self.engine = engine if engine is not None else AnalysisEngine()
         self.batcher = MicroBatcher(self.engine, self.config.batch)
+        #: The tier=fast predictor: an explicit artifact when configured
+        #: (load failures are startup failures), else the committed
+        #: default, else ``None`` -- the server then serves exact only.
+        if not self.config.predict:
+            self.predictor = None
+        elif self.config.model_path is not None:
+            self.predictor = load_model(self.config.model_path)
+        else:
+            self.predictor = load_default_model()
+        self._validations: set[asyncio.Task] = set()
         self.port: int | None = None
         self._server: asyncio.AbstractServer | None = None
         self._shutdown = asyncio.Event()
@@ -134,6 +162,12 @@ class AnalysisServer:
             self._server.close()
             await self._server.wait_closed()
         await self.batcher.stop()
+        # The batcher drained everything it accepted, so any pending
+        # fast-tier validations resolve promptly; give them a bounded
+        # window to record their verdicts before metrics flush.
+        if self._validations:
+            await asyncio.wait(set(self._validations),
+                               timeout=self.config.shutdown_grace_s)
         if self._connections:
             await asyncio.wait(set(self._connections),
                                timeout=self.config.shutdown_grace_s)
@@ -330,6 +364,10 @@ class AnalysisServer:
         except ValueError as err:
             return 400, protocol.error_payload("unknown_machine",
                                                str(err)), {}
+        if spec.tier in ("fast", "auto") and spec.kind == "optimize":
+            response = self._try_fast(spec, nest, machine)
+            if response is not None:
+                return response
         key = (spec.kind, nest.structural_key(), machine.name,
                spec.params_key(), spec.unroll)
         try:
@@ -360,7 +398,87 @@ class AnalysisServer:
             return 500, protocol.error_payload(
                 "internal", f"{type(err).__name__}: {err}"), {}
         self.engine.metrics.count("serve.responses_2xx")
+        if spec.tier is not None:
+            # Echo which tier answered -- on a copy: the batcher's
+            # payload dict is shared with coalesced waiters and caches.
+            payload = dict(payload, tier="exact")
         return 200, payload, {}
+
+    # -- the learned fast tier (docs/PREDICT.md) ------------------------------
+
+    def _fast_supported(self, spec: protocol.RequestSpec, nest) -> bool:
+        """The fast tier answers only the parameter space the model was
+        trained on; anything else falls through to the exact engine."""
+        predictor = self.predictor
+        if predictor is None or not predictor.supports_depth(nest.depth):
+            return False
+        trained_loops = int(predictor.trained.get("max_loops", 2))
+        if spec.params.get("max_loops", 2) != trained_loops:
+            return False
+        if spec.params.get("include_cache", True) is False:
+            return False
+        return True
+
+    def _try_fast(self, spec: protocol.RequestSpec, nest,
+                  machine) -> tuple[int, dict, dict] | None:
+        """Answer from the predictor, or ``None`` to fall through to the
+        exact path (no model, unsupported request, or -- for tier=auto --
+        a prediction below the confidence floor)."""
+        if not self._fast_supported(spec, nest):
+            self.engine.metrics.count("predict.unsupported")
+            return None
+        predictor = self.predictor
+        bound = spec.params.get("bound", protocol.DEFAULT_PARAMS["bound"])
+        trip = spec.params.get("trip", protocol.DEFAULT_PARAMS["trip"])
+        with obs.span("predict.fast", nest=nest.name,
+                      model=predictor.model_id):
+            prediction = predictor.predict(nest, machine, bound=bound,
+                                           trip=trip)
+        if prediction is None:
+            self.engine.metrics.count("predict.unsupported")
+            return None
+        floor = (self.config.auto_confidence
+                 if self.config.auto_confidence is not None
+                 else predictor.confidence_floor)
+        if spec.tier == "auto" and prediction.confidence < floor:
+            self.engine.metrics.count("predict.low_confidence")
+            return None
+        self.engine.metrics.count("predict.fast_served")
+        payload = protocol.predict_payload(nest, machine, prediction)
+        if self.config.validate_fast:
+            self._enqueue_validation(spec, nest, machine, prediction)
+        return 200, payload, {}
+
+    def _enqueue_validation(self, spec: protocol.RequestSpec, nest,
+                            machine, prediction) -> None:
+        """Queue the exact computation behind the fast answer; agreement
+        lands in ``predict.validated`` / ``predict.mismatch``.  Dropped
+        (and counted) rather than queued when admission is full -- the
+        fast answer was already sent, so validation must never create
+        backpressure of its own."""
+        key = ("optimize", nest.structural_key(), machine.name,
+               spec.params_key(), None)
+        try:
+            future = self.batcher.submit("optimize", key, nest, machine,
+                                         spec.params, None)
+        except (Overloaded, RuntimeError):
+            self.engine.metrics.count("predict.validation_dropped")
+            return
+        task = asyncio.ensure_future(self._validate(future, prediction))
+        self._validations.add(task)
+        task.add_done_callback(self._validations.discard)
+
+    async def _validate(self, future, prediction) -> None:
+        try:
+            payload = await future
+        except Exception:
+            self.engine.metrics.count("predict.validation_dropped")
+            return
+        with obs.span("predict.validate", model=prediction.model_id):
+            exact = tuple(payload.get("unroll") or ())
+            self.engine.metrics.count("predict.validated")
+            if exact != prediction.unroll:
+                self.engine.metrics.count("predict.mismatch")
 
     # -- documents -----------------------------------------------------------
 
@@ -376,6 +494,18 @@ class AnalysisServer:
                 "versions": [1, protocol.WIRE_VERSION],
                 "frame_content_type": protocol.CONTENT_TYPE_FRAME,
                 "frame_path": "/v2/frame",
+            },
+            "tiers": {
+                "supported": (list(protocol.TIERS)
+                              if self.predictor is not None
+                              else ["exact"]),
+                "model": (self.predictor.describe()
+                          if self.predictor is not None else None),
+                "auto_confidence": (
+                    self.config.auto_confidence
+                    if self.config.auto_confidence is not None
+                    else (self.predictor.confidence_floor
+                          if self.predictor is not None else None)),
             },
         }
         if self.config.shard is not None:

@@ -40,6 +40,7 @@ BASE_CLUSTER = {"cluster_throughput_rps": 800.0,
 BASE_COLD = {"cold_nests_per_sec": 100.0, "speedup_vs_seed": 2.2,
              "seed_nests_per_sec": 45.0, "bound": 4.0,
              "build_tables_p95_s": 0.02}
+BASE_PREDICT = {"held_out_top1": 0.88, "fast_decisions_per_sec": 4000.0}
 
 def engine_results(nests_per_sec: float = 40.0,
                    hit_rate: float = 1.0) -> dict:
@@ -66,13 +67,19 @@ def cluster_results(rps: float = 800.0, merged: float = 1.0) -> dict:
     return {"cluster": {"throughput_rps": rps},
             "sticky": {"merged_compute_rate": merged}}
 
+def predict_results(accuracy: float = 0.88,
+                    per_sec: float = 4000.0) -> dict:
+    return {"eval": {"accuracy": accuracy},
+            "latency": {"fast_per_sec": per_sec}}
+
 _DEFAULT = object()  # sentinel: include plausible results for the bench
 
 def write_tree(tmp_path: pathlib.Path, engine: dict | None,
                serve: dict | None,
                baselines: dict[str, dict] | None = None,
                cluster: dict | None | object = _DEFAULT,
-               cold: dict | None | object = _DEFAULT) -> tuple[
+               cold: dict | None | object = _DEFAULT,
+               predict: dict | None | object = _DEFAULT) -> tuple[
                    pathlib.Path, pathlib.Path]:
     results = tmp_path / "results"
     results.mkdir(exist_ok=True)
@@ -80,6 +87,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
         cluster = cluster_results()
     if cold is _DEFAULT:
         cold = cold_results()
+    if predict is _DEFAULT:
+        predict = predict_results()
     if engine is not None:
         (results / "engine_throughput.json").write_text(json.dumps(engine))
     if serve is not None:
@@ -89,6 +98,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
             json.dumps(cluster))
     if cold is not None:
         (results / "cold_analysis.json").write_text(json.dumps(cold))
+    if predict is not None:
+        (results / "predict.json").write_text(json.dumps(predict))
     baseline_dir = tmp_path / "baselines"
     baseline_dir.mkdir(exist_ok=True)
     for name, metrics in (baselines or {}).items():
@@ -99,7 +110,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
 DEFAULT_BASELINES = {"engine_throughput": BASE_ENGINE,
                      "serve_throughput": BASE_SERVE,
                      "cluster_throughput": BASE_CLUSTER,
-                     "cold_analysis": BASE_COLD}
+                     "cold_analysis": BASE_COLD,
+                     "predict": BASE_PREDICT}
 
 class TestCompare:
     def test_synthetic_2x_slowdown_fails(self):
@@ -160,7 +172,7 @@ class TestCheckAndUpdate:
                                         serve_results(),
                                         DEFAULT_BASELINES)
         rows, ok = regression.check(results, baselines, 0.25)
-        assert ok and len(rows) == 13
+        assert ok and len(rows) == 15
 
     def test_check_fails_on_2x_slowdown_tree(self, tmp_path):
         results, baselines = write_tree(
@@ -203,7 +215,8 @@ class TestCheckAndUpdate:
         assert {p.name for p in written} == {"engine_throughput.json",
                                              "serve_throughput.json",
                                              "cluster_throughput.json",
-                                             "cold_analysis.json"}
+                                             "cold_analysis.json",
+                                             "predict.json"}
         _, ok = regression.check(results, baselines, 0.25)
         assert ok
         doc = json.loads((baselines / "engine_throughput.json").read_text())
@@ -241,14 +254,15 @@ class TestMainAndTable:
         assert table.startswith("### Benchmark regression gate")
         assert "| benchmark | metric | baseline | current | delta " \
             "| status |" in table
-        assert table.count("✅") == 13
+        assert table.count("✅") == 15
         # One data row per tracked metric, rendered as a pipe table.
         data_rows = [line for line in table.splitlines()
                      if line.startswith("| engine_throughput")
                      or line.startswith("| serve_throughput")
                      or line.startswith("| cluster_throughput")
-                     or line.startswith("| cold_analysis")]
-        assert len(data_rows) == 13
+                     or line.startswith("| cold_analysis")
+                     or line.startswith("| predict")]
+        assert len(data_rows) == 15
         capsys.readouterr()
 
     def test_committed_baselines_are_wellformed(self):

@@ -62,6 +62,8 @@ def _assert_case(case: dict, status: int, doc: dict) -> None:
         assert doc.get(key) == value, (case["name"], key, doc.get(key))
     for key in expect.get("fields", []):
         assert key in doc, (case["name"], key, sorted(doc))
+    for key in expect.get("absent", []):
+        assert key not in doc, (case["name"], key, doc.get(key))
     if "error_type" in expect:
         err = doc["error"]
         # The frozen v1 contract field...
