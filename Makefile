@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint bench-quick bench-check bench-baseline bench-predict \
-	train serve
+	bench-reuse train serve
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -20,6 +20,13 @@ bench-quick:
 	$(PYTHON) benchmarks/bench_serve_throughput.py --quick
 	$(PYTHON) benchmarks/bench_cluster_throughput.py --quick
 	$(PYTHON) benchmarks/bench_predict.py --quick
+	$(PYTHON) benchmarks/bench_reuse_profile.py --quick
+
+# The reuse-profile miss-model validation at full corpus size
+# (docs/REUSE.md): mean |predicted - simulated| miss ratio <= 0.05 on
+# every cache geometry.
+bench-reuse:
+	$(PYTHON) benchmarks/bench_reuse_profile.py
 
 # The fast-tier gates at full size (docs/PREDICT.md): held-out top-1
 # >= 0.85 and fast p99 <= 0.05x exact cold p99.

@@ -1,0 +1,233 @@
+"""Static reuse-profile validation against the executable cache simulator.
+
+The analytic chain under test (docs/REUSE.md): per-reference
+reuse-distance histograms from the UGS machinery
+(:func:`repro.reuse.profile.reuse_profile`) fed through the binomial
+set-conflict model (:func:`repro.machine.cache.miss_probability`) must
+predict the *measured* miss ratio of the trace-driven simulator across a
+seeded corpus and several cache geometries:
+
+* **error bar** -- per geometry, the mean absolute difference between
+  predicted and simulated miss ratio must stay at or below
+  ``ERROR_BAR`` (0.05).  Geometries cover direct-mapped, 4-way, and
+  8-way set-associative caches.
+
+The regression gate additionally tracks each geometry's mean error
+against ``benchmarks/baselines/reuse_profile.json``.
+
+Runs under pytest (``pytest benchmarks/bench_reuse_profile.py``) and as
+a standalone script for the CI job::
+
+    python benchmarks/bench_reuse_profile.py --quick
+
+Both modes write ``results/reuse_profile.txt`` and
+``results/reuse_profile.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+import time
+
+_REPO = pathlib.Path(__file__).resolve().parent.parent
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro.corpus import CorpusConfig
+from repro.corpus.generator import generate_corpus
+from repro.machine.cache import CacheSpec
+from repro.machine.presets import dec_alpha
+from repro.machine.simulator import simulate
+from repro.reuse.profile import reuse_profile
+
+#: Per-geometry mean |predicted - simulated| miss ratio must stay here
+#: or below (the ISSUE bar).
+ERROR_BAR = 0.05
+
+#: The cache geometries validated: (key, size_words, line_words, assoc).
+GEOMETRIES = (
+    ("direct_512", 512, 4, 1),
+    ("assoc4_1024", 1024, 4, 4),
+    ("assoc8_2048", 2048, 4, 8),
+)
+
+#: Per-loop trip count by nest depth: deep nests get smaller trips so
+#: the simulated iteration space stays tractable while still flushing
+#: the cache many times over.
+N_BY_DEPTH = {1: 64, 2: 24, 3: 12}
+
+CORPUS_NESTS = 400
+CORPUS_NESTS_QUICK = 120
+
+def _extent(n: int) -> int:
+    """Array extent for trip ``n``: the smallest odd value >= n + 7.
+
+    Odd extents keep array strides co-prime with the power-of-two set
+    counts, so successive rows spread uniformly over the sets -- the
+    uniform-mapping assumption the binomial conflict model rests on.
+    Even extents (e.g. 32 words = 8 lines) alias whole rows onto a few
+    sets and the analytic model under-predicts those pathologies.
+    """
+    k = n + 7
+    return k if k % 2 else k + 1
+
+def _shapes(nest) -> dict[str, tuple[int, ...]]:
+    """One square odd-extent shape per array, with as many dimensions as
+    the widest reference to it."""
+    n = N_BY_DEPTH[nest.depth]
+    dims: dict[str, int] = {}
+    for statement in nest.body:
+        for ref in statement.array_reads() + statement.array_writes():
+            dims[ref.array] = max(dims.get(ref.array, 0),
+                                  len(ref.subscripts))
+    return {array: (_extent(n),) * count for array, count in dims.items()}
+
+def run_reuse_profile_bench(quick: bool = False) -> dict:
+    """The full experiment; returns the JSON-ready payload."""
+    count = CORPUS_NESTS_QUICK if quick else CORPUS_NESTS
+    nests = [nest for nest in generate_corpus(CorpusConfig(routines=count))
+             if nest.depth in N_BY_DEPTH]
+    base = dec_alpha()
+
+    geometries: dict[str, dict] = {}
+    total_error = 0.0
+    total_nests = 0
+    skipped = 0
+    t0 = time.monotonic()
+    for key, size, line, assoc in GEOMETRIES:
+        machine = dataclasses.replace(base, cache_size_words=size,
+                                      cache_line_words=line,
+                                      cache_assoc=assoc)
+        spec = CacheSpec(size_words=size, line_words=line, assoc=assoc)
+        errors: list[tuple[float, str, float, float]] = []
+        for nest in nests:
+            n = N_BY_DEPTH[nest.depth]
+            bindings = {name: n for name in nest.parameters()}
+            try:
+                result = simulate(nest, machine, bindings, _shapes(nest),
+                                  scalar_replace=False)
+                profile = reuse_profile(nest, line_size=line, trip=n)
+            except Exception:
+                skipped += 1
+                continue
+            if not result.cache_accesses:
+                skipped += 1
+                continue
+            simulated = result.cache_misses / result.cache_accesses
+            predicted = profile.miss_ratio(spec)
+            errors.append((abs(predicted - simulated), nest.name,
+                           predicted, simulated))
+        if not errors:
+            continue
+        mean_error = sum(err for err, *_ in errors) / len(errors)
+        worst = sorted(errors, reverse=True)[:5]
+        geometries[key] = {
+            "size_words": size,
+            "line_words": line,
+            "assoc": assoc,
+            "describe": spec.describe(),
+            "nests": len(errors),
+            "mean_abs_error": mean_error,
+            "max_abs_error": worst[0][0],
+            "mean_predicted": sum(p for _, _, p, _ in errors) / len(errors),
+            "mean_simulated": sum(s for _, _, _, s in errors) / len(errors),
+            "worst": [{"nest": name, "error": err, "predicted": pred,
+                       "simulated": sim}
+                      for err, name, pred, sim in worst],
+        }
+        total_error += mean_error * len(errors)
+        total_nests += len(errors)
+    return {
+        "quick": quick,
+        "corpus_nests": len(nests),
+        "skipped": skipped,
+        "wall_s": time.monotonic() - t0,
+        "error_bar": ERROR_BAR,
+        "geometries": geometries,
+        "overall_mean_abs_error": (total_error / total_nests
+                                   if total_nests else 1.0),
+    }
+
+def acceptance(payload: dict) -> tuple[bool, list[str]]:
+    """The hard bars: every geometry present and under the error bar."""
+    problems = []
+    geometries = payload["geometries"]
+    for key, *_ in GEOMETRIES:
+        doc = geometries.get(key)
+        if doc is None:
+            problems.append(f"geometry {key} produced no comparisons")
+            continue
+        if doc["mean_abs_error"] > ERROR_BAR:
+            problems.append(
+                f"{key}: mean |predicted - simulated| miss ratio "
+                f"{doc['mean_abs_error']:.4f} above the "
+                f"{ERROR_BAR:.2f} bar")
+    if payload["skipped"] > payload["corpus_nests"]:
+        problems.append(
+            f"skipped {payload['skipped']} nest-geometry pairs out of "
+            f"{payload['corpus_nests']} nests x {len(GEOMETRIES)}")
+    return not problems, problems
+
+def format_reuse_profile(payload: dict) -> str:
+    lines = [
+        f"Reuse-profile miss-ratio validation "
+        f"({payload['corpus_nests']} corpus nests, "
+        f"{payload['wall_s']:.1f}s, bar {ERROR_BAR:.2f})",
+        "",
+        f"{'geometry':<24s} {'nests':>6s} {'mean err':>9s} "
+        f"{'max err':>8s} {'pred':>7s} {'sim':>7s}",
+    ]
+    for key, doc in payload["geometries"].items():
+        lines.append(
+            f"{doc['describe']:<24s} {doc['nests']:>6d} "
+            f"{doc['mean_abs_error']:>9.4f} {doc['max_abs_error']:>8.4f} "
+            f"{doc['mean_predicted']:>7.4f} {doc['mean_simulated']:>7.4f}")
+    lines.append("")
+    lines.append(f"overall mean |error|: "
+                 f"{payload['overall_mean_abs_error']:.4f}")
+    for key, doc in payload["geometries"].items():
+        top = doc["worst"][0]
+        lines.append(f"  worst on {key}: {top['nest']} "
+                     f"(pred {top['predicted']:.3f}, "
+                     f"sim {top['simulated']:.3f})")
+    return "\n".join(lines)
+
+def write_results(payload: dict, results_dir: pathlib.Path) -> None:
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "reuse_profile.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    (results_dir / "reuse_profile.txt").write_text(
+        format_reuse_profile(payload) + "\n")
+
+# -- pytest mode --------------------------------------------------------------
+
+def test_reuse_profile_gates(results_dir):
+    payload = run_reuse_profile_bench(quick=True)
+    write_results(payload, results_dir)
+    print("\n" + format_reuse_profile(payload))
+    ok, problems = acceptance(payload)
+    assert ok, problems
+
+# -- script mode --------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus slice (CI smoke)")
+    parser.add_argument("--results-dir", default=str(_REPO / "results"))
+    args = parser.parse_args(argv)
+
+    payload = run_reuse_profile_bench(quick=args.quick)
+    write_results(payload, pathlib.Path(args.results_dir))
+    print(format_reuse_profile(payload))
+    ok, problems = acceptance(payload)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 0 if ok else 1
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,6 +102,21 @@ SPECS: dict[str, dict] = {
                                     "higher"),
         },
     },
+    "reuse_profile": {
+        "results": "reuse_profile.json",
+        "metrics": {
+            # Deterministic (seeded corpus, analytic model, exact
+            # simulator), so drift here means the profile pass or the
+            # conflict model changed behavior; the hard <=0.05 bar
+            # lives in bench_reuse_profile.acceptance().
+            "direct_mean_abs_error": (
+                ("geometries", "direct_512", "mean_abs_error"), "lower"),
+            "assoc4_mean_abs_error": (
+                ("geometries", "assoc4_1024", "mean_abs_error"), "lower"),
+            "assoc8_mean_abs_error": (
+                ("geometries", "assoc8_2048", "mean_abs_error"), "lower"),
+        },
+    },
     "predict": {
         "results": "predict.json",
         "metrics": {

@@ -39,6 +39,7 @@ from repro.api import (
     default_engine,
     optimize,
     optimize_many,
+    reuse_profile,
     transform,
 )
 from repro.engine import AnalysisEngine, BatchReport
@@ -74,6 +75,7 @@ __all__ = [
     "optimize",
     "optimize_many",
     "parse_nest",
+    "reuse_profile",
     "transform",
     "unroll_and_jam",
     "__version__",

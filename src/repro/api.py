@@ -27,7 +27,10 @@ import difflib
 import os
 import pathlib
 import warnings
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover -- type names only
+    from repro.reuse.profile import NestReuseProfile
 
 from repro.engine import (
     AnalysisEngine,
@@ -60,6 +63,7 @@ __all__ = [
     "optimize",
     "optimize_many",
     "predict_unroll",
+    "reuse_profile",
     "serialize_nest",
     "transform",
 ]
@@ -219,16 +223,38 @@ def analyze(nest_or_source, machine: "MachineModel | str" = "alpha",
 def optimize(nest_or_source, machine: "MachineModel | str" = "alpha",
              bound: int = DEFAULT_BOUND, max_loops: int = 2,
              include_cache: bool = True, trip: int = 100,
+             cache_model: str = "binary",
              engine: AnalysisEngine | None = None) -> OptimizationResult:
     """The paper's unroll-and-jam decision for one nest (identical to
-    :func:`repro.unroll.optimize.choose_unroll`, served from the cache)."""
+    :func:`repro.unroll.optimize.choose_unroll`, served from the cache).
+
+    ``cache_model="assoc"`` swaps the binary Equation-1 miss charge for
+    the reuse-distance profile's set-associative estimate on this
+    machine's cache geometry (docs/REUSE.md)."""
     with _span("api.optimize"):
         nest = coerce_nest(nest_or_source)
         model = coerce_machine(machine)
         engine = engine if engine is not None else default_engine()
         return engine.optimize(nest, model, bound=bound,
                                max_loops=max_loops,
-                               include_cache=include_cache, trip=trip)
+                               include_cache=include_cache, trip=trip,
+                               cache_model=cache_model)
+
+def reuse_profile(nest_or_source, machine: "MachineModel | str" = "alpha",
+                  trip: int = 100,
+                  engine: AnalysisEngine | None = None) -> "NestReuseProfile":
+    """The static reuse-distance profile of one nest (docs/REUSE.md).
+
+    Per-reference reuse-distance histograms derived from the UGS /
+    localized-vector-space machinery, scaled to ``trip`` iterations per
+    loop; feed the result's :meth:`miss_ratio` a
+    :class:`repro.machine.cache.CacheSpec` to price any geometry.  The
+    machine sets the cache-line size the distances are measured in."""
+    with _span("api.reuse_profile"):
+        nest = coerce_nest(nest_or_source)
+        model = coerce_machine(machine)
+        engine = engine if engine is not None else default_engine()
+        return engine.reuse_profile(nest, model, trip=trip)
 
 def optimize_many(specs: Sequence, machine: "MachineModel | str" = "alpha",
                   workers: int | None = None, bound: int = DEFAULT_BOUND,

@@ -18,12 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from fractions import Fraction
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 from repro.machine.model import MachineModel
 
 if TYPE_CHECKING:  # avoid a circular import; only the type name is needed
     from repro.unroll.tables import UnrollPoint
+
+class MissModel(Protocol):
+    """Anything that can price a search point's misses per iteration."""
+
+    def misses(self, point: "UnrollPoint") -> Fraction:
+        ...
 
 @dataclass(frozen=True)
 class BalanceBreakdown:
@@ -45,11 +51,24 @@ def estimated_cycles(memory_ops: Fraction, flops: Fraction,
                Fraction(1))
 
 def loop_balance(point: "UnrollPoint", machine: MachineModel,
-                 include_cache: bool = True) -> BalanceBreakdown:
-    """beta_L for the loop body described by ``point``."""
+                 include_cache: bool = True,
+                 miss_model: "MissModel | None" = None) -> BalanceBreakdown:
+    """beta_L for the loop body described by ``point``.
+
+    ``miss_model`` optionally replaces the binary Equation-1 miss charge
+    (``point.cache_cost``) with a finer estimate -- e.g.
+    :class:`repro.reuse.profile.AssocMissModel`, which adds the expected
+    set-conflict misses of a concrete cache geometry.  ``None`` (the
+    default) keeps the paper's model bit-for-bit.
+    """
     memory_ops = point.memory_ops
     flops = max(point.flops, Fraction(1))
-    misses = point.cache_cost if include_cache else Fraction(0)
+    if not include_cache:
+        misses = Fraction(0)
+    elif miss_model is not None:
+        misses = miss_model.misses(point)
+    else:
+        misses = point.cache_cost
     cycles = estimated_cycles(memory_ops, flops, machine)
     serviced = machine.prefetch_bandwidth * cycles
     unserviced = max(misses - serviced, Fraction(0))
@@ -59,8 +78,9 @@ def loop_balance(point: "UnrollPoint", machine: MachineModel,
                             miss_term, balance)
 
 def objective(point: "UnrollPoint", machine: MachineModel,
-              include_cache: bool = True) -> Fraction:
+              include_cache: bool = True,
+              miss_model: "MissModel | None" = None) -> Fraction:
     """The optimization objective of section 3.3: distance from machine
     balance.  Smaller is better; zero means the loop matches the machine."""
-    breakdown = loop_balance(point, machine, include_cache)
+    breakdown = loop_balance(point, machine, include_cache, miss_model)
     return abs(breakdown.balance - machine.balance)

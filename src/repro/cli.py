@@ -5,6 +5,8 @@ Commands:
 * ``kernels``                      -- list the Table 2 test loops
 * ``show <nest>``                  -- print a nest's source
 * ``analyze <nest>``               -- reuse structure and balance
+* ``profile <nest>``               -- static reuse-distance profile and
+  set-associative miss prediction (docs/REUSE.md)
 * ``optimize <nest>``              -- full unroll-and-jam report
 * ``simulate <kernel>``            -- trace-driven cycles, before/after
 * ``batch <dir|glob|nest>...``     -- optimize a corpus via the engine
@@ -97,13 +99,48 @@ def cmd_analyze(args: argparse.Namespace) -> int:
           f"{float(machine.balance):.3f} on {machine.name}")
     return 0
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.machine.cache import CacheSpec, miss_probability
+
+    nest = _nest(args.nest)
+    machine = _machine(args.machine)
+    profile = api.reuse_profile(nest, machine, trip=args.trip)
+    if args.json:
+        print(json.dumps(profile.to_dict(), indent=2))
+        return 0
+    spec = CacheSpec.for_machine(machine)
+    print(f"reuse-distance profile of {profile.nest} "
+          f"(depth {profile.depth}, trip {profile.trip})")
+    print(f"  {profile.lines_per_iteration:.3f} new line(s)/iteration, "
+          f"line size {profile.line_size} words")
+    print()
+    print(f"{'ref':<20s} {'kind':<14s} {'delay':>10s} {'distance':>10s} "
+          f"{'fraction':>9s} {'P(miss)':>8s}")
+    for ref in profile.refs:
+        name = ref.ref
+        for b in ref.bins:
+            delay = "-" if b.delay is None else f"{b.delay:.0f}"
+            distance = "cold" if b.distance is None else f"{b.distance:.1f}"
+            pm = miss_probability(b.distance, spec)
+            print(f"{name:<20.20s} {b.kind:<14s} {delay:>10s} "
+                  f"{distance:>10s} {b.fraction:>9.3f} {pm:>8.3f}")
+            name = ""
+    print()
+    print(f"cache {spec.describe()} on {machine.name}:")
+    print(f"  predicted miss ratio   {profile.miss_ratio(spec):.4f}")
+    print(f"  misses/iteration       {profile.misses_per_iteration(spec):.4f}")
+    print(f"  cold fraction          {profile.cold_fraction():.4f}")
+    print(f"  set-conflict add-on    {profile.conflict_probability(spec):.4f}")
+    return 0
+
 def cmd_optimize(args: argparse.Namespace) -> int:
     from repro.unroll.report import optimization_report
 
     nest = _nest(args.nest)
     machine = _machine(args.machine)
     result = api.optimize(nest, machine, bound=args.bound,
-                          include_cache=not args.no_cache)
+                          include_cache=not args.no_cache,
+                          cache_model=args.cache_model)
     print(optimization_report(nest, machine, result=result,
                               bound=args.bound,
                               include_cache=not args.no_cache,
@@ -396,12 +433,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("--machine", default="alpha")
     p_analyze.set_defaults(func=cmd_analyze)
 
+    p_prof = sub.add_parser(
+        "profile", help="static reuse-distance profile and set-associative "
+                        "miss prediction (see docs/REUSE.md)")
+    p_prof.add_argument("nest")
+    p_prof.add_argument("--machine", default="alpha")
+    p_prof.add_argument("--trip", type=int, default=100,
+                        help="per-loop trip count the delays scale with")
+    p_prof.add_argument("--json", action="store_true",
+                        help="emit the profile document as JSON")
+    p_prof.set_defaults(func=cmd_profile)
+
     p_opt = sub.add_parser("optimize", help="full unroll-and-jam report")
     p_opt.add_argument("nest")
     p_opt.add_argument("--machine", default="alpha")
     p_opt.add_argument("--bound", type=int, default=8)
     p_opt.add_argument("--no-cache", action="store_true",
                        help="use the cache-oblivious balance model")
+    p_opt.add_argument("--cache-model", choices=("binary", "assoc"),
+                       default="binary",
+                       help="miss model for ranking unroll vectors: the "
+                            "paper's binary Equation-1 charge, or the "
+                            "set-associative reuse-profile estimate "
+                            "(docs/REUSE.md)")
     p_opt.add_argument("--quiet", action="store_true",
                        help="omit code listings")
     p_opt.set_defaults(func=cmd_optimize)

@@ -35,7 +35,11 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover -- type names only
+    from repro.engine.shared import SharedTableStore
+    from repro.reuse.profile import NestReuseProfile
 
 from repro.dependence.graph import DependenceGraph, build_dependence_graph
 from repro.engine.metrics import Metrics
@@ -237,6 +241,7 @@ class AnalysisEngine:
         self._graphs = _LRU(capacity)
         self._artifacts = _LRU(capacity)
         self._tables = _LRU(capacity)
+        self._profiles = _LRU(capacity)
 
     # -- memoized building blocks -------------------------------------------
 
@@ -286,6 +291,30 @@ class AnalysisEngine:
         self._artifacts.put(key, artifacts)
         return artifacts
 
+    def reuse_profile(self, nest: LoopNest,
+                      machine: MachineModel | None = None,
+                      line_size: int | None = None,
+                      trip: int = 100) -> "NestReuseProfile":
+        """The static reuse-distance profile of one nest, memoized by
+        structural key (see :func:`repro.reuse.profile.reuse_profile`)."""
+        from repro.reuse.profile import reuse_profile as build_profile
+
+        if line_size is None:
+            line_size = machine.cache_line_words if machine is not None else 4
+        key = (nest.structural_key(), line_size, trip)
+        cached = self._profiles.get(key)
+        if cached is not None:
+            self.metrics.count("cache.profile.hit")
+            return cached
+        self.metrics.count("cache.profile.miss")
+        artifacts = self.analyze(nest, line_size=line_size)
+        with self.metrics.timer("stage.reuse_profile"), \
+                _span("engine.reuse_profile", nest=nest.name):
+            profile = build_profile(nest, line_size=line_size, trip=trip,
+                                    ugs=artifacts.ugs)
+        self._profiles.put(key, profile)
+        return profile
+
     def tables(self, nest: LoopNest, space: UnrollSpace, line_size: int,
                trip: int = 100,
                ugs: Sequence[UniformlyGeneratedSet] | None = None,
@@ -327,7 +356,8 @@ class AnalysisEngine:
     def optimize(self, nest: LoopNest, machine: MachineModel,
                  bound: int = DEFAULT_BOUND, max_loops: int = 2,
                  include_cache: bool = True,
-                 trip: int = 100) -> OptimizationResult:
+                 trip: int = 100,
+                 cache_model: str = "binary") -> OptimizationResult:
         """Memoized equivalent of :func:`repro.unroll.optimize.choose_unroll`
         (same decision, byte-identical unroll vector).
 
@@ -335,7 +365,16 @@ class AnalysisEngine:
         (dependence graph, safety bounds, locality scores, UGS partition)
         and this engine's cached table layer, so nothing is rebuilt on the
         warm path.
+
+        ``cache_model="assoc"`` ranks candidates with the reuse-distance
+        profile's set-associative miss estimate for this machine's cache
+        geometry instead of the paper's binary hit/miss charge
+        (docs/REUSE.md); the default ``"binary"`` keeps the decision
+        byte-identical to the paper's algorithm.
         """
+        if cache_model not in ("binary", "assoc"):
+            raise ValueError(f"unknown cache model {cache_model!r} "
+                             "(expected 'binary' or 'assoc')")
         with self.metrics.timer("stage.optimize"), \
                 _span("engine.optimize", nest=nest.name,
                       machine=machine.name), \
@@ -354,11 +393,17 @@ class AnalysisEngine:
                         _span(f"unroll.{name}"):
                     yield
 
+            miss_model = None
+            if cache_model == "assoc":
+                from repro.reuse.profile import AssocMissModel
+
+                profile = self.reuse_profile(nest, machine, line_size, trip)
+                miss_model = AssocMissModel.for_machine(profile, machine)
             result = choose_unroll(
                 nest, machine, bound, max_loops, include_cache, trip,
                 graph=artifacts.graph, safety=artifacts.safety,
                 scores=artifacts.locality, tables_builder=tables_builder,
-                stage=stage)
+                stage=stage, miss_model=miss_model)
         self.metrics.count("engine.optimize")
         return result
 

@@ -1,14 +1,106 @@
-"""A set-associative LRU cache simulator (word-addressed).
+"""Set-associative cache geometry: executable simulator + analytic model.
 
-The balance model charges for main-memory accesses; the simulator verifies
-those charges against an actual address stream.  Geometry comes from the
-:class:`repro.machine.model.MachineModel`: capacity and line size in
-double-precision words, LRU replacement within each set.
+Two views of the same hardware live here:
+
+* :class:`CacheSimulator` -- a word-addressed LRU simulator that replays an
+  actual address stream (the oracle the static model is validated against).
+* :class:`CacheSpec` + :func:`miss_probability` -- the analytic side: given
+  a *reuse distance* (number of distinct lines touched between two uses of
+  the same line), the probability the second use misses in a cache of this
+  geometry.
+
+The analytic model treats set conflicts as binomial: each of the ``d``
+intervening lines lands in the accessed line's set independently with
+probability ``1/num_sets``, and the access misses when at least ``assoc``
+of them do (LRU evicts the line from its set).  Two regimes are exact
+rather than probabilistic:
+
+* ``d < assoc`` -- LRU guarantees survival regardless of mapping; hit.
+* ``num_sets == 1`` (fully associative) -- the reuse distance *is* the LRU
+  stack distance, so the access hits iff ``d < assoc``.
+
+Geometry comes from the :class:`repro.machine.model.MachineModel`:
+capacity and line size in double-precision words, LRU replacement within
+each set.
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
+
 from repro.machine.model import MachineModel
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Pure cache geometry (words), shared by the simulator and the
+    analytic miss model."""
+
+    size_words: int
+    line_words: int
+    assoc: int = 1
+
+    def __post_init__(self):
+        if self.size_words <= 0 or self.line_words <= 0 or self.assoc <= 0:
+            raise ValueError("cache geometry must be positive")
+        if self.size_words % (self.line_words * self.assoc):
+            raise ValueError("size must be a multiple of line * associativity")
+
+    @staticmethod
+    def for_machine(machine: MachineModel) -> "CacheSpec":
+        return CacheSpec(machine.cache_size_words, machine.cache_line_words,
+                         machine.cache_assoc)
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_words // (self.line_words * self.assoc)
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_words // self.line_words
+
+    def describe(self) -> str:
+        shape = ("direct-mapped" if self.assoc == 1
+                 else "fully-assoc" if self.num_sets == 1
+                 else f"{self.assoc}-way")
+        return (f"{self.size_words}w/{self.line_words}w-line {shape}")
+
+def miss_probability(distance: float | None, spec: CacheSpec) -> float:
+    """P(miss) for a reuse distance of ``distance`` distinct lines.
+
+    ``None`` (or infinite/NaN) means no prior use -- a cold access, which
+    always misses.  Otherwise the binomial set-conflict model described in
+    the module docstring, with the exact ``d < assoc`` and fully
+    associative regimes short-circuited.
+    """
+    if distance is None:
+        return 1.0
+    if isinstance(distance, float) and (math.isinf(distance)
+                                        or math.isnan(distance)):
+        return 1.0
+    if distance < 0:
+        raise ValueError(f"negative reuse distance: {distance}")
+    d = int(distance)
+    if d < spec.assoc:
+        return 0.0
+    sets = spec.num_sets
+    if sets == 1:
+        return 1.0  # fully associative: d >= assoc means evicted under LRU
+    # P(hit) = sum_{j=0}^{assoc-1} C(d, j) p^j (1-p)^(d-j), p = 1/sets.
+    p = 1.0 / sets
+    q = 1.0 - p
+    try:
+        term = q ** d
+    except OverflowError:
+        term = 0.0
+    if term == 0.0:
+        # Underflow: with d conflicting draws this large the line is gone.
+        return 1.0
+    hit = term
+    for j in range(spec.assoc - 1):
+        term *= (d - j) / (j + 1) * (p / q)
+        hit += term
+    return min(1.0, max(0.0, 1.0 - hit))
 
 class CacheSimulator:
     """Word-addressed set-associative cache with LRU replacement."""
@@ -28,6 +120,10 @@ class CacheSimulator:
     def for_machine(machine: MachineModel) -> "CacheSimulator":
         return CacheSimulator(machine.cache_size_words,
                               machine.cache_line_words, machine.cache_assoc)
+
+    @staticmethod
+    def from_spec(spec: CacheSpec) -> "CacheSimulator":
+        return CacheSimulator(spec.size_words, spec.line_words, spec.assoc)
 
     def access(self, address: int) -> bool:
         """Touch one word; returns True on hit."""

@@ -6,7 +6,8 @@ engine-labeled corpora and serves its unroll predictions in
 microseconds as the ``tier=fast`` serving mode (docs/PREDICT.md):
 
 * :mod:`repro.predict.features` -- the deterministic per-nest feature
-  vectors (schema v1) every model is trained and served on;
+  vectors every model is trained and served on (schema v1 by default;
+  the additive v2 appends reuse-profile statistics, docs/REUSE.md);
 * :mod:`repro.predict.train` -- corpus labeling through
   :func:`repro.api.optimize_many`, per-depth softmax training, and the
   versioned JSON model artifact (``python -m repro train``);
@@ -20,7 +21,9 @@ The committed default artifact lives at
 
 from repro.predict.features import (
     FEATURE_SCHEMA_VERSION,
+    LATEST_FEATURE_VERSION,
     MAX_DEPTH,
+    SUPPORTED_FEATURE_VERSIONS,
     feature_names,
     featurize,
 )
@@ -35,7 +38,9 @@ from repro.predict.model import (
 
 __all__ = [
     "FEATURE_SCHEMA_VERSION",
+    "LATEST_FEATURE_VERSION",
     "MAX_DEPTH",
+    "SUPPORTED_FEATURE_VERSIONS",
     "ModelFormatError",
     "Prediction",
     "UnrollPredictor",

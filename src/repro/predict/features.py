@@ -1,14 +1,23 @@
-"""Feature schema v1: deterministic, microsecond-scale nest featurization.
+"""Feature schemas: deterministic nest featurization for the fast tier.
 
 The fast tier's budget is a small fraction of the exact cold path, so
-nothing here touches the dependence graph, the locality scores, or the
-unroll tables.  One walk over the statements and array references
-derives cheap proxies for exactly the quantities the exact search
-weighs -- per-level invariant and group-reused references (the loads
-unroll-and-jam can amortize), register cost per unroll copy, and the
-gap between the nest's naive loop balance and the machine balance --
-plus the machine-preset parameters, so one model can serve every
-preset.
+schema **v1** (the default) touches neither the dependence graph, the
+locality scores, nor the unroll tables.  One walk over the statements
+and array references derives cheap proxies for exactly the quantities
+the exact search weighs -- per-level invariant and group-reused
+references (the loads unroll-and-jam can amortize), register cost per
+unroll copy, and the gap between the nest's naive loop balance and the
+machine balance -- plus the machine-preset parameters, so one model can
+serve every preset.
+
+Schema **v2** is strictly additive: the full v1 layout, then summary
+statistics of the static reuse-distance profile
+(:func:`repro.reuse.profile.reuse_profile`, docs/REUSE.md) -- cold
+fraction, set-conflict probability on the machine's own geometry, the
+median log reuse distance, the in-cache fraction, and per-level carried
+reuse mass.  Those cost a UGS partition per nest (still no dependence
+graph), so v2 trades a little featurization time for cache-behavior
+signal.  v1 artifacts keep loading and serving unchanged.
 
 The schema is frozen per version: :func:`feature_names` is embedded in
 every model artifact and checked at load time, so a model can never be
@@ -27,13 +36,22 @@ from repro.unroll.space import DEFAULT_BOUND
 
 __all__ = [
     "FEATURE_SCHEMA_VERSION",
+    "LATEST_FEATURE_VERSION",
     "MAX_DEPTH",
+    "SUPPORTED_FEATURE_VERSIONS",
     "feature_names",
     "featurize",
 ]
 
-#: Bumped whenever the vector layout changes; artifacts record it.
+#: The default schema: what new artifacts are trained with unless asked
+#: otherwise, and what the committed default model ships with.
 FEATURE_SCHEMA_VERSION = 1
+
+#: Every layout this build can compute and serve.  An artifact records
+#: the version it was trained with; the loader accepts any of these and
+#: featurizes accordingly.
+SUPPORTED_FEATURE_VERSIONS = (1, 2)
+LATEST_FEATURE_VERSION = 2
 
 #: Per-level feature slots are padded/truncated to this many loops.
 MAX_DEPTH = 4
@@ -63,14 +81,28 @@ _MACHINE_NAMES = (
 
 _PARAM_NAMES = ("p_bound", "p_trip")
 
+#: Schema v2's additive tail: reuse-profile summary statistics
+#: (docs/REUSE.md), globals first, then one carried-mass slot per level.
+_V2_GLOBAL_NAMES = (
+    "rp_lines_per_iter", "rp_cold_fraction", "rp_conflict_prob",
+    "rp_median_log_distance", "rp_in_cache_fraction",
+)
 
-def feature_names(max_depth: int = MAX_DEPTH) -> list[str]:
-    """The frozen, ordered names of schema v1 (length 75 at depth 4)."""
+
+def feature_names(max_depth: int = MAX_DEPTH,
+                  version: int = FEATURE_SCHEMA_VERSION) -> list[str]:
+    """The frozen, ordered names of one schema version (v1 is length 87
+    at depth 4; v2 appends its reuse-profile tail)."""
+    if version not in SUPPORTED_FEATURE_VERSIONS:
+        raise ValueError(f"unsupported feature schema version {version!r}")
     names = list(_GLOBAL_NAMES)
     for level in range(max_depth):
         names.extend(f"l{level}_{name}" for name in _LEVEL_NAMES)
     names.extend(_MACHINE_NAMES)
     names.extend(_PARAM_NAMES)
+    if version >= 2:
+        names.extend(_V2_GLOBAL_NAMES)
+        names.extend(f"rp_carried_l{level}" for level in range(max_depth))
     return names
 
 
@@ -171,17 +203,50 @@ def _level_features(refs: list[ArrayRef],
     ]
 
 
+def _v2_tail(nest: LoopNest, machine: MachineModel, trip: int,
+             max_depth: int) -> list[float]:
+    """Schema v2's reuse-profile statistics (zeros when the profile
+    machinery cannot handle the nest, so v2 degrades, never raises)."""
+    from repro.machine.cache import CacheSpec
+    from repro.reuse.profile import reuse_profile
+
+    try:
+        profile = reuse_profile(nest, line_size=machine.cache_line_words,
+                                trip=trip)
+        spec = CacheSpec.for_machine(machine)
+    except Exception:
+        return [0.0] * (len(_V2_GLOBAL_NAMES) + max_depth)
+    median = profile.distance_quantile(0.5)
+    carried = profile.carried_fractions()
+    tail = [
+        profile.lines_per_iteration,
+        profile.cold_fraction(),
+        profile.conflict_probability(spec),
+        math.log2(1.0 + median) if median is not None else 0.0,
+        profile.fraction_under(float(spec.num_lines)),
+    ]
+    for level in range(max_depth):
+        tail.append(carried[level] if level < len(carried) else 0.0)
+    return tail
+
+
 def featurize(nest: LoopNest, machine: MachineModel,
               bound: int = DEFAULT_BOUND, trip: int = 100,
-              max_depth: int = MAX_DEPTH) -> list[float]:
-    """The schema-v1 feature vector of one nest on one machine.
+              max_depth: int = MAX_DEPTH,
+              version: int = FEATURE_SCHEMA_VERSION) -> list[float]:
+    """The feature vector of one nest on one machine, laid out per
+    ``version`` (default: schema v1).
 
-    Purely structural and arithmetic -- no dependence analysis, no
+    v1 is purely structural and arithmetic -- no dependence analysis, no
     table construction -- so the cost is a few hundred microseconds on
-    the deepest corpus nests.  Deterministic for equal structural keys:
-    two nests that coerce to the same interned structure produce the
-    same vector on the same machine and parameters.
+    the deepest corpus nests.  v2 appends reuse-profile statistics,
+    which additionally cost a UGS partition (:mod:`repro.reuse.profile`).
+    Deterministic for equal structural keys: two nests that coerce to
+    the same interned structure produce the same vector on the same
+    machine and parameters.
     """
+    if version not in SUPPORTED_FEATURE_VERSIONS:
+        raise ValueError(f"unsupported feature schema version {version!r}")
     reads, writes = _collect_refs(nest)
     refs = reads + writes
     groups: dict[tuple, list[ArrayRef]] = defaultdict(list)
@@ -252,6 +317,8 @@ def featurize(nest: LoopNest, machine: MachineModel,
         float(machine.prefetch_bandwidth or 0.0),
     ])
     vector.extend([float(bound), float(trip)])
+    if version >= 2:
+        vector.extend(_v2_tail(nest, machine, trip, max_depth))
     return vector
 
 

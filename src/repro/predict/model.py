@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from repro.ir.nodes import LoopNest
 from repro.machine.model import MachineModel
 from repro.predict.features import (
-    FEATURE_SCHEMA_VERSION,
+    SUPPORTED_FEATURE_VERSIONS,
     feature_names,
     featurize,
 )
@@ -111,13 +111,17 @@ class UnrollPredictor:
                 f"artifact format {version!r} unsupported (this build "
                 f"reads {ARTIFACT_FORMAT_VERSION})")
         schema = artifact.get("feature_schema") or {}
-        if schema.get("version") != FEATURE_SCHEMA_VERSION:
+        if schema.get("version") not in SUPPORTED_FEATURE_VERSIONS:
             raise ModelFormatError(
                 f"feature schema {schema.get('version')!r} unsupported "
-                f"(this build computes {FEATURE_SCHEMA_VERSION})")
-        if schema.get("names") != feature_names():
+                f"(this build computes "
+                f"{', '.join(map(str, SUPPORTED_FEATURE_VERSIONS))})")
+        self.feature_version = int(schema["version"])
+        if schema.get("names") != feature_names(
+                version=self.feature_version):
             raise ModelFormatError(
-                "artifact feature names do not match this build's schema")
+                "artifact feature names do not match this build's "
+                f"v{self.feature_version} schema")
         algorithm = artifact.get("algorithm")
         if algorithm not in ("softmax", "stumps"):
             raise ModelFormatError(f"unknown algorithm {algorithm!r}")
@@ -127,7 +131,7 @@ class UnrollPredictor:
         self.confidence_floor = float(artifact.get("confidence_floor", 0.0))
         self.metrics = dict(artifact.get("metrics") or {})
         self.trained = dict(artifact.get("trained") or {})
-        self._dims = len(feature_names())
+        self._dims = len(feature_names(version=self.feature_version))
         self._heads: dict[int, dict] = {}
         depths = artifact.get("depths")
         if not isinstance(depths, dict) or not depths:
@@ -217,8 +221,10 @@ class UnrollPredictor:
     def predict(self, nest: LoopNest, machine: MachineModel,
                 bound: int = DEFAULT_BOUND,
                 trip: int = 100) -> Prediction | None:
-        """Featurize and score one nest (the serving layer's call)."""
-        vector = featurize(nest, machine, bound=bound, trip=trip)
+        """Featurize (with the artifact's own schema version) and score
+        one nest -- the serving layer's call."""
+        vector = featurize(nest, machine, bound=bound, trip=trip,
+                           version=self.feature_version)
         return self.predict_vector(vector, nest.depth)
 
     # -- introspection -------------------------------------------------------
@@ -229,7 +235,7 @@ class UnrollPredictor:
             "model_id": self.model_id,
             "algorithm": self.algorithm,
             "depths": list(self.depths),
-            "feature_schema_version": FEATURE_SCHEMA_VERSION,
+            "feature_schema_version": self.feature_version,
             "held_out_top1": self.metrics.get("held_out_top1"),
             "confidence_floor": self.confidence_floor,
         }

@@ -40,6 +40,7 @@ from repro.corpus import CorpusConfig
 from repro.corpus.generator import generate_corpus
 from repro.predict.features import (
     FEATURE_SCHEMA_VERSION,
+    SUPPORTED_FEATURE_VERSIONS,
     feature_names,
     featurize,
     standardize_stats,
@@ -101,6 +102,9 @@ class TrainConfig:
     label_smoothing: float = 0.08
     accuracy_floor: float = DEFAULT_ACCURACY_FLOOR
     confidence_floor: float = DEFAULT_CONFIDENCE_FLOOR
+    #: Which feature layout to train on (see repro.predict.features);
+    #: the default keeps new artifacts on the v1 schema.
+    feature_version: int = FEATURE_SCHEMA_VERSION
 
 
 # -- labeling -----------------------------------------------------------------
@@ -128,7 +132,8 @@ def label_corpus(config: TrainConfig, engine=None,
             examples.append(Example(
                 name=nest.name,
                 features=featurize(nest, machine, bound=config.bound,
-                                   trip=config.trip),
+                                   trip=config.trip,
+                                   version=config.feature_version),
                 label=tuple(item.result.unroll),
                 depth=nest.depth,
                 machine=machine_name))
@@ -169,7 +174,7 @@ def fit_heads(examples: list[Example],
               config: TrainConfig) -> dict[str, dict]:
     """One softmax head per depth present in ``examples``."""
     rng = random.Random(config.shuffle_seed)
-    dims = len(feature_names())
+    dims = len(feature_names(version=config.feature_version))
     by_depth: dict[int, list[Example]] = {}
     for example in examples:
         by_depth.setdefault(example.depth, []).append(example)
@@ -265,8 +270,8 @@ def build_artifact(heads: dict[str, dict], config: TrainConfig,
         "algorithm": "softmax",
         "model_id": _model_id(heads),
         "feature_schema": {
-            "version": FEATURE_SCHEMA_VERSION,
-            "names": feature_names(),
+            "version": config.feature_version,
+            "names": feature_names(version=config.feature_version),
         },
         "confidence_floor": config.confidence_floor,
         "depths": heads,
@@ -344,6 +349,11 @@ def add_train_arguments(parser: argparse.ArgumentParser) -> None:
                              "default alpha)")
     parser.add_argument("--bound", type=int, default=DEFAULT_BOUND)
     parser.add_argument("--trip", type=int, default=100)
+    parser.add_argument("--feature-version", type=int,
+                        default=FEATURE_SCHEMA_VERSION,
+                        choices=SUPPORTED_FEATURE_VERSIONS,
+                        help="feature schema to train on (2 adds "
+                             "reuse-profile statistics; docs/REUSE.md)")
     parser.add_argument("--workers", type=int, default=None,
                         help="labeling process-pool size")
     parser.add_argument("--epochs", type=int, default=250)
@@ -374,6 +384,7 @@ def run_train(args: argparse.Namespace) -> int:
         held_out_fraction=args.held_out,
         epochs=args.epochs,
         accuracy_floor=args.floor,
+        feature_version=args.feature_version,
     )
     log = (lambda msg: None) if args.json else \
         (lambda msg: print(msg, flush=True))

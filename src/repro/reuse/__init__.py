@@ -30,10 +30,21 @@ from repro.reuse.locality import (
     nest_memory_cost,
     ugs_memory_cost,
 )
+from repro.reuse.profile import (
+    AssocMissModel,
+    NestReuseProfile,
+    ReferenceProfile,
+    ReuseBin,
+    reuse_profile,
+)
 
 __all__ = [
+    "AssocMissModel",
     "GroupSolution",
     "LocalitySummary",
+    "NestReuseProfile",
+    "ReferenceProfile",
+    "ReuseBin",
     "UniformlyGeneratedSet",
     "group_spatial_partition",
     "group_spatial_solution",
@@ -42,6 +53,7 @@ __all__ = [
     "innermost_localized_space",
     "nest_memory_cost",
     "partition_ugs",
+    "reuse_profile",
     "self_spatial_space",
     "self_temporal_space",
     "ugs_memory_cost",

@@ -249,9 +249,16 @@ class MicroBatcher:
                 self.engine.profiler.profile("serve.flush"):
             try:
                 if job.kind == "analyze":
+                    params = dict(job.params)
+                    want_profile = params.pop("profile", False)
                     artifacts = self.engine.analyze(job.nest, job.machine)
+                    profile = None
+                    if want_profile:
+                        profile = self.engine.reuse_profile(
+                            job.nest, job.machine,
+                            trip=params.get("trip", 100))
                     return protocol.analyze_payload(job.nest, job.machine,
-                                                    artifacts), None
+                                                    artifacts, profile), None
                 if job.kind == "optimize":
                     result = self.engine.optimize(job.nest, job.machine,
                                                   **job.params)

@@ -97,11 +97,15 @@ CONTENT_TYPE_FRAME = "application/x-repro-frame"
 WIRE_VERSION = 2
 
 #: Engine parameters a request may override, with their coercions.
+#: ``profile`` (analyze only) asks for the reuse-distance profile
+#: (docs/REUSE.md) as an extra ``reuse_profile`` response field; requests
+#: that omit it get the frozen v1 analyze body byte-for-byte.
 _PARAM_TYPES = {
     "bound": int,
     "max_loops": int,
     "include_cache": bool,
     "trip": int,
+    "profile": bool,
 }
 
 class ProtocolError(Exception):
@@ -188,6 +192,9 @@ def spec_from_document(kind: str, doc: object,
     if "bound" in params and not 1 <= params["bound"] <= 64:
         raise ProtocolError(400, "bad_request",
                             "'bound' must be between 1 and 64")
+    if "profile" in params and kind != "analyze":
+        raise ProtocolError(400, "bad_request",
+                            "'profile' applies only to analyze requests")
     tier = doc.get("tier")
     if tier is not None:
         if not isinstance(tier, str) or tier not in TIERS:
@@ -219,8 +226,12 @@ def spec_from_document(kind: str, doc: object,
 # -- response bodies ----------------------------------------------------------
 
 def analyze_payload(nest: LoopNest, machine: MachineModel,
-                    artifacts: NestArtifacts) -> dict:
-    return {
+                    artifacts: NestArtifacts, profile=None) -> dict:
+    """The analyze response body.  ``profile`` (a
+    :class:`~repro.reuse.profile.NestReuseProfile`) is attached only when
+    the request asked for it via ``"profile": true`` -- requests that
+    don't stay byte-identical to the frozen v1 body."""
+    payload = {
         "ok": True,
         "kind": "analyze",
         "nest": nest.name,
@@ -233,6 +244,9 @@ def analyze_payload(nest: LoopNest, machine: MachineModel,
         "ugs_groups": len(artifacts.ugs),
         "line_size": artifacts.line_size,
     }
+    if profile is not None:
+        payload["reuse_profile"] = profile.to_dict()
+    return payload
 
 def optimize_payload(nest: LoopNest, machine: MachineModel,
                      result: OptimizationResult) -> dict:

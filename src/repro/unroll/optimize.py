@@ -70,7 +70,8 @@ def select_candidate_loops(nest: LoopNest, safety: tuple[int, ...],
 
 def search_space(tables: UnrollTables, machine: MachineModel,
                  include_cache: bool = True,
-                 prune: bool = True) -> tuple[UnrollVector, bool]:
+                 prune: bool = True,
+                 miss_model=None) -> tuple[UnrollVector, bool]:
     """Exhaustive search of the (precomputed) table for the best vector.
 
     Prefers register-feasible vectors; among those, minimizes the balance
@@ -83,6 +84,10 @@ def search_space(tables: UnrollTables, machine: MachineModel,
     is exactly one the plain scan would reject on its register check.
     The selected vector is identical either way (``prune=False`` keeps the
     seed scan for the parity suite).
+
+    ``miss_model`` (e.g. :class:`repro.reuse.profile.AssocMissModel`)
+    swaps the binary Equation-1 miss charge in the objective for a
+    set-associative estimate; ``None`` keeps the paper's ranking exactly.
     """
     best_u: UnrollVector | None = None
     best_key: tuple | None = None
@@ -98,7 +103,8 @@ def search_space(tables: UnrollTables, machine: MachineModel,
             if prune:
                 infeasible.append(reduced)
             continue
-        key = (objective(point, machine, include_cache), body_copies(u), u)
+        key = (objective(point, machine, include_cache, miss_model),
+               body_copies(u), u)
         if best_key is None or key < best_key:
             best_key, best_u = key, u
     if best_u is None:
@@ -120,6 +126,7 @@ def choose_unroll(nest: LoopNest, machine: MachineModel,
                                            UnrollTables] | None = None,
                   prune: bool = True, fast: bool = True,
                   stage: Callable[[str], object] | None = None,
+                  miss_model=None,
                   ) -> OptimizationResult:
     """End-to-end unroll-and-jam decision for one nest (the paper's
     algorithm: tables from uniformly generated sets, then an O(bound^2)
@@ -133,7 +140,10 @@ def choose_unroll(nest: LoopNest, machine: MachineModel,
     layer); ``stage`` wraps named stages in the caller's instrumentation
     (a callable returning a context manager).  ``prune=False`` and
     ``fast=False`` select the seed search/table algorithms for the parity
-    suite and benchmarks.
+    suite and benchmarks.  ``miss_model`` ranks candidates with a
+    set-associative miss estimate instead of the binary Equation-1 charge
+    (see :func:`search_space`); the default ``None`` reproduces the
+    paper's decision bit-for-bit.
     """
     stage = stage if stage is not None else _no_stage
     if safety is None:
@@ -153,9 +163,9 @@ def choose_unroll(nest: LoopNest, machine: MachineModel,
                               fast=fast)
     with stage("search"):
         chosen, feasible = search_space(tables, machine, include_cache,
-                                        prune=prune)
+                                        prune=prune, miss_model=miss_model)
         point = tables.point(chosen)
-        breakdown = loop_balance(point, machine, include_cache)
+        breakdown = loop_balance(point, machine, include_cache, miss_model)
     return OptimizationResult(
         nest=nest,
         unroll=chosen,

@@ -41,6 +41,9 @@ BASE_COLD = {"cold_nests_per_sec": 100.0, "speedup_vs_seed": 2.2,
              "seed_nests_per_sec": 45.0, "bound": 4.0,
              "build_tables_p95_s": 0.02}
 BASE_PREDICT = {"held_out_top1": 0.88, "fast_decisions_per_sec": 4000.0}
+BASE_REUSE = {"direct_mean_abs_error": 0.033,
+              "assoc4_mean_abs_error": 0.024,
+              "assoc8_mean_abs_error": 0.025}
 
 def engine_results(nests_per_sec: float = 40.0,
                    hit_rate: float = 1.0) -> dict:
@@ -72,6 +75,13 @@ def predict_results(accuracy: float = 0.88,
     return {"eval": {"accuracy": accuracy},
             "latency": {"fast_per_sec": per_sec}}
 
+def reuse_results(direct: float = 0.033, assoc4: float = 0.024,
+                  assoc8: float = 0.025) -> dict:
+    return {"geometries": {
+        "direct_512": {"mean_abs_error": direct},
+        "assoc4_1024": {"mean_abs_error": assoc4},
+        "assoc8_2048": {"mean_abs_error": assoc8}}}
+
 _DEFAULT = object()  # sentinel: include plausible results for the bench
 
 def write_tree(tmp_path: pathlib.Path, engine: dict | None,
@@ -79,7 +89,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
                baselines: dict[str, dict] | None = None,
                cluster: dict | None | object = _DEFAULT,
                cold: dict | None | object = _DEFAULT,
-               predict: dict | None | object = _DEFAULT) -> tuple[
+               predict: dict | None | object = _DEFAULT,
+               reuse: dict | None | object = _DEFAULT) -> tuple[
                    pathlib.Path, pathlib.Path]:
     results = tmp_path / "results"
     results.mkdir(exist_ok=True)
@@ -89,6 +100,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
         cold = cold_results()
     if predict is _DEFAULT:
         predict = predict_results()
+    if reuse is _DEFAULT:
+        reuse = reuse_results()
     if engine is not None:
         (results / "engine_throughput.json").write_text(json.dumps(engine))
     if serve is not None:
@@ -100,6 +113,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
         (results / "cold_analysis.json").write_text(json.dumps(cold))
     if predict is not None:
         (results / "predict.json").write_text(json.dumps(predict))
+    if reuse is not None:
+        (results / "reuse_profile.json").write_text(json.dumps(reuse))
     baseline_dir = tmp_path / "baselines"
     baseline_dir.mkdir(exist_ok=True)
     for name, metrics in (baselines or {}).items():
@@ -111,7 +126,8 @@ DEFAULT_BASELINES = {"engine_throughput": BASE_ENGINE,
                      "serve_throughput": BASE_SERVE,
                      "cluster_throughput": BASE_CLUSTER,
                      "cold_analysis": BASE_COLD,
-                     "predict": BASE_PREDICT}
+                     "predict": BASE_PREDICT,
+                     "reuse_profile": BASE_REUSE}
 
 class TestCompare:
     def test_synthetic_2x_slowdown_fails(self):
@@ -172,7 +188,7 @@ class TestCheckAndUpdate:
                                         serve_results(),
                                         DEFAULT_BASELINES)
         rows, ok = regression.check(results, baselines, 0.25)
-        assert ok and len(rows) == 15
+        assert ok and len(rows) == 18
 
     def test_check_fails_on_2x_slowdown_tree(self, tmp_path):
         results, baselines = write_tree(
@@ -216,7 +232,8 @@ class TestCheckAndUpdate:
                                              "serve_throughput.json",
                                              "cluster_throughput.json",
                                              "cold_analysis.json",
-                                             "predict.json"}
+                                             "predict.json",
+                                             "reuse_profile.json"}
         _, ok = regression.check(results, baselines, 0.25)
         assert ok
         doc = json.loads((baselines / "engine_throughput.json").read_text())
@@ -254,15 +271,16 @@ class TestMainAndTable:
         assert table.startswith("### Benchmark regression gate")
         assert "| benchmark | metric | baseline | current | delta " \
             "| status |" in table
-        assert table.count("✅") == 15
+        assert table.count("✅") == 18
         # One data row per tracked metric, rendered as a pipe table.
         data_rows = [line for line in table.splitlines()
                      if line.startswith("| engine_throughput")
                      or line.startswith("| serve_throughput")
                      or line.startswith("| cluster_throughput")
                      or line.startswith("| cold_analysis")
-                     or line.startswith("| predict")]
-        assert len(data_rows) == 15
+                     or line.startswith("| predict")
+                     or line.startswith("| reuse_profile")]
+        assert len(data_rows) == 18
         capsys.readouterr()
 
     def test_committed_baselines_are_wellformed(self):

@@ -60,6 +60,54 @@ class TestCacheSimulator:
         with pytest.raises(ValueError):
             CacheSimulator(15, 4, 1)
 
+class TestEdgeGeometries:
+    """The geometry extremes the set-associative miss model is validated
+    against (docs/REUSE.md): direct-mapped, fully associative, and lines
+    wider than the innermost stride."""
+
+    def test_direct_mapped_ping_pong(self):
+        # assoc=1: two lines in the same set evict each other forever.
+        cache = CacheSimulator(64, 4, 1)  # 16 sets
+        for _ in range(4):
+            assert not cache.access(0)
+            assert not cache.access(64)  # 64 words = 16 lines -> set 0
+        assert cache.hits == 0
+
+    def test_fully_associative_single_set(self):
+        # size == line * assoc: one set holding every line, pure LRU.
+        cache = CacheSimulator(32, 4, 8)
+        for line in range(8):
+            assert not cache.access(line * 4)
+        for line in range(8):  # all 8 lines resident, any order hits
+            assert cache.access(line * 4)
+        assert not cache.access(8 * 4)  # 9th line evicts the LRU (line 0)
+        assert not cache.access(0)
+
+    def test_fully_associative_beats_direct_on_conflicts(self):
+        addresses = [0, 64, 0, 64, 0, 64]
+        direct = CacheSimulator(64, 4, 1)
+        full = CacheSimulator(64, 4, 16)
+        for a in addresses:
+            direct.access(a)
+            full.access(a)
+        assert direct.hits == 0
+        assert full.hits == len(addresses) - 2
+
+    def test_line_wider_than_innermost_stride(self):
+        # A 16-word line over stride-1 streams: one miss per 16 touches.
+        machine = small_machine(cache_size_words=256, cache_line_words=16)
+        res = simulate(streaming_nest(), machine, {"N": 127},
+                       {"A": (135,), "B": (135,)})
+        assert res.cache_misses == pytest.approx(2 * 128 / 16, abs=2)
+        assert res.cache_misses < res.cache_accesses / 8
+
+    def test_fully_associative_machine_streams_cleanly(self):
+        machine = small_machine(cache_size_words=64, cache_line_words=4,
+                                cache_assoc=16)  # one set, 16 ways
+        res = simulate(streaming_nest(), machine, {"N": 99},
+                       {"A": (104,), "B": (104,)})
+        assert res.cache_misses == pytest.approx(2 * 100 / 4, abs=2)
+
 def streaming_nest():
     b = NestBuilder("stream")
     I = b.loop("I", 0, "N")
