@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint bench-quick bench-check bench-baseline bench-predict \
-	bench-reuse train serve
+	bench-reuse bench-simd train serve
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -21,6 +21,7 @@ bench-quick:
 	$(PYTHON) benchmarks/bench_cluster_throughput.py --quick
 	$(PYTHON) benchmarks/bench_predict.py --quick
 	$(PYTHON) benchmarks/bench_reuse_profile.py --quick
+	$(PYTHON) benchmarks/bench_simd.py --quick
 
 # The reuse-profile miss-model validation at full corpus size
 # (docs/REUSE.md): mean |predicted - simulated| miss ratio <= 0.05 on
@@ -32,6 +33,12 @@ bench-reuse:
 # >= 0.85 and fast p99 <= 0.05x exact cold p99.
 bench-predict:
 	$(PYTHON) benchmarks/bench_predict.py
+
+# The SLP packing gates at full corpus size (docs/VECTORIZE.md): packed
+# execution bit-identical to the scalar oracle, >=30% of packable nests
+# with a lower vectorized estimate, scalar decisions untouched.
+bench-simd:
+	$(PYTHON) benchmarks/bench_simd.py
 
 # Retrain the committed default fast-tier model artifact (labels the
 # full 4800-nest corpus with the exact engine first -- takes minutes).

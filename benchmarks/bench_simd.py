@@ -1,0 +1,243 @@
+"""SLP packing gates: executor parity, estimate wins, scalar invariance.
+
+Three hard bars for ``repro.simd`` (docs/VECTORIZE.md), all over the
+seeded synthetic corpus:
+
+* **parity** -- ``run_packed`` must be bit-identical to the scalar
+  ``run_unrolled`` oracle on every corpus nest at a fixed unroll vector
+  (zero array mismatches: the lockstep schedule preserves the jammed
+  semantics exactly);
+* **wins** -- of the nests the packer can vectorize at all (at least
+  one pack), at least ``WIN_BAR`` (30%) must get a *lower* vectorized
+  cycle estimate than the scalar issue estimate on the 4-lane
+  ``future_wide`` machine;
+* **invariance** -- the default search must not move: with
+  ``vectorize=False`` the decision is bit-identical to the plain call,
+  and on a scalar machine (``dec_alpha``) ``vectorize=True`` falls back
+  to the identical scalar decision.
+
+The regression gate additionally tracks the (deterministic) packable
+and win fractions against ``benchmarks/baselines/simd.json``.
+
+Runs under pytest (``pytest benchmarks/bench_simd.py``) and as a
+standalone script for the CI job::
+
+    python benchmarks/bench_simd.py --quick
+
+Both modes write ``results/simd.txt`` and ``results/simd.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+import zlib
+
+import numpy as np
+
+_REPO = pathlib.Path(__file__).resolve().parent.parent
+if str(_REPO / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro.corpus import CorpusConfig
+from repro.corpus.generator import generate_corpus
+from repro.ir.interp import run_unrolled
+from repro.ir.packed import run_packed
+from repro.machine.presets import dec_alpha, future_wide
+from repro.simd import vectorize_nest
+from repro.unroll.optimize import choose_unroll
+
+#: Of the packable nests, at least this fraction must see a lower
+#: vectorized estimate (the ISSUE bar).
+WIN_BAR = 0.30
+
+#: The deterministic unroll vector evaluated per nest depth (innermost
+#: always 0; three extra copies fill a 4-lane machine exactly).
+U_BY_DEPTH = {1: (0,), 2: (3, 0), 3: (1, 1, 0)}
+
+#: Per-loop trip count by depth, sized so the fuzzed execution stays
+#: cheap while every main/epilogue split is exercised.
+N_BY_DEPTH = {1: 16, 2: 10, 3: 6}
+
+CORPUS_NESTS = 400
+CORPUS_NESTS_QUICK = 120
+SEARCH_SLICE = 80
+SEARCH_SLICE_QUICK = 40
+SEARCH_BOUND = 4
+
+def _shapes(nest) -> dict[str, tuple[int, ...]]:
+    """One square shape per array, wide enough for every offset ref."""
+    n = N_BY_DEPTH[nest.depth]
+    dims: dict[str, int] = {}
+    for statement in nest.body:
+        for ref in statement.array_reads() + statement.array_writes():
+            dims[ref.array] = max(dims.get(ref.array, 0),
+                                  len(ref.subscripts))
+    return {array: (n + 5,) * count for array, count in dims.items()}
+
+def _parity(nest, u) -> bool:
+    """run_packed vs run_unrolled, bit for bit, on seeded random data."""
+    n = N_BY_DEPTH[nest.depth]
+    bindings = {name: n for name in nest.parameters()}
+    rng = np.random.default_rng(zlib.crc32(nest.name.encode()))
+    base = {name: rng.standard_normal(shape)
+            for name, shape in _shapes(nest).items()}
+    ref = {k: v.copy() for k, v in base.items()}
+    got = {k: v.copy() for k, v in base.items()}
+    run_unrolled(nest, u, bindings, ref, {})
+    run_packed(nest, u, bindings, got, {}, width=4)
+    return all(np.array_equal(ref[k], got[k]) for k in base)
+
+def run_bench(quick: bool = False) -> dict:
+    """The full experiment; returns the JSON-ready payload."""
+    count = CORPUS_NESTS_QUICK if quick else CORPUS_NESTS
+    nests = generate_corpus(CorpusConfig(routines=count))
+    machine = future_wide()
+    scalar_machine = dec_alpha()
+
+    t0 = time.monotonic()
+    mismatches: list[str] = []
+    packable = 0
+    improved = 0
+    speedups: list[float] = []
+    skipped = 0
+    for nest in nests:
+        u = U_BY_DEPTH[nest.depth]
+        try:
+            if not _parity(nest, u):
+                mismatches.append(nest.name)
+        except Exception:
+            skipped += 1
+            continue
+        report = vectorize_nest(nest, u, machine)
+        if report.packs:
+            packable += 1
+            if report.estimate.improved:
+                improved += 1
+                speedups.append(float(report.estimate.speedup))
+
+    # Scalar invariance over a deterministic slice of the corpus.
+    slice_n = SEARCH_SLICE_QUICK if quick else SEARCH_SLICE
+    invariance_mismatches: list[str] = []
+    for nest in nests[:slice_n]:
+        plain = choose_unroll(nest, machine, bound=SEARCH_BOUND)
+        off = choose_unroll(nest, machine, bound=SEARCH_BOUND,
+                            vectorize=False)
+        if (plain.unroll, plain.objective) != (off.unroll, off.objective):
+            invariance_mismatches.append(f"{nest.name}:flag")
+        scalar = choose_unroll(nest, scalar_machine, bound=SEARCH_BOUND)
+        fallback = choose_unroll(nest, scalar_machine, bound=SEARCH_BOUND,
+                                 vectorize=True)
+        if (scalar.unroll, scalar.objective) \
+                != (fallback.unroll, fallback.objective):
+            invariance_mismatches.append(f"{nest.name}:fallback")
+
+    win_fraction = improved / packable if packable else 0.0
+    return {
+        "quick": quick,
+        "corpus_nests": len(nests),
+        "skipped": skipped,
+        "wall_s": time.monotonic() - t0,
+        "win_bar": WIN_BAR,
+        "parity": {
+            "checked": len(nests) - skipped,
+            "mismatches": len(mismatches),
+            "mismatch_nests": mismatches[:10],
+        },
+        "estimates": {
+            "packable": packable,
+            "packable_fraction": packable / len(nests) if nests else 0.0,
+            "improved": improved,
+            "win_fraction": win_fraction,
+            "mean_speedup": (sum(speedups) / len(speedups)
+                             if speedups else 1.0),
+        },
+        "invariance": {
+            "checked": slice_n,
+            "mismatches": len(invariance_mismatches),
+            "mismatch_nests": invariance_mismatches[:10],
+        },
+    }
+
+def acceptance(payload: dict) -> tuple[bool, list[str]]:
+    """The hard bars: zero parity/invariance mismatches, enough wins."""
+    problems = []
+    if payload["parity"]["mismatches"]:
+        problems.append(
+            f"packed executor diverged from run_unrolled on "
+            f"{payload['parity']['mismatches']} nests: "
+            f"{payload['parity']['mismatch_nests']}")
+    if payload["parity"]["checked"] < payload["corpus_nests"] // 2:
+        problems.append(
+            f"parity checked only {payload['parity']['checked']} of "
+            f"{payload['corpus_nests']} nests")
+    est = payload["estimates"]
+    if not est["packable"]:
+        problems.append("no corpus nest was packable at all")
+    elif est["win_fraction"] < WIN_BAR:
+        problems.append(
+            f"only {est['win_fraction']:.0%} of packable nests improved "
+            f"(bar {WIN_BAR:.0%})")
+    if payload["invariance"]["mismatches"]:
+        problems.append(
+            f"vectorize flag changed the scalar decision on "
+            f"{payload['invariance']['mismatches']} nests: "
+            f"{payload['invariance']['mismatch_nests']}")
+    return not problems, problems
+
+def format_simd(payload: dict) -> str:
+    parity = payload["parity"]
+    est = payload["estimates"]
+    inv = payload["invariance"]
+    return "\n".join([
+        f"SLP packing gates ({payload['corpus_nests']} corpus nests, "
+        f"{payload['wall_s']:.1f}s)",
+        "",
+        f"parity:     {parity['checked']} nests executed, "
+        f"{parity['mismatches']} mismatches",
+        f"estimates:  {est['packable']} packable "
+        f"({est['packable_fraction']:.0%} of corpus), "
+        f"{est['improved']} improved "
+        f"({est['win_fraction']:.0%} of packable, bar {WIN_BAR:.0%}), "
+        f"mean est. speedup {est['mean_speedup']:.2f}x",
+        f"invariance: {inv['checked']} nests searched both ways, "
+        f"{inv['mismatches']} decision changes",
+    ])
+
+def write_results(payload: dict, results_dir: pathlib.Path) -> None:
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "simd.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    (results_dir / "simd.txt").write_text(format_simd(payload) + "\n")
+
+# -- pytest mode --------------------------------------------------------------
+
+def test_simd_gates(results_dir):
+    payload = run_bench(quick=True)
+    write_results(payload, results_dir)
+    print("\n" + format_simd(payload))
+    ok, problems = acceptance(payload)
+    assert ok, problems
+
+# -- script mode --------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller corpus slice (CI smoke)")
+    parser.add_argument("--results-dir", default=str(_REPO / "results"))
+    args = parser.parse_args(argv)
+
+    payload = run_bench(quick=args.quick)
+    write_results(payload, pathlib.Path(args.results_dir))
+    print(format_simd(payload))
+    ok, problems = acceptance(payload)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 0 if ok else 1
+
+if __name__ == "__main__":
+    sys.exit(main())

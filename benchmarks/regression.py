@@ -134,6 +134,21 @@ SPECS: dict[str, dict] = {
                                        "higher"),
         },
     },
+    "simd": {
+        "results": "simd.json",
+        "metrics": {
+            # Fully deterministic (seeded corpus, fixed unroll vectors,
+            # analytic cost model), so any drift means the packer or the
+            # lane cost model changed behavior; the hard zero-mismatch
+            # and >=30%-wins bars live in bench_simd.acceptance().
+            "packable_fraction": (("estimates", "packable_fraction"),
+                                  "higher"),
+            "win_fraction": (("estimates", "win_fraction"), "higher"),
+            "parity_mismatches": (("parity", "mismatches"), "lower"),
+            "invariance_mismatches": (("invariance", "mismatches"),
+                                      "lower"),
+        },
+    },
 }
 
 def extract(payload: Mapping, path: tuple) -> float:

@@ -41,6 +41,7 @@ from repro.api import (
     optimize_many,
     reuse_profile,
     transform,
+    vectorize,
 )
 from repro.engine import AnalysisEngine, BatchReport
 from repro.ir.builder import NestBuilder
@@ -78,5 +79,6 @@ __all__ = [
     "reuse_profile",
     "transform",
     "unroll_and_jam",
+    "vectorize",
     "__version__",
 ]

@@ -66,6 +66,7 @@ __all__ = [
     "reuse_profile",
     "serialize_nest",
     "transform",
+    "vectorize",
 ]
 
 #: The machine presets addressable by name everywhere a machine is taken.
@@ -224,13 +225,16 @@ def optimize(nest_or_source, machine: "MachineModel | str" = "alpha",
              bound: int = DEFAULT_BOUND, max_loops: int = 2,
              include_cache: bool = True, trip: int = 100,
              cache_model: str = "binary",
+             vectorize: bool = False,
              engine: AnalysisEngine | None = None) -> OptimizationResult:
     """The paper's unroll-and-jam decision for one nest (identical to
     :func:`repro.unroll.optimize.choose_unroll`, served from the cache).
 
     ``cache_model="assoc"`` swaps the binary Equation-1 miss charge for
     the reuse-distance profile's set-associative estimate on this
-    machine's cache geometry (docs/REUSE.md)."""
+    machine's cache geometry (docs/REUSE.md).  ``vectorize=True`` ranks
+    candidates by the SLP lane cost model instead of the balance
+    objective (docs/VECTORIZE.md)."""
     with _span("api.optimize"):
         nest = coerce_nest(nest_or_source)
         model = coerce_machine(machine)
@@ -238,7 +242,36 @@ def optimize(nest_or_source, machine: "MachineModel | str" = "alpha",
         return engine.optimize(nest, model, bound=bound,
                                max_loops=max_loops,
                                include_cache=include_cache, trip=trip,
-                               cache_model=cache_model)
+                               cache_model=cache_model,
+                               vectorize=vectorize)
+
+def vectorize(nest_or_source, machine: "MachineModel | str" = "future",
+              unroll: Sequence[int] | None = None,
+              bound: int = DEFAULT_BOUND, max_loops: int = 2,
+              include_cache: bool = True, trip: int = 100,
+              engine: AnalysisEngine | None = None):
+    """Vectorization-aware unroll-and-jam (docs/VECTORIZE.md).
+
+    Runs the search with the SLP lane cost objective
+    (``vectorize=True``), then packs and costs the jammed body at the
+    chosen unroll vector -- or at an explicit ``unroll`` when given.
+    Returns ``(OptimizationResult, SimdReport)``.
+
+    The default machine is ``"future"``: the vector-capable preset.  On
+    a machine without a vector unit the search degrades to the scalar
+    decision and the report contains no packs.
+    """
+    with _span("api.vectorize"):
+        nest = coerce_nest(nest_or_source)
+        model = coerce_machine(machine)
+        engine = engine if engine is not None else default_engine()
+        result = engine.optimize(nest, model, bound=bound,
+                                 max_loops=max_loops,
+                                 include_cache=include_cache, trip=trip,
+                                 vectorize=True)
+        at = tuple(unroll) if unroll is not None else result.unroll
+        report = engine.simd_report(nest, model, at, trip=trip)
+        return result, report
 
 def reuse_profile(nest_or_source, machine: "MachineModel | str" = "alpha",
                   trip: int = 100,

@@ -77,6 +77,13 @@ def loop_balance(point: "UnrollPoint", machine: MachineModel,
     return BalanceBreakdown(memory_ops, flops, misses, cycles, unserviced,
                             miss_term, balance)
 
+def miss_cycles(breakdown: BalanceBreakdown,
+                machine: MachineModel) -> Fraction:
+    """Cycle charge of the unserviced misses: the additive term the
+    vectorized objective (:mod:`repro.simd.cost`) shares with the scalar
+    estimate -- packing changes issue pressure, not the footprint."""
+    return breakdown.unserviced * machine.miss_penalty
+
 def objective(point: "UnrollPoint", machine: MachineModel,
               include_cache: bool = True,
               miss_model: "MissModel | None" = None) -> Fraction:

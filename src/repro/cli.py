@@ -140,11 +140,36 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     machine = _machine(args.machine)
     result = api.optimize(nest, machine, bound=args.bound,
                           include_cache=not args.no_cache,
-                          cache_model=args.cache_model)
+                          cache_model=args.cache_model,
+                          vectorize=args.vectorize)
     print(optimization_report(nest, machine, result=result,
                               bound=args.bound,
                               include_cache=not args.no_cache,
                               show_code=not args.quiet))
+    return 0
+
+def cmd_simd(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.simd import format_report
+
+    nest = _nest(args.nest)
+    machine = _machine(args.machine)
+    unroll = (tuple(int(x) for x in args.unroll.split(","))
+              if args.unroll else None)
+    result, report = api.vectorize(nest, machine, unroll=unroll,
+                                   bound=args.bound, trip=args.trip)
+    if args.json:
+        doc = report.to_dict()
+        doc["chosen_unroll"] = list(result.unroll)
+        doc["feasible"] = result.feasible
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(f"vectorized search chose unroll {result.unroll} "
+          f"(objective {float(result.objective):.3f}, "
+          f"feasible {result.feasible})")
+    print()
+    print(format_report(report))
     return 0
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -406,9 +431,20 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 def cmd_figure(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    if args.simd:
+        from repro.experiments.simd_figure import (
+            format_simd_figure,
+            run_simd_figure,
+        )
+
+        rows = run_simd_figure(machine, bound=args.bound)
+        print(format_simd_figure(
+            rows, f"Estimated cycles/iteration on {machine.name} "
+                  f"(SIMD objective on vs off)"))
+        return 0
     from repro.experiments.figures import format_figure, run_figure
 
-    machine = _machine(args.machine)
     rows = run_figure(machine, bound=args.bound)
     title = f"Normalized execution time on {machine.name}"
     print(format_figure(rows, title))
@@ -456,9 +492,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "paper's binary Equation-1 charge, or the "
                             "set-associative reuse-profile estimate "
                             "(docs/REUSE.md)")
+    p_opt.add_argument("--vectorize", action="store_true",
+                       help="rank unroll vectors with the SLP lane cost "
+                            "model (docs/VECTORIZE.md); needs a machine "
+                            "with a vector unit to differ from the default")
     p_opt.add_argument("--quiet", action="store_true",
                        help="omit code listings")
     p_opt.set_defaults(func=cmd_optimize)
+
+    p_simd = sub.add_parser(
+        "simd", help="vectorization-aware unroll-and-jam: SLP packs, "
+                     "schedule and lane cost estimate (docs/VECTORIZE.md)")
+    p_simd.add_argument("nest")
+    p_simd.add_argument("--machine", default="future",
+                        help="machine preset (default: future, the "
+                             "vector-capable one)")
+    p_simd.add_argument("--unroll", default="",
+                        help="comma-separated unroll vector (default: let "
+                             "the vectorized search choose)")
+    p_simd.add_argument("--bound", type=int, default=8)
+    p_simd.add_argument("--trip", type=int, default=100)
+    p_simd.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    p_simd.set_defaults(func=cmd_simd)
 
     p_sim = sub.add_parser("simulate", help="trace-driven before/after")
     p_sim.add_argument("kernel")
@@ -627,6 +683,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("figure", help="Figure 8/9 series")
     p_fig.add_argument("--machine", default="alpha")
     p_fig.add_argument("--bound", type=int, default=6)
+    p_fig.add_argument("--simd", action="store_true",
+                       help="the SIMD on/off analog instead: scalar vs "
+                            "vectorized objective under the lane cost "
+                            "model (docs/VECTORIZE.md)")
     p_fig.set_defaults(func=cmd_figure)
 
     return parser

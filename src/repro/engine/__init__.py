@@ -242,6 +242,7 @@ class AnalysisEngine:
         self._artifacts = _LRU(capacity)
         self._tables = _LRU(capacity)
         self._profiles = _LRU(capacity)
+        self._simd = _LRU(capacity)
 
     # -- memoized building blocks -------------------------------------------
 
@@ -357,7 +358,8 @@ class AnalysisEngine:
                  bound: int = DEFAULT_BOUND, max_loops: int = 2,
                  include_cache: bool = True,
                  trip: int = 100,
-                 cache_model: str = "binary") -> OptimizationResult:
+                 cache_model: str = "binary",
+                 vectorize: bool = False) -> OptimizationResult:
         """Memoized equivalent of :func:`repro.unroll.optimize.choose_unroll`
         (same decision, byte-identical unroll vector).
 
@@ -371,6 +373,11 @@ class AnalysisEngine:
         geometry instead of the paper's binary hit/miss charge
         (docs/REUSE.md); the default ``"binary"`` keeps the decision
         byte-identical to the paper's algorithm.
+
+        ``vectorize=True`` ranks candidates with the SLP lane cost model
+        instead (docs/VECTORIZE.md); a no-op on machines without a
+        vector unit, and the default ``False`` keeps every existing
+        decision bit-identical.
         """
         if cache_model not in ("binary", "assoc"):
             raise ValueError(f"unknown cache model {cache_model!r} "
@@ -403,9 +410,30 @@ class AnalysisEngine:
                 nest, machine, bound, max_loops, include_cache, trip,
                 graph=artifacts.graph, safety=artifacts.safety,
                 scores=artifacts.locality, tables_builder=tables_builder,
-                stage=stage, miss_model=miss_model)
+                stage=stage, miss_model=miss_model, vectorize=vectorize)
         self.metrics.count("engine.optimize")
         return result
+
+    def simd_report(self, nest: LoopNest, machine: MachineModel,
+                    unroll: tuple[int, ...], trip: int = 100):
+        """Memoized :func:`repro.simd.vectorize_nest`: the pack set,
+        schedule and lane cost estimate of ``nest`` jammed by ``unroll``
+        on ``machine`` (docs/VECTORIZE.md)."""
+        from repro.simd import vectorize_nest
+
+        # The report embeds the nest's display name, so the key must too
+        # (structural keys are deliberately name-blind).
+        key = (nest.structural_key(), nest.name, machine.name, tuple(unroll))
+        cached = self._simd.get(key)
+        if cached is not None:
+            self.metrics.count("cache.simd.hits")
+            return cached
+        self.metrics.count("cache.simd.misses")
+        with self.metrics.timer("stage.simd"), \
+                _span("engine.simd", nest=nest.name, machine=machine.name):
+            report = vectorize_nest(nest, tuple(unroll), machine)
+        self._simd.put(key, report)
+        return report
 
     # -- corpus fan-out ------------------------------------------------------
 

@@ -1,0 +1,106 @@
+"""The Figure-8/9 analog with a SIMD axis: scalar vs vectorized objective.
+
+For each Table 2 loop on a vector-capable machine, two search
+configurations:
+
+* **SIMD off** -- the paper's balance objective (``vectorize=False``,
+  exactly the Figure 8/9 configuration);
+* **SIMD on** -- the SLP lane cost objective (``vectorize=True``,
+  docs/VECTORIZE.md).
+
+Each chosen unroll vector is then packed and costed by the lane model,
+so every row shows what the scalar choice *would* vectorize to next to
+what the vectorized search found: estimated cycles per original
+iteration for both objectives, the speedup of the winning packed body
+over its own scalar issue estimate, and the packed statement fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine import AnalysisEngine
+from repro.kernels import Kernel, all_kernels
+from repro.machine.model import MachineModel
+from repro.unroll.space import UnrollVector, body_copies
+
+@dataclass(frozen=True)
+class SimdRow:
+    """One loop of the SIMD on/off comparison."""
+
+    number: int
+    name: str
+    unroll_scalar: UnrollVector
+    unroll_simd: UnrollVector
+    cycles_scalar: float  # scalar objective's choice, scalar issue est.
+    cycles_scalar_packed: float  # scalar objective's choice, packed
+    cycles_simd: float  # vectorized objective's choice, packed
+    speedup: float  # packed vs scalar issue at the SIMD choice
+    packed_fraction: float
+    packs: int
+
+def evaluate_kernel(kernel: Kernel, machine: MachineModel,
+                    bound: int = 6,
+                    engine: AnalysisEngine | None = None) -> SimdRow:
+    """Run both searches and cost both winners with the lane model."""
+    engine = engine if engine is not None else AnalysisEngine()
+    nest = kernel.nest
+    scalar = engine.optimize(nest, machine, bound=bound)
+    simd = engine.optimize(nest, machine, bound=bound, vectorize=True)
+
+    at_scalar = engine.simd_report(nest, machine, scalar.unroll)
+    at_simd = engine.simd_report(nest, machine, simd.unroll)
+
+    def per_iter(cycles, unroll) -> float:
+        return float(cycles) / body_copies(unroll)
+
+    return SimdRow(
+        number=kernel.number,
+        name=kernel.name,
+        unroll_scalar=scalar.unroll,
+        unroll_simd=simd.unroll,
+        cycles_scalar=per_iter(at_scalar.estimate.scalar_cycles,
+                               scalar.unroll),
+        cycles_scalar_packed=per_iter(at_scalar.estimate.vector_cycles,
+                                      scalar.unroll),
+        cycles_simd=per_iter(at_simd.estimate.vector_cycles, simd.unroll),
+        speedup=float(at_simd.estimate.speedup),
+        packed_fraction=at_simd.packed_fraction,
+        packs=len(at_simd.packs),
+    )
+
+def run_simd_figure(machine: MachineModel, bound: int = 6,
+                    kernels: list[Kernel] | None = None,
+                    engine: AnalysisEngine | None = None) -> list[SimdRow]:
+    kernels = kernels if kernels is not None else all_kernels()
+    engine = engine if engine is not None else AnalysisEngine()
+    return [evaluate_kernel(kernel, machine, bound, engine)
+            for kernel in kernels]
+
+def format_simd_figure(rows: list[SimdRow], title: str) -> str:
+    lines = [title,
+             f"{'Num':>3s} {'Loop':<10s} {'scalar':>8s} {'sc+pack':>8s} "
+             f"{'simd':>8s} {'speedup':>8s} {'packed':>7s}   "
+             f"{'u(scalar)':<12s} {'u(simd)':<12s}"]
+    for row in rows:
+        lines.append(
+            f"{row.number:>3d} {row.name:<10s} {row.cycles_scalar:>8.2f} "
+            f"{row.cycles_scalar_packed:>8.2f} {row.cycles_simd:>8.2f} "
+            f"{row.speedup:>7.2f}x {row.packed_fraction:>6.0%}   "
+            f"{str(row.unroll_scalar):<12s} {str(row.unroll_simd):<12s}")
+    n = len(rows)
+    if n:
+        lines.append(
+            f"{'':>3s} {'MEAN':<10s} "
+            f"{sum(r.cycles_scalar for r in rows) / n:>8.2f} "
+            f"{sum(r.cycles_scalar_packed for r in rows) / n:>8.2f} "
+            f"{sum(r.cycles_simd for r in rows) / n:>8.2f} "
+            f"{sum(r.speedup for r in rows) / n:>7.2f}x "
+            f"{sum(r.packed_fraction for r in rows) / n:>6.0%}")
+    improved = sum(1 for r in rows if r.cycles_simd < r.cycles_scalar)
+    packable = sum(1 for r in rows if r.packs)
+    lines.append("")
+    lines.append(f"{packable}/{n} loops packable; {improved}/{n} beat the "
+                 f"scalar objective's estimate (cycles per original "
+                 f"iteration, lane cost model)")
+    return "\n".join(lines)

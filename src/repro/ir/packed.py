@@ -1,0 +1,169 @@
+"""Lockstep execution of a packed unroll-and-jam schedule.
+
+``run_packed`` is the semantics check for :mod:`repro.simd`: it executes
+the jammed main nest group by group -- every pack evaluates all of its
+lanes' right-hand sides before committing any store, exactly like a
+vector unit -- and must produce arrays bit-identical to the scalar
+``run_unrolled`` oracle (main + rolled epilogues in real-code order).
+
+The iteration structure mirrors ``run_unrolled`` exactly: the same
+blocks/aligned_hi arithmetic, the same rolled epilogue vectors, the same
+lexicographic copy order inside epilogue bodies.  Scalar temporaries use
+the jammed per-copy names (``t``, ``t__I1``, ...) as private slots that
+fall back to the caller's seed value on a read before the first write --
+the same observable semantics as the oracle's ``_CopyScalars``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, MutableMapping
+
+import numpy as np
+
+from repro.ir.interp import InterpreterError, TraceFn, _eval_expr
+from repro.ir.nodes import LoopNest, ScalarVar, Statement
+from repro.unroll.transform import jam_body
+
+class _JamScalars:
+    """Scalar namespace over jammed per-copy temporary names.
+
+    Temporary slots are private (never written back to the shared dict);
+    a slot read before its first write falls through to the *original*
+    temporary's seed in the shared environment, matching the oracle.
+    """
+
+    def __init__(self, shared: MutableMapping[str, float],
+                 base: dict[str, str]):
+        self._shared = shared
+        self._base = base
+        self._slots: dict[str, float] = {}
+
+    def __contains__(self, name: object) -> bool:
+        base = self._base.get(name)  # type: ignore[arg-type]
+        if base is not None:
+            return name in self._slots or base in self._shared
+        return name in self._shared
+
+    def __getitem__(self, name: str) -> float:
+        base = self._base.get(name)
+        if base is not None:
+            if name in self._slots:
+                return self._slots[name]
+            return self._shared[base]
+        return self._shared[name]
+
+    def __setitem__(self, name: str, value: float) -> None:
+        if name in self._base:
+            self._slots[name] = value
+        else:
+            self._shared[name] = value
+
+def _commit(stmt: Statement, value: float, env: Mapping[str, int],
+            scalars: _JamScalars, arrays: Mapping[str, np.ndarray],
+            trace: TraceFn | None) -> None:
+    if isinstance(stmt.lhs, ScalarVar):
+        scalars[stmt.lhs.name] = value
+        return
+    idx = tuple(s.evaluate(env) for s in stmt.lhs.subscripts)
+    if trace is not None:
+        trace(stmt.lhs.array, idx, True)
+    try:
+        arrays[stmt.lhs.array][idx] = value
+    except IndexError:
+        raise InterpreterError(
+            f"{stmt.lhs.array}{idx} out of bounds for shape "
+            f"{arrays[stmt.lhs.array].shape}") from None
+
+def run_packed(nest: LoopNest, unroll: tuple[int, ...],
+               bindings: Mapping[str, int],
+               arrays: Mapping[str, np.ndarray],
+               scalars: MutableMapping[str, float] | None = None,
+               *,
+               width: int | None = None,
+               machine=None,
+               trace: TraceFn | None = None) -> None:
+    """Execute the packed unroll-and-jam of ``nest`` in place.
+
+    The main nest runs the SLP schedule (packs in lockstep: all lanes
+    read, then all lanes write); the rolled epilogues run scalar-wise in
+    textual copy order, exactly like ``run_unrolled``.  ``width`` (or
+    ``machine.vector_width_words``) sets the lane count; width 1 degrades
+    to a pack-free schedule that is still the jammed statement order.
+    """
+    from repro.simd.depgraph import build_statement_graph
+    from repro.simd.packer import base_temp_names, build_packs
+    from repro.simd.schedule import schedule_packs
+
+    if len(unroll) != nest.depth:
+        raise InterpreterError("unroll vector length must equal nest depth")
+    if unroll[-1] != 0:
+        raise InterpreterError("the innermost loop is never unrolled (u_n = 0)")
+    if any(u < 0 for u in unroll):
+        raise InterpreterError("negative unroll amounts are invalid")
+    if width is None:
+        width = machine.vector_width_words if machine is not None else 4
+
+    scalars = scalars if scalars is not None else {}
+    env: dict[str, int] = dict(bindings)
+    unroll = tuple(unroll)
+
+    base = base_temp_names(nest, unroll)
+    jam_scalars = _JamScalars(scalars, base)
+
+    # One schedule per unroll variant: the full vector gets the packed
+    # schedule, every rolled epilogue variant runs in jammed textual
+    # order (memoized -- the recursion revisits variants many times).
+    schedules: dict[tuple[int, ...], tuple] = {}
+
+    def schedule_for(u: tuple[int, ...]) -> tuple:
+        cached = schedules.get(u)
+        if cached is None:
+            body = jam_body(nest, u)
+            if u == unroll:
+                jammed = LoopNest(name=nest.name, loops=nest.loops,
+                                  body=body)
+                graph = build_statement_graph(jammed)
+                packset = build_packs(jammed, graph, width, base)
+                _, order = schedule_packs(graph, packset)
+            else:
+                order = tuple((i,) for i in range(len(body)))
+            cached = (body, order)
+            schedules[u] = cached
+        return cached
+
+    def body_once(u: tuple[int, ...]) -> None:
+        body, order = schedule_for(u)
+        for group in order:
+            if len(group) == 1:
+                stmt = body[group[0]]
+                value = _eval_expr(stmt.rhs, env, jam_scalars, arrays, trace)
+                _commit(stmt, value, env, jam_scalars, arrays, trace)
+            else:
+                lanes = [body[i] for i in group]
+                values = [_eval_expr(s.rhs, env, jam_scalars, arrays, trace)
+                          for s in lanes]
+                for stmt, value in zip(lanes, values):
+                    _commit(stmt, value, env, jam_scalars, arrays, trace)
+
+    def rec(level: int, u: tuple[int, ...]) -> None:
+        if level == nest.depth:
+            body_once(u)
+            return
+        loop = nest.loops[level]
+        lo = loop.lower.evaluate(env)
+        hi = loop.upper.evaluate(env)
+        step = (u[level] + 1) * loop.step
+        trip = max(hi - lo + 1, 0) // loop.step if loop.step else 0
+        blocks = trip // (u[level] + 1)
+        aligned_hi = lo + blocks * step - 1
+        for value in range(lo, aligned_hi + 1, step):
+            env[loop.index] = value
+            rec(level + 1, u)
+        if aligned_hi < hi:
+            rolled = u[:level] + (0,) + u[level + 1:]
+            for value in range(max(aligned_hi + 1, lo), hi + 1, loop.step):
+                env[loop.index] = value
+                rec(level + 1, rolled)
+        env.pop(loop.index, None)
+
+    rec(0, unroll)

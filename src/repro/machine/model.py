@@ -8,7 +8,7 @@ beta_M are memory bound on that machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from fractions import Fraction
 
 @dataclass(frozen=True)
@@ -20,6 +20,15 @@ class MachineModel:
     section 3.1).  ``prefetch_bandwidth`` is the number of prefetches the
     machine can issue per cycle (0 disables the prefetch term and makes
     every main-memory access a full miss).
+
+    The ``vector_*`` block describes an optional SIMD unit for the
+    ``repro.simd`` lane cost model (docs/VECTORIZE.md).
+    ``vector_width_words`` is the number of double-precision lanes; 1
+    means no vector unit and keeps every default code path scalar.
+    ``vector_issue`` is vector fp operations retired per cycle;
+    ``pack_cost``/``unpack_cost``/``splat_cost``/``gather_penalty`` are
+    cycle charges for assembling lanes from scalars, extracting a lane,
+    broadcasting a scalar, and gathering non-contiguous memory operands.
     """
 
     name: str
@@ -36,6 +45,13 @@ class MachineModel:
     fp_latency: int = 3
     divide_latency: int = 12
     load_latency: int = 2
+    #: SIMD unit for the lane cost model; width 1 == scalar-only machine
+    vector_width_words: int = 1
+    vector_issue: Fraction = Fraction(1)
+    pack_cost: int = 1
+    unpack_cost: int = 1
+    splat_cost: int = 1
+    gather_penalty: int = 2
 
     def __post_init__(self) -> None:
         if self.mem_issue <= 0 or self.fp_issue <= 0:
@@ -48,6 +64,11 @@ class MachineModel:
             raise ValueError("cache size must be divisible by line*assoc")
         if self.miss_penalty < 0 or self.cache_access <= 0:
             raise ValueError("invalid latency parameters")
+        if self.vector_width_words < 1 or self.vector_issue <= 0:
+            raise ValueError("invalid vector unit parameters")
+        if min(self.pack_cost, self.unpack_cost, self.splat_cost,
+               self.gather_penalty) < 0:
+            raise ValueError("vector overhead costs must be non-negative")
 
     @property
     def balance(self) -> Fraction:
@@ -59,26 +80,14 @@ class MachineModel:
         """lambda_m / lambda_c: the memory-op equivalents of one miss."""
         return Fraction(self.miss_penalty, self.cache_access)
 
+    @property
+    def has_vector_unit(self) -> bool:
+        return self.vector_width_words > 1
+
     def with_registers(self, registers: int) -> "MachineModel":
-        return MachineModel(
-            name=f"{self.name}-r{registers}",
-            mem_issue=self.mem_issue, fp_issue=self.fp_issue,
-            registers=registers,
-            cache_size_words=self.cache_size_words,
-            cache_line_words=self.cache_line_words,
-            cache_assoc=self.cache_assoc,
-            miss_penalty=self.miss_penalty,
-            cache_access=self.cache_access,
-            prefetch_bandwidth=self.prefetch_bandwidth)
+        return replace(self, name=f"{self.name}-r{registers}",
+                       registers=registers)
 
     def with_prefetch(self, bandwidth: Fraction) -> "MachineModel":
-        return MachineModel(
-            name=f"{self.name}-pf{bandwidth}",
-            mem_issue=self.mem_issue, fp_issue=self.fp_issue,
-            registers=self.registers,
-            cache_size_words=self.cache_size_words,
-            cache_line_words=self.cache_line_words,
-            cache_assoc=self.cache_assoc,
-            miss_penalty=self.miss_penalty,
-            cache_access=self.cache_access,
-            prefetch_bandwidth=Fraction(bandwidth))
+        return replace(self, name=f"{self.name}-pf{bandwidth}",
+                       prefetch_bandwidth=Fraction(bandwidth))

@@ -64,7 +64,8 @@ def generous_register_machine(registers: int = 64) -> MachineModel:
 def mips_r10k() -> MachineModel:
     """MIPS R10000-like: out-of-order 4-issue (1 ld/st + 2 flops sustained),
     64 physical fp registers, 32KB 2-way on-chip data cache, moderate miss
-    penalty to the L2."""
+    penalty to the L2.  Carries a narrow paired-lane SIMD unit
+    (MDMX-style, 2 double lanes) for the vectorize experiments."""
     return MachineModel(
         name="mips-r10k",
         mem_issue=Fraction(1),
@@ -76,12 +77,21 @@ def mips_r10k() -> MachineModel:
         miss_penalty=12,
         cache_access=1,
         prefetch_bandwidth=Fraction(0),
+        vector_width_words=2,
+        vector_issue=Fraction(1),
+        pack_cost=1,
+        unpack_cost=1,
+        splat_cost=1,
+        gather_penalty=3,
     )
 
 def future_wide() -> MachineModel:
     """The section-6 projection: wide ILP (2 mem + 4 fp per cycle), a big
     register file and a software-prefetch engine -- the machine class the
-    paper argues will need exactly this kind of transformation."""
+    paper argues will need exactly this kind of transformation.  Its
+    4-lane vector unit (256-bit at double precision) is what the
+    ``vectorize=True`` objective and docs/VECTORIZE.md experiments
+    target."""
     return MachineModel(
         name="future-wide",
         mem_issue=Fraction(2),
@@ -93,4 +103,10 @@ def future_wide() -> MachineModel:
         miss_penalty=40,
         cache_access=1,
         prefetch_bandwidth=Fraction(1),
+        vector_width_words=4,
+        vector_issue=Fraction(2),
+        pack_cost=1,
+        unpack_cost=1,
+        splat_cost=1,
+        gather_penalty=4,
     )

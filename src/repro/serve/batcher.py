@@ -232,8 +232,12 @@ class MicroBatcher:
 
     @staticmethod
     def _poolable(jobs: list[_Job]) -> bool:
-        """The engine's process pool takes one machine+params per batch."""
+        """The engine's process pool takes one machine+params per batch.
+        ``simd`` jobs stay on the thread path: they carry the pack
+        report, which ``optimize_many`` does not produce."""
         head = jobs[0]
+        if head.params.get("simd"):
+            return False
         return all(job.machine.name == head.machine.name
                    and job.params == head.params for job in jobs[1:])
 
@@ -260,10 +264,18 @@ class MicroBatcher:
                     return protocol.analyze_payload(job.nest, job.machine,
                                                     artifacts, profile), None
                 if job.kind == "optimize":
+                    params = dict(job.params)
+                    want_simd = params.pop("simd", False)
                     result = self.engine.optimize(job.nest, job.machine,
-                                                  **job.params)
+                                                  vectorize=want_simd,
+                                                  **params)
+                    simd = None
+                    if want_simd:
+                        simd = self.engine.simd_report(
+                            job.nest, job.machine, result.unroll,
+                            trip=params.get("trip", 100))
                     return protocol.optimize_payload(job.nest, job.machine,
-                                                     result), None
+                                                     result, simd), None
                 unroll = job.unroll
                 if unroll is None:
                     result = self.engine.optimize(job.nest, job.machine,

@@ -98,14 +98,18 @@ WIRE_VERSION = 2
 
 #: Engine parameters a request may override, with their coercions.
 #: ``profile`` (analyze only) asks for the reuse-distance profile
-#: (docs/REUSE.md) as an extra ``reuse_profile`` response field; requests
-#: that omit it get the frozen v1 analyze body byte-for-byte.
+#: (docs/REUSE.md) as an extra ``reuse_profile`` response field;
+#: ``simd`` (optimize only) switches the search to the SLP lane cost
+#: objective and attaches the pack report (docs/VECTORIZE.md) as an
+#: extra ``simd`` response field.  Requests that omit them get the
+#: frozen v1 bodies byte-for-byte.
 _PARAM_TYPES = {
     "bound": int,
     "max_loops": int,
     "include_cache": bool,
     "trip": int,
     "profile": bool,
+    "simd": bool,
 }
 
 class ProtocolError(Exception):
@@ -195,6 +199,9 @@ def spec_from_document(kind: str, doc: object,
     if "profile" in params and kind != "analyze":
         raise ProtocolError(400, "bad_request",
                             "'profile' applies only to analyze requests")
+    if "simd" in params and kind != "optimize":
+        raise ProtocolError(400, "bad_request",
+                            "'simd' applies only to optimize requests")
     tier = doc.get("tier")
     if tier is not None:
         if not isinstance(tier, str) or tier not in TIERS:
@@ -249,8 +256,12 @@ def analyze_payload(nest: LoopNest, machine: MachineModel,
     return payload
 
 def optimize_payload(nest: LoopNest, machine: MachineModel,
-                     result: OptimizationResult) -> dict:
-    return {
+                     result: OptimizationResult, simd=None) -> dict:
+    """The optimize response body.  ``simd`` (a
+    :class:`repro.simd.SimdReport`, attached only when the request set
+    ``"simd": true``) adds the pack report; its absence keeps the frozen
+    v1 body byte-for-byte."""
+    payload = {
         "ok": True,
         "kind": "optimize",
         "nest": nest.name,
@@ -265,6 +276,9 @@ def optimize_payload(nest: LoopNest, machine: MachineModel,
         "candidates": list(result.candidates),
         "safety": list(result.safety),
     }
+    if simd is not None:
+        payload["simd"] = simd.to_dict()
+    return payload
 
 def predict_payload(nest: LoopNest, machine: MachineModel,
                     prediction) -> dict:

@@ -417,6 +417,8 @@ class AnalysisServer:
             return False
         if spec.params.get("include_cache", True) is False:
             return False
+        if spec.params.get("simd"):
+            return False  # pack reports come only from the exact engine
         return True
 
     def _try_fast(self, spec: protocol.RequestSpec, nest,

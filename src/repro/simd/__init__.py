@@ -1,0 +1,63 @@
+"""repro.simd: vectorization-aware unroll-and-jam (docs/VECTORIZE.md).
+
+The jammed body copies that enable scalar replacement are exactly the
+isomorphic statement groups an SLP vectorizer packs.  This package runs
+after ``unroll_and_jam``:
+
+* :mod:`repro.simd.depgraph` -- statement-level dependences of the
+  jammed body (array SIV edges projected onto statements, plus renamed
+  scalar-temporary edges; loop-carried edges tagged with their level);
+* :mod:`repro.simd.packer` -- greedy SLP packing of adjacent isomorphic
+  copies, extended along use-def chains;
+* :mod:`repro.simd.schedule` -- the lockstep schedule, splitting packs
+  stuck on contracted dependence cycles;
+* :mod:`repro.simd.cost` -- the lane cost model over the MachineModel's
+  ``vector_*`` fields;
+* :mod:`repro.simd.report` -- the user-facing report for the CLI, the
+  ``api.vectorize`` verb and the wire protocol's ``"simd"`` field.
+
+Execution semantics are verified by :func:`repro.ir.packed.run_packed`,
+which runs the packed schedule lane-for-lane against the scalar
+``run_unrolled`` oracle.
+"""
+
+from repro.simd.cost import VectorEstimate, estimate_packs
+from repro.simd.depgraph import (
+    StatementDep,
+    StatementGraph,
+    build_statement_graph,
+)
+from repro.simd.packer import (
+    Pack,
+    PackSet,
+    base_temp_names,
+    build_packs,
+    ref_lane_class,
+    statement_shape,
+)
+from repro.simd.report import (
+    SimdReport,
+    format_report,
+    vectorize_jammed,
+    vectorize_nest,
+)
+from repro.simd.schedule import schedule_packs
+
+__all__ = [
+    "Pack",
+    "PackSet",
+    "SimdReport",
+    "StatementDep",
+    "StatementGraph",
+    "VectorEstimate",
+    "base_temp_names",
+    "build_packs",
+    "build_statement_graph",
+    "estimate_packs",
+    "format_report",
+    "ref_lane_class",
+    "schedule_packs",
+    "statement_shape",
+    "vectorize_jammed",
+    "vectorize_nest",
+]

@@ -1,0 +1,161 @@
+"""The lane cost model: scalar vs vectorized cycle estimates.
+
+Both sides count the *naive* operations of the jammed body (every array
+read a load, every array store a store, every BinOp/Call one flop) so
+the comparison is internally consistent, and both add the same cache
+miss term -- packing changes issue pressure, not the footprint.
+
+Scalar estimate (per jammed iteration), mirroring the paper's issue
+model::
+
+    max(mem / mem_issue, flops / fp_issue, 1) + miss_cycles
+
+Vectorized estimate: packed lanes collapse to single vector operations.
+A contiguous lane group (unit stride in the column-major layout) is one
+vector memory op; a splat is one scalar load plus a broadcast; anything
+else is a gather -- per-lane scalar loads plus ``gather_penalty``.
+Vector flops retire at ``vector_issue``; the scalar residue keeps using
+``fp_issue``.  Lane-boundary traffic (packing distinct scalars,
+broadcasting a shared one, extracting a packed temporary for a scalar
+consumer) is charged explicitly::
+
+    max(mem_v / mem_issue, flops_s / fp_issue + flops_v / vector_issue, 1)
+        + overhead + miss_cycles
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.ir.nodes import LoopNest, ScalarVar, walk_expr
+from repro.machine.model import MachineModel
+from repro.simd.packer import (
+    PackSet,
+    aligned_operands,
+    ref_lane_class,
+)
+
+@dataclass(frozen=True)
+class VectorEstimate:
+    """Cycle estimates for one jammed body (per jammed iteration)."""
+
+    scalar_cycles: Fraction
+    vector_cycles: Fraction
+    overhead_cycles: Fraction
+    miss_cycles: Fraction
+    scalar_mem_ops: int
+    vector_mem_ops: Fraction
+    scalar_flops: int
+    vector_flops: Fraction
+    residual_flops: Fraction
+    packs: int
+    packed_statements: int
+    statements: int
+
+    @property
+    def speedup(self) -> Fraction:
+        if self.vector_cycles == 0:
+            return Fraction(1)
+        return Fraction(self.scalar_cycles) / Fraction(self.vector_cycles)
+
+    @property
+    def improved(self) -> bool:
+        return self.vector_cycles < self.scalar_cycles
+
+def _naive_counts(body) -> tuple[int, int]:
+    mem = 0
+    flops = 0
+    for stmt in body:
+        mem += len(stmt.array_reads()) + len(stmt.array_writes())
+        flops += stmt.flops()
+    return mem, flops
+
+def estimate_packs(jammed: LoopNest, packset: PackSet,
+                   machine: MachineModel,
+                   miss_cycles: Fraction = Fraction(0)) -> VectorEstimate:
+    """Cost one packed jammed body on ``machine``."""
+    body = jammed.body
+    mem_s, flops_s = _naive_counts(body)
+    scalar_cycles = (max(Fraction(mem_s, 1) / machine.mem_issue,
+                         Fraction(flops_s, 1) / machine.fp_issue,
+                         Fraction(1)) + miss_cycles)
+
+    # Scalar temporaries produced by a pack, in lane order: consumers
+    # aligned the same way read them for free (value stays in a vector
+    # register); anything else pays the unpack.
+    produced: set[tuple[str, ...]] = set()
+    packed_defs: dict[str, int] = {}
+    for p, pack in enumerate(packset):
+        head = body[pack.lanes[0]].lhs
+        if isinstance(head, ScalarVar):
+            names = tuple(body[i].lhs.name for i in pack.lanes)
+            produced.add(names)
+            for name in names:
+                packed_defs[name] = p
+
+    scalar_reads: dict[str, int] = {}
+    for i, stmt in enumerate(body):
+        if i in packset.lane_of:
+            continue
+        for node in walk_expr(stmt.rhs):
+            if isinstance(node, ScalarVar):
+                scalar_reads[node.name] = scalar_reads.get(node.name, 0) + 1
+
+    mem_v = Fraction(0)
+    flops_v = Fraction(0)
+    flops_res = Fraction(0)
+    overhead = Fraction(0)
+    for i, stmt in enumerate(body):
+        if i not in packset.lane_of:
+            mem_v += len(stmt.array_reads()) + len(stmt.array_writes())
+            flops_res += stmt.flops()
+
+    for pack in packset:
+        stmts = tuple(body[i] for i in pack.lanes)
+        ops = aligned_operands(stmts)
+        flops_v += ops["ops"]
+        for refs in ops["refs"]:
+            cls, _ = ref_lane_class(refs)
+            if cls == "unit":
+                mem_v += 1
+            elif cls == "splat":
+                mem_v += 1
+                overhead += machine.splat_cost
+            else:  # strided or irregular: per-lane loads, then assemble
+                mem_v += len(refs)
+                overhead += machine.gather_penalty
+        for scalar_lanes in ops["scalars"]:
+            names = tuple(v.name for v in scalar_lanes)
+            if names in produced:
+                continue  # forwarded from the producing pack
+            if len(set(names)) == 1:
+                overhead += machine.splat_cost
+            else:
+                overhead += machine.pack_cost
+        head = stmts[0].lhs
+        if isinstance(head, ScalarVar):
+            names = tuple(s.lhs.name for s in stmts)
+            if any(scalar_reads.get(name, 0) for name in names):
+                overhead += machine.unpack_cost
+        else:
+            mem_v += 1  # unit-stride vector store (packer guarantees it)
+
+    vector_cycles = (max(mem_v / machine.mem_issue,
+                         flops_res / machine.fp_issue
+                         + flops_v / machine.vector_issue,
+                         Fraction(1)) + overhead + miss_cycles)
+    return VectorEstimate(
+        scalar_cycles=scalar_cycles,
+        vector_cycles=vector_cycles,
+        overhead_cycles=overhead,
+        miss_cycles=miss_cycles,
+        scalar_mem_ops=mem_s,
+        vector_mem_ops=mem_v,
+        scalar_flops=flops_s,
+        vector_flops=flops_v,
+        residual_flops=flops_res,
+        packs=len(packset),
+        packed_statements=packset.packed_statements,
+        statements=len(body),
+    )

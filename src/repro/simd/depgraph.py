@@ -1,0 +1,154 @@
+"""Statement-level dependences over a jammed loop body.
+
+The array dependence graph (:mod:`repro.dependence.graph`) speaks in
+*reference occurrences*; SLP packing needs to know whether two whole
+*statements* of the jammed body may execute in lockstep.  This module
+projects the occurrence-level edges onto ``stmt_index`` pairs and adds
+the scalar-temporary edges the array tests cannot see (the renamed
+``t__I1``-style privatized copies plus any temporaries shared within one
+copy).
+
+Orientation and tagging follow the array graph: every edge carries the
+level of the carrying loop (outermost first), or ``None`` when the
+dependence is loop-independent (realized inside a single iteration of
+the jammed nest).  The distinction is the whole story for lockstep
+legality: after jamming, a dependence *between copies* that the original
+nest carried on an unrolled loop shows up as a loop-independent edge of
+the jammed body, while edges still carried by a jammed loop are
+sequenced by the (still sequential) iterations and do not constrain the
+intra-iteration schedule.
+
+Because loop-independent array edges always point from the textually
+earlier occurrence to the later one, the loop-independent projection is
+a DAG compatible with statement order; reachability is a single reverse
+sweep over integer bitmasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dependence.graph import build_dependence_graph
+from repro.dependence.siv import STAR
+from repro.ir.nodes import LoopNest, ScalarVar, walk_expr
+
+@dataclass(frozen=True)
+class StatementDep:
+    """One statement-to-statement dependence of a jammed body.
+
+    ``level`` is the carrying loop (0 = outermost) or ``None`` for a
+    loop-independent dependence; ``via`` names the array or scalar that
+    carries the value.
+    """
+
+    src: int
+    dst: int
+    kind: str  # flow | anti | output
+    level: int | None
+    via: str
+
+    @property
+    def loop_independent(self) -> bool:
+        return self.level is None
+
+def _scalar_reads(stmt) -> set[str]:
+    return {node.name for node in walk_expr(stmt.rhs)
+            if isinstance(node, ScalarVar)}
+
+class StatementGraph:
+    """Dependences of one jammed body, indexed for pack legality."""
+
+    def __init__(self, nest: LoopNest, deps: tuple[StatementDep, ...]):
+        self.nest = nest
+        self.deps = deps
+        self.n = len(nest.body)
+        succ: list[set[int]] = [set() for _ in range(self.n)]
+        for dep in deps:
+            if dep.loop_independent and dep.src != dep.dst:
+                succ[dep.src].add(dep.dst)
+        self.succ = tuple(tuple(sorted(s)) for s in succ)
+        # Loop-independent edges always point forward in statement order,
+        # so one reverse sweep computes full reachability.
+        reach = [0] * self.n
+        for i in reversed(range(self.n)):
+            mask = 0
+            for j in succ[i]:
+                mask |= (1 << j) | reach[j]
+            reach[i] = mask
+        self._reach = tuple(reach)
+
+    def independent(self, i: int, j: int) -> bool:
+        """No loop-independent dependence path in either direction --
+        statements i and j may execute in lockstep."""
+        if i == j:
+            return False
+        return not ((self._reach[i] >> j) & 1 or (self._reach[j] >> i) & 1)
+
+    def carried(self) -> tuple[StatementDep, ...]:
+        return tuple(d for d in self.deps if not d.loop_independent)
+
+    def count(self, kind: str | None = None) -> int:
+        if kind is None:
+            return len(self.deps)
+        return sum(1 for d in self.deps if d.kind == kind)
+
+def build_statement_graph(jammed: LoopNest) -> StatementGraph:
+    """The statement dependence graph of a jammed nest body.
+
+    Array edges come from the exact SIV machinery (input dependences
+    excluded -- they never order statements); scalar edges from the
+    textual def/use pattern of the body's temporaries.  A temporary that
+    is read before its first write flows in from the previous iteration
+    of the innermost jammed loop (the privatized-slot fallback the
+    interpreter implements), recorded as a flow edge carried at the
+    innermost level.
+    """
+    deps: list[StatementDep] = []
+    seen: set[tuple] = set()
+
+    def add(src: int, dst: int, kind: str, level: int | None,
+            via: str) -> None:
+        key = (src, dst, kind, level, via)
+        if key not in seen:
+            seen.add(key)
+            deps.append(StatementDep(src, dst, kind, level, via))
+
+    for edge in build_dependence_graph(jammed, include_input=False):
+        if edge.is_input:
+            continue
+        level = edge.carrier_level()
+        add(edge.src.stmt_index, edge.dst.stmt_index, edge.kind,
+            level, edge.src.array)
+        # A "*" distance entry admits zero: an edge whose every entry
+        # may be zero can be realized *inside* one iteration, so its
+        # textually-forward direction also constrains the lockstep
+        # schedule (e.g. coupled subscripts like A(I-1,J-1) written and
+        # A(J-1,I-1) read, which collide whenever I == J).
+        if (level is not None
+                and all(d == STAR or d == 0 for d in edge.distance)
+                and edge.src.stmt_index < edge.dst.stmt_index):
+            add(edge.src.stmt_index, edge.dst.stmt_index, edge.kind,
+                None, edge.src.array)
+
+    body = jammed.body
+    temps = set(jammed.scalar_temporaries())
+    innermost = jammed.depth - 1
+    for name in sorted(temps):
+        writes = [i for i, stmt in enumerate(body)
+                  if isinstance(stmt.lhs, ScalarVar) and stmt.lhs.name == name]
+        reads = [i for i, stmt in enumerate(body)
+                 if name in _scalar_reads(stmt)]
+        for w in writes:
+            for r in reads:
+                if r > w:
+                    add(w, r, "flow", None, name)
+                elif r < w:
+                    add(r, w, "anti", None, name)
+        for a, b in zip(writes, writes[1:]):
+            add(a, b, "output", None, name)
+        if writes and reads and min(reads) <= min(writes):
+            # Read before the first write: the value flows around the
+            # innermost jammed loop from the last write of the previous
+            # iteration (or the caller's seed on the first).
+            add(max(writes), min(reads), "flow", innermost, name)
+    return StatementGraph(jammed, tuple(deps))

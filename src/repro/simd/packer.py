@@ -1,0 +1,287 @@
+"""Greedy SLP packing of isomorphic jammed statement copies.
+
+The jammed body produced by ``unroll_and_jam`` contains one shifted copy
+of each original statement per offset combination -- by construction a
+family of *isomorphic* statements (same operator tree, same subscript
+coefficients, constants differing by the copy offsets).  The packer
+turns runs of such statements into SIMD packs the way the classic SLP
+algorithm (and PyPy's trace vectorizer) does:
+
+* **seed** packs from adjacent isomorphic statements whose array
+  operands are *splat* (identical reference in every lane) or
+  *unit-stride* (consecutive lanes touch consecutive words of the
+  column-major layout: the first subscript's constant advances by one,
+  all other subscripts identical);
+* **extend** packs up the use-def chains: a pack whose lanes read
+  distinct scalar temporaries pulls the defining statements into a new
+  pack (gathers allowed there -- the cost model charges them);
+* **split** on lane-width overflow (runs longer than the machine's
+  vector width are chunked) -- dependence-cycle splitting happens in
+  :mod:`repro.simd.schedule`.
+
+Lockstep legality is pairwise independence in the statement graph: no
+loop-independent dependence path may connect two lanes of a pack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator
+
+from repro.ir.nodes import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    LoopNest,
+    ScalarVar,
+    Statement,
+)
+from repro.simd.depgraph import StatementGraph
+from repro.unroll.transform import _copy_suffix
+
+#: Jammed bodies beyond this size are not packed (the all-pairs legality
+#: scan would dominate the search); the caller falls back to the scalar
+#: estimate.
+MAX_PACK_STATEMENTS = 512
+
+@dataclass(frozen=True)
+class Pack:
+    """One SIMD pack: lane i executes statement ``lanes[i]``."""
+
+    lanes: tuple[int, ...]
+
+    @property
+    def width(self) -> int:
+        return len(self.lanes)
+
+class PackSet:
+    """The packs chosen for one jammed body."""
+
+    def __init__(self, packs: tuple[Pack, ...]):
+        self.packs = packs
+        self.lane_of: dict[int, tuple[int, int]] = {}
+        for p, pack in enumerate(packs):
+            for lane, stmt in enumerate(pack.lanes):
+                self.lane_of[stmt] = (p, lane)
+
+    def __len__(self) -> int:
+        return len(self.packs)
+
+    def __iter__(self) -> Iterator[Pack]:
+        return iter(self.packs)
+
+    @property
+    def packed_statements(self) -> int:
+        return len(self.lane_of)
+
+def base_temp_names(nest: LoopNest, u: tuple[int, ...]) -> dict[str, str]:
+    """Map every per-copy renamed temporary of ``jam_body(nest, u)`` back
+    to its original name (identity for the all-zero copy)."""
+    temps = nest.scalar_temporaries()
+    names: dict[str, str] = {}
+    index_names = nest.index_names
+    for combo in product(*(range(u_k + 1) for u_k in u)):
+        suffix = _copy_suffix(dict(zip(index_names, combo)))
+        for t in temps:
+            names[t + suffix] = t
+    return names
+
+# -- isomorphism --------------------------------------------------------------
+
+def _shape(expr, base: dict[str, str]) -> tuple:
+    if isinstance(expr, Const):
+        return ("const", expr.value)
+    if isinstance(expr, ScalarVar):
+        return ("scalar", base.get(expr.name, expr.name))
+    if isinstance(expr, ArrayRef):
+        return ("ref", expr.array,
+                tuple((s.loop_coeffs, s.param_coeffs) for s in expr.subscripts))
+    if isinstance(expr, BinOp):
+        return ("binop", expr.op, _shape(expr.left, base),
+                _shape(expr.right, base))
+    if isinstance(expr, Call):
+        return ("call", expr.func,
+                tuple(_shape(a, base) for a in expr.args))
+    raise TypeError(f"unknown expression node {expr!r}")
+
+def statement_shape(stmt: Statement, base: dict[str, str]) -> tuple:
+    """The operator-tree shape: equal shapes == isomorphic statements
+    (subscript constants and temporary suffixes excluded)."""
+    if isinstance(stmt.lhs, ScalarVar):
+        lhs: tuple = ("scalar", base.get(stmt.lhs.name, stmt.lhs.name))
+    else:
+        lhs = _shape(stmt.lhs, base)
+    return (lhs, _shape(stmt.rhs, base))
+
+def _aligned(exprs: tuple, out: dict) -> None:
+    """Walk isomorphic expressions in parallel, collecting aligned
+    operand tuples (callers guarantee equal shapes)."""
+    head = exprs[0]
+    if isinstance(head, ArrayRef):
+        out["refs"].append(exprs)
+    elif isinstance(head, ScalarVar):
+        out["scalars"].append(exprs)
+    elif isinstance(head, BinOp):
+        out["ops"] += 1
+        _aligned(tuple(e.left for e in exprs), out)
+        _aligned(tuple(e.right for e in exprs), out)
+    elif isinstance(head, Call):
+        out["ops"] += 1
+        for k in range(len(head.args)):
+            _aligned(tuple(e.args[k] for e in exprs), out)
+
+def aligned_operands(stmts: tuple[Statement, ...]) -> dict:
+    """Aligned rhs operand tuples of one pack's lane statements, plus the
+    vector op count: ``{"refs": [...], "scalars": [...], "ops": int}``."""
+    out: dict = {"refs": [], "scalars": [], "ops": 0}
+    _aligned(tuple(s.rhs for s in stmts), out)
+    return out
+
+# -- lane stride classification ----------------------------------------------
+
+def ref_lane_class(refs: tuple) -> tuple[str, int]:
+    """Classify one aligned ArrayRef position across lanes.
+
+    Returns ``("splat", 0)`` when every lane reads the same location,
+    ``("unit", 1)`` for contiguous column-major lanes (first subscript
+    constant advancing by exactly one, all others fixed), ``("stride",
+    d)`` for a single-position constant advance by d, and ``("gather",
+    0)`` for anything else.
+    """
+    first = refs[0]
+    deltas = None
+    for prev, cur in zip(refs, refs[1:]):
+        step = tuple(b.const - a.const
+                     for a, b in zip(prev.subscripts, cur.subscripts))
+        if deltas is None:
+            deltas = step
+        elif step != deltas:
+            return ("gather", 0)
+    if deltas is None or all(d == 0 for d in deltas):
+        return ("splat", 0)
+    moving = [k for k, d in enumerate(deltas) if d]
+    if len(moving) != 1:
+        return ("gather", 0)
+    k = moving[0]
+    if k == 0 and deltas[0] == 1 and len(first.subscripts) >= 1:
+        return ("unit", 1)
+    return ("stride", deltas[k])
+
+def _seed_operands_ok(stmts: tuple[Statement, ...]) -> bool:
+    """Seed packs keep only splat or unit-stride operands; anything else
+    waits for use-def extension (or stays scalar)."""
+    for refs in aligned_operands(stmts)["refs"]:
+        if ref_lane_class(refs)[0] not in ("splat", "unit"):
+            return False
+    return True
+
+def _store_ok(stmts: tuple[Statement, ...],
+              base: dict[str, str]) -> bool:
+    head = stmts[0].lhs
+    if isinstance(head, ScalarVar):
+        names = [s.lhs.name for s in stmts]
+        return len(set(names)) == len(names)  # distinct per-lane temps
+    return ref_lane_class(tuple(s.lhs for s in stmts))[0] == "unit"
+
+# -- packing ------------------------------------------------------------------
+
+def build_packs(jammed: LoopNest, graph: StatementGraph, width: int,
+                base: dict[str, str] | None = None) -> PackSet:
+    """Greedy SLP packing of one jammed body.
+
+    ``width`` is the machine's lane count (``vector_width_words``);
+    width < 2 or an oversized body yields the empty pack set.
+    """
+    body = jammed.body
+    if width < 2 or not (2 <= len(body) <= MAX_PACK_STATEMENTS):
+        return PackSet(())
+    base = base if base is not None else {}
+
+    shapes = [statement_shape(stmt, base) for stmt in body]
+    groups: dict[tuple, list[int]] = {}
+    for i, shape in enumerate(shapes):
+        groups.setdefault(shape, []).append(i)
+
+    used: set[int] = set()
+    packs: list[Pack] = []
+
+    def lanes_ok(run: list[int], candidate: int, *, seed: bool) -> bool:
+        if not all(graph.independent(candidate, j) for j in run):
+            return False
+        stmts = tuple(body[j] for j in run + [candidate])
+        if not _store_ok(stmts, base):
+            return False
+        if seed and not _seed_operands_ok(stmts):
+            return False
+        return True
+
+    def emit(run: list[int]) -> None:
+        if len(run) >= 2:
+            packs.append(Pack(tuple(run)))
+            used.update(run)
+
+    # Seeds: adjacent isomorphic statements, splat/unit-stride operands.
+    for shape in sorted(groups, key=lambda s: groups[s][0]):
+        members = groups[shape]
+        if len(members) < 2:
+            continue
+        run: list[int] = []
+        for idx in members:
+            if idx in used:
+                emit(run)
+                run = []
+                continue
+            if run and (len(run) >= width
+                        or not lanes_ok(run, idx, seed=True)):
+                emit(run)
+                run = []
+            run.append(idx)
+        emit(run)
+
+    # Extension: follow scalar use-def chains upward from every pack.
+    writers: dict[str, list[int]] = {}
+    for i, stmt in enumerate(body):
+        if isinstance(stmt.lhs, ScalarVar):
+            writers.setdefault(stmt.lhs.name, []).append(i)
+
+    def def_before(name: str, idx: int) -> int | None:
+        best = None
+        for w in writers.get(name, ()):
+            if w < idx:
+                best = w
+            else:
+                break
+        return best
+
+    worklist = list(packs)
+    while worklist:
+        pack = worklist.pop()
+        stmts = tuple(body[i] for i in pack.lanes)
+        for scalar_lanes in aligned_operands(stmts)["scalars"]:
+            names = [v.name for v in scalar_lanes]
+            if len(set(names)) != len(names):
+                continue  # splat / shared scalar: nothing to pull up
+            defs = [def_before(name, lane)
+                    for name, lane in zip(names, pack.lanes)]
+            if (None in defs or len(set(defs)) != len(defs)
+                    or any(d in used for d in defs)):
+                continue
+            if len({shapes[d] for d in defs}) != 1:
+                continue
+            run2: list[int] = []
+            ok = True
+            for d in defs:
+                if run2 and not lanes_ok(run2, d, seed=False):
+                    ok = False
+                    break
+                run2.append(d)
+            if ok and len(run2) >= 2:
+                new = Pack(tuple(run2))
+                packs.append(new)
+                used.update(run2)
+                worklist.append(new)
+
+    packs.sort(key=lambda p: p.lanes[0])
+    return PackSet(tuple(packs))

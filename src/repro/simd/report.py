@@ -1,0 +1,123 @@
+"""The user-facing vectorization report: packs, schedule, and estimates.
+
+One :class:`SimdReport` bundles everything the CLI, the ``api.vectorize``
+verb and the wire protocol's opt-in ``"simd"`` field expose about a
+jammed nest: the chosen packs (lane statement indices plus a pretty lane
+description), the dependence-graph statistics that constrained them, and
+the lane cost model's scalar/vector cycle estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.machine.model import MachineModel
+from repro.simd.cost import VectorEstimate, estimate_packs
+from repro.simd.depgraph import build_statement_graph
+from repro.simd.packer import PackSet, base_temp_names, build_packs
+from repro.simd.schedule import schedule_packs
+from repro.unroll.transform import UnrolledNest, unroll_and_jam
+
+@dataclass(frozen=True)
+class SimdReport:
+    """Vectorization analysis of one unroll-and-jammed nest."""
+
+    nest: str
+    machine: str
+    unroll: tuple[int, ...]
+    width: int
+    statements: int
+    dependence_edges: int
+    carried_edges: int
+    packs: tuple[tuple[int, ...], ...]
+    schedule_groups: int
+    estimate: VectorEstimate
+
+    @property
+    def packed_statements(self) -> int:
+        return sum(len(lanes) for lanes in self.packs)
+
+    @property
+    def packed_fraction(self) -> float:
+        if not self.statements:
+            return 0.0
+        return self.packed_statements / self.statements
+
+    def to_dict(self) -> dict:
+        est = self.estimate
+        return {
+            "nest": self.nest,
+            "machine": self.machine,
+            "unroll": list(self.unroll),
+            "width": self.width,
+            "statements": self.statements,
+            "dependence_edges": self.dependence_edges,
+            "carried_edges": self.carried_edges,
+            "packs": [list(lanes) for lanes in self.packs],
+            "packed_statements": self.packed_statements,
+            "packed_fraction": self.packed_fraction,
+            "schedule_groups": self.schedule_groups,
+            "scalar_cycles": float(est.scalar_cycles),
+            "vector_cycles": float(est.vector_cycles),
+            "overhead_cycles": float(est.overhead_cycles),
+            "speedup": float(est.speedup),
+            "improved": est.improved,
+        }
+
+def vectorize_jammed(unrolled: UnrolledNest, machine: MachineModel,
+                     miss_cycles: Fraction = Fraction(0)) -> SimdReport:
+    """Pack, schedule and cost one already-jammed nest."""
+    jammed = unrolled.main
+    graph = build_statement_graph(jammed)
+    width = machine.vector_width_words
+    base = base_temp_names(unrolled.original, tuple(unrolled.unroll))
+    packset = build_packs(jammed, graph, width, base)
+    packset, order = schedule_packs(graph, packset)
+    estimate = estimate_packs(jammed, packset, machine, miss_cycles)
+    return SimdReport(
+        nest=unrolled.original.name,
+        machine=machine.name,
+        unroll=tuple(unrolled.unroll),
+        width=width,
+        statements=len(jammed.body),
+        dependence_edges=graph.count(),
+        carried_edges=len(graph.carried()),
+        packs=tuple(p.lanes for p in packset),
+        schedule_groups=len(order),
+        estimate=estimate,
+    )
+
+def vectorize_nest(nest, unroll: tuple[int, ...], machine: MachineModel,
+                   miss_cycles: Fraction = Fraction(0)) -> SimdReport:
+    """Jam ``nest`` by ``unroll`` and analyze the result."""
+    return vectorize_jammed(unroll_and_jam(nest, tuple(unroll)), machine,
+                            miss_cycles)
+
+def format_report(report: SimdReport) -> str:
+    est = report.estimate
+    lines = [
+        f"nest:        {report.nest}  (unroll {report.unroll}, "
+        f"{report.statements} jammed statements)",
+        f"machine:     {report.machine}  ({report.width} lanes)",
+        f"dependences: {report.dependence_edges} edges "
+        f"({report.carried_edges} loop-carried)",
+        f"packs:       {len(report.packs)} "
+        f"({report.packed_statements}/{report.statements} statements, "
+        f"{report.packed_fraction:.0%}) in {report.schedule_groups} "
+        f"schedule groups",
+    ]
+    for lanes in report.packs:
+        lines.append(f"  pack {list(lanes)}")
+    lines += [
+        f"scalar est:  {float(est.scalar_cycles):.2f} cycles/iter "
+        f"({est.scalar_mem_ops} mem, {est.scalar_flops} flops)",
+        f"vector est:  {float(est.vector_cycles):.2f} cycles/iter "
+        f"({float(est.vector_mem_ops):.0f} mem, "
+        f"{float(est.vector_flops):.0f} vector + "
+        f"{float(est.residual_flops):.0f} scalar flops, "
+        f"overhead {float(est.overhead_cycles):.1f})",
+        f"speedup:     {float(est.speedup):.2f}x"
+        + ("" if est.improved else "  (not profitable)"),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Packed-schedule construction: topological ordering with pack splitting.
+
+A pack executes its lanes in lockstep, so the schedule works over
+*units*: one node per pack plus one per unpacked statement.  The unit
+graph inherits every loop-independent statement edge.  Even with
+pairwise-independent lanes the contracted graph can cycle (the classic
+SLP counterexample: pack P1 = {a, c}, P2 = {b, d} with edges a -> b and
+d -> c), in which case a pack stuck on the cycle is split back to
+scalars and scheduling restarts -- the fully scalar order is the body's
+textual order, which the loop-independent subgraph respects by
+construction, so the loop terminates.
+
+Ties break toward the smallest statement index, keeping the schedule as
+close to textual order as the packs allow (and deterministic).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.simd.depgraph import StatementGraph
+from repro.simd.packer import Pack, PackSet
+
+def _try_schedule(graph: StatementGraph, packset: PackSet,
+                  ) -> tuple[tuple[tuple[int, ...], ...] | None,
+                             Pack | None]:
+    """One Kahn pass over the contracted unit graph.
+
+    Returns ``(order, None)`` on success, or ``(None, pack)`` naming a
+    pack stuck on a contracted cycle.
+    """
+    units: list[tuple[int, ...]] = []
+    unit_of: dict[int, int] = {}
+    for pack in packset:
+        for stmt in pack.lanes:
+            unit_of[stmt] = len(units)
+        units.append(pack.lanes)
+    for i in range(graph.n):
+        if i not in unit_of:
+            unit_of[i] = len(units)
+            units.append((i,))
+
+    indegree = [0] * len(units)
+    succ: list[set[int]] = [set() for _ in units]
+    for i in range(graph.n):
+        for j in graph.succ[i]:
+            a, b = unit_of[i], unit_of[j]
+            if a != b and b not in succ[a]:
+                succ[a].add(b)
+                indegree[b] += 1
+
+    ready = [(min(lanes), u) for u, lanes in enumerate(units)
+             if indegree[u] == 0]
+    heapq.heapify(ready)
+    order: list[tuple[int, ...]] = []
+    done = 0
+    while ready:
+        _, u = heapq.heappop(ready)
+        order.append(units[u])
+        done += 1
+        for v in succ[u]:
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                heapq.heappush(ready, (min(units[v]), v))
+    if done == len(units):
+        return tuple(order), None
+    stuck = [units[u] for u in range(len(units))
+             if indegree[u] > 0 and len(units[u]) > 1]
+    # A cycle among contracted units always involves at least one pack
+    # (the scalar subgraph alone is acyclic).
+    return None, Pack(min(stuck, key=min))
+
+def schedule_packs(graph: StatementGraph, packset: PackSet,
+                   ) -> tuple[PackSet, tuple[tuple[int, ...], ...]]:
+    """The executable packed schedule.
+
+    Returns the (possibly reduced) pack set and the ordered statement
+    groups: each group is one pack's lanes in lane order, or a single
+    unpacked statement.
+    """
+    packs = list(packset)
+    while True:
+        current = PackSet(tuple(packs))
+        order, stuck = _try_schedule(graph, current)
+        if order is not None:
+            return current, order
+        packs = [p for p in packs if p.lanes != stuck.lanes]

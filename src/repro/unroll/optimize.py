@@ -111,6 +111,61 @@ def search_space(tables: UnrollTables, machine: MachineModel,
         return tuple(0 for _ in range(tables.nest.depth)), False
     return best_u, True
 
+#: Vectorized search evaluates the full jam -> pack -> cost chain on at
+#: most this many scalar-ranked feasible points (plus no-unroll): packing
+#: is orders of magnitude costlier than a table lookup, and the scalar
+#: objective is an excellent proposal distribution for it.
+SIMD_BEAM = 8
+
+def search_space_vectorized(tables: UnrollTables, machine: MachineModel,
+                            include_cache: bool = True,
+                            prune: bool = True,
+                            miss_model=None, *,
+                            estimator: Callable[[UnrollVector], object],
+                            beam: int = SIMD_BEAM,
+                            ) -> tuple[UnrollVector, bool]:
+    """The opt-in ``vectorize=True`` search: rank register-feasible
+    vectors by the scalar objective, then re-rank the top ``beam`` (plus
+    the no-unroll vector) by the lane cost model's vectorized cycles per
+    original iteration.  ``estimator`` maps an unroll vector to a
+    :class:`repro.simd.cost.VectorEstimate`; ties fall back to the
+    scalar key, so a machine whose packs never help chooses exactly the
+    scalar vector.
+    """
+    space = tables.space
+    ranked: list[tuple[tuple, UnrollVector]] = []
+    infeasible: list[tuple[int, ...]] = []
+    for reduced in space.reduced_box():
+        if infeasible and any(dominates(reduced, floor)
+                              for floor in infeasible):
+            continue
+        u = space.embed(reduced)
+        point = tables.point(u)
+        if point.registers > machine.registers:
+            if prune:
+                infeasible.append(reduced)
+            continue
+        ranked.append(((objective(point, machine, include_cache, miss_model),
+                        body_copies(u), u), u))
+    if not ranked:
+        return tuple(0 for _ in range(tables.nest.depth)), False
+    ranked.sort()
+    shortlist = [u for _, u in ranked[:beam]]
+    zero = tuple(0 for _ in range(tables.nest.depth))
+    if zero not in shortlist and any(u == zero for _, u in ranked):
+        shortlist.append(zero)
+    scalar_key = dict((u, key) for key, u in ranked)
+    best_u: UnrollVector | None = None
+    best_key: tuple | None = None
+    for u in shortlist:
+        estimate = estimator(u)
+        key = (Fraction(estimate.vector_cycles) / body_copies(u),
+               scalar_key[u])
+        if best_key is None or key < best_key:
+            best_key, best_u = key, u
+    assert best_u is not None
+    return best_u, True
+
 def _no_stage(_name: str):
     return nullcontext()
 
@@ -127,6 +182,7 @@ def choose_unroll(nest: LoopNest, machine: MachineModel,
                   prune: bool = True, fast: bool = True,
                   stage: Callable[[str], object] | None = None,
                   miss_model=None,
+                  vectorize: bool = False,
                   ) -> OptimizationResult:
     """End-to-end unroll-and-jam decision for one nest (the paper's
     algorithm: tables from uniformly generated sets, then an O(bound^2)
@@ -144,6 +200,12 @@ def choose_unroll(nest: LoopNest, machine: MachineModel,
     set-associative miss estimate instead of the binary Equation-1 charge
     (see :func:`search_space`); the default ``None`` reproduces the
     paper's decision bit-for-bit.
+
+    ``vectorize=True`` swaps the ranking for the SLP lane cost model
+    (:func:`search_space_vectorized`): minimize vectorized cycles per
+    original iteration, scalar objective as tie-break.  On a machine
+    without a vector unit (``vector_width_words <= 1``) the flag is a
+    no-op and the scalar decision is returned unchanged.
     """
     stage = stage if stage is not None else _no_stage
     if safety is None:
@@ -162,8 +224,24 @@ def choose_unroll(nest: LoopNest, machine: MachineModel,
                               ugs=list(ugs) if ugs is not None else None,
                               fast=fast)
     with stage("search"):
-        chosen, feasible = search_space(tables, machine, include_cache,
-                                        prune=prune, miss_model=miss_model)
+        if vectorize and machine.vector_width_words > 1:
+            from repro.balance.loop_balance import miss_cycles
+            from repro.simd import vectorize_jammed
+            from repro.unroll.transform import unroll_and_jam
+
+            def estimator(u: UnrollVector):
+                point = tables.point(u)
+                b = loop_balance(point, machine, include_cache, miss_model)
+                return vectorize_jammed(unroll_and_jam(nest, u), machine,
+                                        miss_cycles(b, machine)).estimate
+
+            chosen, feasible = search_space_vectorized(
+                tables, machine, include_cache, prune=prune,
+                miss_model=miss_model, estimator=estimator)
+        else:
+            chosen, feasible = search_space(tables, machine, include_cache,
+                                            prune=prune,
+                                            miss_model=miss_model)
         point = tables.point(chosen)
         breakdown = loop_balance(point, machine, include_cache, miss_model)
     return OptimizationResult(

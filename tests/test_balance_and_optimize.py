@@ -153,6 +153,24 @@ class TestMachineModel:
         assert m.registers == 64
         assert m.prefetch_bandwidth == Fraction(1, 4)
 
+    def test_with_helpers_preserve_every_other_field(self):
+        # Regression: the derived machines used to rebuild the dataclass
+        # by hand and silently reset fp_latency/divide_latency/
+        # load_latency (and would have dropped the vector fields too).
+        import dataclasses
+
+        custom = dataclasses.replace(
+            dec_alpha(), fp_latency=9, divide_latency=40, load_latency=5,
+            vector_width_words=4, gather_penalty=7)
+        for derived in (custom.with_registers(64),
+                        custom.with_prefetch(Fraction(1, 3))):
+            for field in dataclasses.fields(MachineModel):
+                if field.name in ("name", "registers",
+                                  "prefetch_bandwidth"):
+                    continue
+                assert getattr(derived, field.name) \
+                    == getattr(custom, field.name), field.name
+
     def test_presets_contrast(self):
         """Figure 8 vs 9 premise: the Alpha misses hurt much more."""
         alpha, pa = dec_alpha(), hp_pa_risc()

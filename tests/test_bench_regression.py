@@ -44,6 +44,8 @@ BASE_PREDICT = {"held_out_top1": 0.88, "fast_decisions_per_sec": 4000.0}
 BASE_REUSE = {"direct_mean_abs_error": 0.033,
               "assoc4_mean_abs_error": 0.024,
               "assoc8_mean_abs_error": 0.025}
+BASE_SIMD = {"packable_fraction": 0.31, "win_fraction": 1.0,
+             "parity_mismatches": 0.0, "invariance_mismatches": 0.0}
 
 def engine_results(nests_per_sec: float = 40.0,
                    hit_rate: float = 1.0) -> dict:
@@ -82,6 +84,13 @@ def reuse_results(direct: float = 0.033, assoc4: float = 0.024,
         "assoc4_1024": {"mean_abs_error": assoc4},
         "assoc8_2048": {"mean_abs_error": assoc8}}}
 
+def simd_results(packable: float = 0.31, wins: float = 1.0,
+                 parity: float = 0.0, invariance: float = 0.0) -> dict:
+    return {"estimates": {"packable_fraction": packable,
+                          "win_fraction": wins},
+            "parity": {"mismatches": parity},
+            "invariance": {"mismatches": invariance}}
+
 _DEFAULT = object()  # sentinel: include plausible results for the bench
 
 def write_tree(tmp_path: pathlib.Path, engine: dict | None,
@@ -90,7 +99,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
                cluster: dict | None | object = _DEFAULT,
                cold: dict | None | object = _DEFAULT,
                predict: dict | None | object = _DEFAULT,
-               reuse: dict | None | object = _DEFAULT) -> tuple[
+               reuse: dict | None | object = _DEFAULT,
+               simd: dict | None | object = _DEFAULT) -> tuple[
                    pathlib.Path, pathlib.Path]:
     results = tmp_path / "results"
     results.mkdir(exist_ok=True)
@@ -102,6 +112,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
         predict = predict_results()
     if reuse is _DEFAULT:
         reuse = reuse_results()
+    if simd is _DEFAULT:
+        simd = simd_results()
     if engine is not None:
         (results / "engine_throughput.json").write_text(json.dumps(engine))
     if serve is not None:
@@ -115,6 +127,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
         (results / "predict.json").write_text(json.dumps(predict))
     if reuse is not None:
         (results / "reuse_profile.json").write_text(json.dumps(reuse))
+    if simd is not None:
+        (results / "simd.json").write_text(json.dumps(simd))
     baseline_dir = tmp_path / "baselines"
     baseline_dir.mkdir(exist_ok=True)
     for name, metrics in (baselines or {}).items():
@@ -127,7 +141,8 @@ DEFAULT_BASELINES = {"engine_throughput": BASE_ENGINE,
                      "cluster_throughput": BASE_CLUSTER,
                      "cold_analysis": BASE_COLD,
                      "predict": BASE_PREDICT,
-                     "reuse_profile": BASE_REUSE}
+                     "reuse_profile": BASE_REUSE,
+                     "simd": BASE_SIMD}
 
 class TestCompare:
     def test_synthetic_2x_slowdown_fails(self):
@@ -188,7 +203,7 @@ class TestCheckAndUpdate:
                                         serve_results(),
                                         DEFAULT_BASELINES)
         rows, ok = regression.check(results, baselines, 0.25)
-        assert ok and len(rows) == 18
+        assert ok and len(rows) == 22
 
     def test_check_fails_on_2x_slowdown_tree(self, tmp_path):
         results, baselines = write_tree(
@@ -233,7 +248,8 @@ class TestCheckAndUpdate:
                                              "cluster_throughput.json",
                                              "cold_analysis.json",
                                              "predict.json",
-                                             "reuse_profile.json"}
+                                             "reuse_profile.json",
+                                             "simd.json"}
         _, ok = regression.check(results, baselines, 0.25)
         assert ok
         doc = json.loads((baselines / "engine_throughput.json").read_text())
@@ -271,7 +287,7 @@ class TestMainAndTable:
         assert table.startswith("### Benchmark regression gate")
         assert "| benchmark | metric | baseline | current | delta " \
             "| status |" in table
-        assert table.count("✅") == 18
+        assert table.count("✅") == 22
         # One data row per tracked metric, rendered as a pipe table.
         data_rows = [line for line in table.splitlines()
                      if line.startswith("| engine_throughput")
@@ -279,8 +295,9 @@ class TestMainAndTable:
                      or line.startswith("| cluster_throughput")
                      or line.startswith("| cold_analysis")
                      or line.startswith("| predict")
-                     or line.startswith("| reuse_profile")]
-        assert len(data_rows) == 18
+                     or line.startswith("| reuse_profile")
+                     or line.startswith("| simd")]
+        assert len(data_rows) == 22
         capsys.readouterr()
 
     def test_committed_baselines_are_wellformed(self):
@@ -292,8 +309,12 @@ class TestMainAndTable:
             assert set(metrics) == set(spec["metrics"])
             rows = regression.compare(name, metrics, metrics)
             assert all(row["ok"] for row in rows)
-            assert all(isinstance(value, float) and value > 0
-                       for value in metrics.values())
+            # Mismatch counters legitimately baseline at exactly zero
+            # (any regression is a hard failure); everything else is a
+            # strictly positive measurement.
+            assert all(isinstance(value, float) and (
+                value > 0 or metric.endswith("_mismatches"))
+                for metric, value in metrics.items())
 
 @pytest.mark.parametrize("value,expected", [
     (None, "-"), (1234.5, "1234.5"), (0.00378, "0.00378"), (1.0, "1")])

@@ -128,3 +128,71 @@ class TestRunUnrolled:
         arrays = {"A": np.zeros(5)}
         run_unrolled(nest, (2, 0), {}, arrays)
         assert np.allclose(arrays["A"], 1.0)
+
+class TestRunUnrolledEpilogues:
+    """Edge cases of the main/epilogue split: unroll amounts at or past
+    the trip count, zero-trip loops, and the exact iteration order."""
+
+    def _counting_nest(self):
+        b = NestBuilder("epi")
+        I, J = b.loops(("I", 0, "N"), ("J", 0, "M"))
+        b.assign(b.ref("A", I, J), b.ref("A", I, J) + 1.0)
+        return b.build()
+
+    @pytest.mark.parametrize("u0", [4, 5, 6, 11])
+    def test_unroll_at_or_past_trip_count(self, u0):
+        # 5 outer iterations; u0+1 copies >= 5 means zero full blocks:
+        # everything runs through the rolled epilogue, exactly once.
+        nest = self._counting_nest()
+        arrays = {"A": np.zeros((5, 3))}
+        run_unrolled(nest, (u0, 0), {"N": 4, "M": 2}, arrays)
+        assert np.array_equal(arrays["A"], np.ones((5, 3)))
+
+    def test_zero_trip_outer_loop(self):
+        nest = self._counting_nest()
+        arrays = {"A": np.zeros((4, 4))}
+        run_unrolled(nest, (3, 0), {"N": -1, "M": 3}, arrays)
+        assert np.array_equal(arrays["A"], np.zeros((4, 4)))
+
+    def test_zero_trip_inner_loop(self):
+        # The unrolled outer loop still iterates; the empty inner loop
+        # must not touch memory or crash the epilogue arithmetic.
+        nest = self._counting_nest()
+        arrays = {"A": np.zeros((6, 2))}
+        run_unrolled(nest, (2, 0), {"N": 5, "M": -2}, arrays)
+        assert np.array_equal(arrays["A"], np.zeros((6, 2)))
+
+    def test_single_iteration_loops(self):
+        nest = self._counting_nest()
+        arrays = {"A": np.zeros((1, 1))}
+        run_unrolled(nest, (3, 0), {"N": 0, "M": 0}, arrays)
+        assert np.array_equal(arrays["A"], np.ones((1, 1)))
+
+    def test_main_then_epilogue_order(self):
+        # Writes arrive in jammed-copy order for the aligned blocks,
+        # then in plain order for the remainder: with u=(2,0) over 8
+        # outer iterations the I-sequence per J is 0,1,2 | 3,4,5 | 6,7.
+        nest = self._counting_nest()
+        writes = []
+        arrays = {"A": np.zeros((8, 1))}
+        run_unrolled(nest, (2, 0), {"N": 7, "M": 0}, arrays,
+                     trace=lambda arr, idx, w: writes.append(idx[0])
+                     if w else None)
+        assert writes == [0, 1, 2, 3, 4, 5, 6, 7]
+
+    def test_depth3_middle_epilogue_matches_run_nest(self):
+        # Unrolling two outer loops with non-dividing trips exercises
+        # the per-level rolled vectors u[:level] + (0,) + u[level+1:].
+        b = NestBuilder("epi3")
+        I, J, K = b.loops(("I", 0, 6), ("J", 0, 4), ("K", 0, 2))
+        b.assign(b.ref("A", I, J, K),
+                 b.ref("A", I, J, K) * 0.5 + b.ref("B", I, J, K))
+        nest = b.build()
+        rng = np.random.default_rng(9)
+        base = {"A": rng.standard_normal((7, 5, 3)),
+                "B": rng.standard_normal((7, 5, 3))}
+        ref = {k: v.copy() for k, v in base.items()}
+        unr = {k: v.copy() for k, v in base.items()}
+        run_nest(nest, {}, ref)
+        run_unrolled(nest, (2, 3, 0), {}, unr)
+        assert np.array_equal(ref["A"], unr["A"])

@@ -123,6 +123,26 @@ class TestRoundTrip:
         assert reparsed.loops == main.loops
         assert reparsed.body == main.body
 
+    def test_jammed_temp_names_round_trip(self):
+        # The per-copy renamed temporaries (t__I1, t__I1_J1, ...) must
+        # survive print -> parse as the same scalar variables.
+        from repro.unroll.transform import unroll_and_jam
+
+        b = NestBuilder("jammed_temps")
+        I, J, K = b.loops(("I", 0, "N"), ("J", 0, "N"), ("K", 0, "N"))
+        b.assign(b.scalar("t"), b.ref("B", I, J, K))
+        b.assign(b.ref("A", I, J, K), b.scalar("t") * b.scalar("t"))
+        nest = b.build()
+        main = unroll_and_jam(nest, (1, 2, 0)).main
+        text = format_nest(main)
+        assert "t__I1_J1" in text and "t__J2" in text
+        reparsed = parse_nest(text, name=main.name)
+        assert reparsed.loops == main.loops
+        assert reparsed.body == main.body
+        assert reparsed.structural_key() == main.structural_key()
+        assert set(reparsed.scalar_temporaries()) \
+            == set(main.scalar_temporaries())
+
 @st.composite
 def printable_nest(draw):
     b = NestBuilder("rt")

@@ -203,6 +203,44 @@ class TestCoalescing:
             assert handle.engine.metrics.counter("serve.cache.hit") == 0
         assert first[0] == second[0] == 200
 
+class TestSimdParam:
+    def test_simd_report_matches_library(self):
+        with _server() as handle:
+            client = ServeClient(port=handle.port)
+            status, doc = client.optimize("jacobi", machine="future",
+                                          bound=4, simd=True)
+            client.close()
+        assert status == 200 and doc["ok"]
+        result, report = api.vectorize("jacobi", machine="future", bound=4,
+                                       engine=AnalysisEngine())
+        assert tuple(doc["unroll"]) == result.unroll
+        assert doc["simd"] == json.loads(json.dumps(report.to_dict()))
+
+    def test_simd_and_plain_requests_have_distinct_keys(self):
+        with _server() as handle:
+            client = ServeClient(port=handle.port)
+            _, plain = client.optimize("jacobi", machine="future", bound=4)
+            _, simd = client.optimize("jacobi", machine="future", bound=4,
+                                      simd=True)
+            client.close()
+            assert handle.engine.metrics.counter("serve.cache.hit") == 0
+        assert "simd" not in plain
+        assert "simd" in simd
+
+    def test_simd_jobs_are_not_poolable(self):
+        from repro.serve.batcher import MicroBatcher, _Job
+
+        machine = type("M", (), {"name": "m"})()
+
+        def job(params):
+            return _Job(kind="optimize", key=(), nest=None, machine=machine,
+                        params=params, unroll=None)
+
+        assert not MicroBatcher._poolable([job({"simd": True, "bound": 4}),
+                                           job({"simd": True, "bound": 4})])
+        assert MicroBatcher._poolable([job({"bound": 4}),
+                                       job({"bound": 4})])
+
 class TestBackpressure:
     def test_queue_full_returns_429_with_retry_after(self):
         # One-job queue, one-at-a-time flushes, single worker thread: a
