@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint bench-quick bench-check bench-baseline bench-predict \
-	bench-reuse bench-simd train serve
+	bench-reuse bench-simd bench-ugs train serve
 
 test:
 	$(PYTHON) -m pytest tests/ -x -q
@@ -22,6 +22,7 @@ bench-quick:
 	$(PYTHON) benchmarks/bench_predict.py --quick
 	$(PYTHON) benchmarks/bench_reuse_profile.py --quick
 	$(PYTHON) benchmarks/bench_simd.py --quick
+	$(PYTHON) benchmarks/bench_ugs_cache.py --quick
 
 # The reuse-profile miss-model validation at full corpus size
 # (docs/REUSE.md): mean |predicted - simulated| miss ratio <= 0.05 on
@@ -39,6 +40,12 @@ bench-predict:
 # with a lower vectorized estimate, scalar decisions untouched.
 bench-simd:
 	$(PYTHON) benchmarks/bench_simd.py
+
+# The cross-nest UGS memoization gates at full size (docs/PERFORMANCE.md):
+# cold >=1.5x over the fast path without the cache, zero decision/table
+# mismatches, 10k-nest streaming peak <= 1.25x the 1k-nest peak.
+bench-ugs:
+	$(PYTHON) benchmarks/bench_ugs_cache.py
 
 # Retrain the committed default fast-tier model artifact (labels the
 # full 4800-nest corpus with the exact engine first -- takes minutes).

@@ -134,6 +134,27 @@ SPECS: dict[str, dict] = {
                                        "higher"),
         },
     },
+    "ugs_cache": {
+        "results": "ugs_cache.json",
+        "metrics": {
+            "cached_nests_per_sec": (("cached", "nests_per_sec"),
+                                     "higher"),
+            # The cold cross-nest speedup: self-normalizing (both sides
+            # measured in the same run) and hard-floored at 1.5x by
+            # bench_ugs_cache.acceptance(); the band catches drift.
+            "speedup": (("speedup",), "higher"),
+            # Deterministic (seeded corpus, exact tables): any mismatch
+            # means the signature over- or under-canonicalizes.
+            "decision_mismatches": (("parity", "decision_mismatches"),
+                                    "lower"),
+            # Absolute traced-heap peak of the large streaming run; the
+            # small/large *ratio* is a quotient of transient peaks (the
+            # hard <=1.25x bar lives in the bench), but the absolute
+            # working set regressing >25% means a cache stopped being
+            # bounded.
+            "stream_peak_mb": (("stream", "large", "peak_mb"), "lower"),
+        },
+    },
     "simd": {
         "results": "simd.json",
         "metrics": {

@@ -39,6 +39,7 @@ from repro.api import (
     default_engine,
     optimize,
     optimize_many,
+    optimize_stream,
     reuse_profile,
     transform,
     vectorize,
@@ -75,6 +76,7 @@ __all__ = [
     "hp_pa_risc",
     "optimize",
     "optimize_many",
+    "optimize_stream",
     "parse_nest",
     "reuse_profile",
     "transform",

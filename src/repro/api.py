@@ -62,6 +62,7 @@ __all__ = [
     "default_engine",
     "optimize",
     "optimize_many",
+    "optimize_stream",
     "predict_unroll",
     "reuse_profile",
     "serialize_nest",
@@ -314,6 +315,40 @@ def optimize_many(specs: Sequence, machine: "MachineModel | str" = "alpha",
         return engine.optimize_many(entries, model, workers=workers,
                                     bound=bound, max_loops=max_loops,
                                     include_cache=include_cache, trip=trip)
+
+def optimize_stream(specs, machine: "MachineModel | str" = "alpha",
+                    workers: int | None = None, bound: int = DEFAULT_BOUND,
+                    max_loops: int = 2, include_cache: bool = True,
+                    trip: int = 100, chunk_size: int = 32,
+                    engine: AnalysisEngine | None = None):
+    """Optimize an *iterable* corpus, yielding per-nest results as they
+    complete (the streaming sibling of :func:`optimize_many`).
+
+    ``specs`` may be any iterable -- including a generator such as
+    :func:`repro.corpus.iter_corpus` -- and is consumed lazily, so a
+    100k-nest sweep never materializes its corpus or its result list.
+    Yields :class:`repro.engine.BatchItem`; with ``workers > 1`` items
+    arrive in completion order (each carries its input ``index``).
+    Specifications that fail to coerce become reported failures, like in
+    :func:`optimize_many`.
+    """
+    model = coerce_machine(machine)
+    engine = engine if engine is not None else default_engine()
+
+    def entries():
+        for index, spec in enumerate(specs):
+            try:
+                yield coerce_nest(spec)
+            except NestResolutionError as err:
+                label = spec if isinstance(spec, str) else \
+                    getattr(spec, "name", f"item{index}")
+                yield BatchError(name=str(label), message=str(err))
+
+    with _span("api.optimize_stream"):
+        yield from engine.optimize_stream(
+            entries(), model, workers=workers, bound=bound,
+            max_loops=max_loops, include_cache=include_cache, trip=trip,
+            chunk_size=chunk_size)
 
 def predict_unroll(nest_or_source,
                    machine: "MachineModel | str" = "alpha",

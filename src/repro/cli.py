@@ -9,7 +9,10 @@ Commands:
   set-associative miss prediction (docs/REUSE.md)
 * ``optimize <nest>``              -- full unroll-and-jam report
 * ``simulate <kernel>``            -- trace-driven cycles, before/after
-* ``batch <dir|glob|nest>...``     -- optimize a corpus via the engine
+* ``batch <dir|glob|nest>...``     -- optimize a corpus via the engine;
+  ``--stream`` yields results as they complete at flat memory
+* ``corpus``                       -- stream the seeded synthetic corpus
+  (``--count``/``--seed``; ``--out DIR`` writes nest files)
 * ``serve``                        -- the HTTP analysis service (docs/SERVING.md);
   ``--workers N`` shards it across N processes (docs/CLUSTER.md)
 * ``train``                        -- train the tier=fast unroll predictor
@@ -283,6 +286,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
         obs.configure(enabled=True)
     engine = AnalysisEngine(disk_cache=args.cache,
                             cache_dir=args.cache_dir, profiler=profiler)
+    if args.stream:
+        return _batch_stream(args, engine, specs)
     report = api.optimize_many(specs, machine=args.machine,
                                workers=args.workers, bound=args.bound,
                                engine=engine)
@@ -310,6 +315,79 @@ def cmd_batch(args: argparse.Namespace) -> int:
           f"{report.workers} worker(s), {report.wall_time_s:.3f}s "
           f"({report.nests_per_sec:.1f} nests/sec)")
     return 1 if report.failures else 0
+
+def _batch_stream(args: argparse.Namespace, engine, specs) -> int:
+    """``repro batch --stream``: emit each result as it completes.
+
+    Results are printed (or, with ``--json``, written as one JSON object
+    per line) the moment they arrive, and nothing accumulates a report --
+    peak memory stays flat however large the corpus is.  With
+    ``--workers N`` the order is completion order; every row carries its
+    input index.
+    """
+    import time as _time
+
+    start = _time.monotonic()
+    total = 0
+    failures = 0
+    if not args.json:
+        print(f"{'idx':>6s} {'name':<24s} {'unroll':<12s} {'balance':>8s} "
+              f"{'feasible':>8s}")
+    for item in api.optimize_stream(specs, machine=args.machine,
+                                    workers=args.workers, bound=args.bound,
+                                    engine=engine):
+        total += 1
+        if not item.ok:
+            failures += 1
+        if args.json:
+            print(json.dumps(item.to_dict()), flush=True)
+        elif item.ok and item.result is not None:
+            print(f"{item.index:>6d} {item.name:<24.24s} "
+                  f"{str(item.result.unroll):<12s} "
+                  f"{float(item.result.balance):>8.3f} "
+                  f"{str(item.result.feasible):>8s}", flush=True)
+        else:
+            print(f"{item.index:>6d} {item.name:<24.24s} "
+                  f"FAILED: {item.error}", flush=True)
+    wall = _time.monotonic() - start
+    rate = total / wall if wall > 0 else 0.0
+    summary = (f"{total} nest(s), {failures} failure(s), "
+               f"{args.workers or 1} worker(s), {wall:.3f}s "
+               f"({rate:.1f} nests/sec), dedup hits "
+               f"{engine.metrics.counter('engine.dedup.hits')}")
+    print(summary, file=sys.stderr if args.json else sys.stdout)
+    return 1 if failures else 0
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    """``repro corpus``: stream the seeded synthetic corpus.
+
+    Generation is lazy (:func:`repro.corpus.iter_corpus`), so
+    ``--count 100000`` writes or prints nests one at a time without ever
+    holding the corpus in memory.
+    """
+    from repro.corpus import CorpusConfig, iter_corpus
+
+    defaults = CorpusConfig()
+    count = args.count if args.count is not None else defaults.routines
+    config = CorpusConfig(routines=count, seed=args.seed)
+    written = 0
+    if args.out:
+        outdir = pathlib.Path(args.out)
+        outdir.mkdir(parents=True, exist_ok=True)
+        for nest in iter_corpus(config):
+            path = outdir / f"{nest.name}.loop"
+            path.write_text(format_nest(nest) + "\n")
+            written += 1
+        print(f"wrote {written} nest(s) to {outdir} (seed {args.seed})")
+        return 0
+    for nest in iter_corpus(config):
+        if written:
+            print()
+        print(f"* {nest.name}")
+        print(format_nest(nest))
+        written += 1
+    print(f"\n{written} nest(s), seed {args.seed}", file=sys.stderr)
+    return 0
 
 def _predict_worker_args(args: argparse.Namespace) -> list[str]:
     """Forward the fast-tier knobs to sharded cluster workers."""
@@ -550,7 +628,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--trace-out", default=None,
                          help="write a Chrome trace_event JSON here "
                               "(implies tracing on)")
+    p_batch.add_argument("--stream", action="store_true",
+                         help="stream results as they complete instead of "
+                              "collecting a report: flat memory for huge "
+                              "corpora; with --json, one JSON object per "
+                              "line (docs/PERFORMANCE.md)")
     p_batch.set_defaults(func=cmd_batch)
+
+    p_corpus = sub.add_parser(
+        "corpus", help="generate the seeded synthetic corpus, streaming")
+    p_corpus.add_argument("--count", type=int, default=None,
+                          help="number of routines (default: the Table 1 "
+                               "corpus size)")
+    p_corpus.add_argument("--seed", type=int, default=1997)
+    p_corpus.add_argument("--out", default=None, metavar="DIR",
+                          help="write one .loop file per nest into DIR "
+                               "(feeds 'repro batch DIR'); default prints "
+                               "sources to stdout")
+    p_corpus.set_defaults(func=cmd_corpus)
 
     p_serve = sub.add_parser(
         "serve", help="run the HTTP analysis service (see docs/SERVING.md)")

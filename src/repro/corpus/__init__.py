@@ -8,6 +8,12 @@ nests, which the seeded generator models.  See DESIGN.md for the
 substitution argument.
 """
 
-from repro.corpus.generator import CorpusConfig, generate_corpus, generate_routine
+from repro.corpus.generator import (
+    CorpusConfig,
+    generate_corpus,
+    generate_routine,
+    iter_corpus,
+)
 
-__all__ = ["CorpusConfig", "generate_corpus", "generate_routine"]
+__all__ = ["CorpusConfig", "generate_corpus", "generate_routine",
+           "iter_corpus"]

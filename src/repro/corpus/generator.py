@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.ir.builder import E, NestBuilder
 from repro.ir.nodes import LoopNest
@@ -104,6 +105,23 @@ def generate_routine(rng: random.Random, config: CorpusConfig,
         archetype(b, rng, idx)
     return b.build()
 
+def iter_corpus(config: CorpusConfig | None = None,
+                count: int | None = None) -> "Iterator[LoopNest]":
+    """Stream the corpus one routine at a time.
+
+    The generator form of :func:`generate_corpus` for corpus sizes that
+    must not be held in memory (the 100k-nest streaming experiments feed
+    this straight into ``AnalysisEngine.optimize_stream``).  ``count``
+    overrides ``config.routines``; the draw sequence is identical, so for
+    one seed a shorter run is an exact prefix of a longer one and
+    ``list(iter_corpus(config)) == generate_corpus(config)``.
+    """
+    config = config or CorpusConfig()
+    total = config.routines if count is None else count
+    rng = random.Random(config.seed)
+    for i in range(total):
+        yield generate_routine(rng, config, i)
+
 def generate_corpus(config: CorpusConfig | None = None,
                     metrics=None) -> list[LoopNest]:
     """The full corpus, deterministic for a given seed.
@@ -113,13 +131,10 @@ def generate_corpus(config: CorpusConfig | None = None,
     wall time went.
     """
     config = config or CorpusConfig()
-    rng = random.Random(config.seed)
     if metrics is None:
-        return [generate_routine(rng, config, i)
-                for i in range(config.routines)]
+        return list(iter_corpus(config))
     with metrics.timer("stage.corpus_generate"):
-        nests = [generate_routine(rng, config, i)
-                 for i in range(config.routines)]
+        nests = list(iter_corpus(config))
     metrics.count("corpus.routines", len(nests))
     return nests
 

@@ -33,9 +33,9 @@ import threading
 import time
 from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover -- type names only
     from repro.engine.shared import SharedTableStore
@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover -- type names only
 
 from repro.dependence.graph import DependenceGraph, build_dependence_graph
 from repro.engine.metrics import Metrics
+from repro.engine.ugscache import UgsTableCache
 from repro.ir.nodes import LoopNest
 from repro.obs import profile as _obs_profile
 from repro.obs import trace as _obs_trace
@@ -218,13 +219,19 @@ class AnalysisEngine:
         Persist/look up serialized tables under ``cache_dir``.
     cache_dir:
         On-disk cache location (default :func:`default_cache_dir`).
+    ugs_cache:
+        Memoize per-UGS tables under their canonical signature
+        (:mod:`repro.engine.ugscache`) so structurally *different* nests
+        that share sets skip the lattice counting.  On by default; the
+        benchmarks disable it to measure the whole-nest-only fast path.
     """
 
     def __init__(self, capacity: int = 256, metrics: Metrics | None = None,
                  disk_cache: bool = False,
                  cache_dir: str | os.PathLike | None = None,
                  profiler: "_obs_profile.Profiler | None" = None,
-                 shared_dir: str | os.PathLike | None = None):
+                 shared_dir: str | os.PathLike | None = None,
+                 ugs_cache: bool = True):
         self.metrics = metrics if metrics is not None else Metrics()
         self.profiler = (profiler if profiler is not None
                          else _obs_profile.get_profiler())
@@ -243,6 +250,13 @@ class AnalysisEngine:
         self._tables = _LRU(capacity)
         self._profiles = _LRU(capacity)
         self._simd = _LRU(capacity)
+        #: Sub-structural cache: distinct UGS signatures are far more
+        #: numerous than distinct nests in the LRU, so it gets more slots.
+        self.ugs_cache: UgsTableCache | None = None
+        if ugs_cache:
+            self.ugs_cache = UgsTableCache(
+                capacity=max(16 * capacity, 1024), metrics=self.metrics,
+                shared=self.shared)
 
     # -- memoized building blocks -------------------------------------------
 
@@ -329,7 +343,9 @@ class AnalysisEngine:
         cached = self._tables.get(key)
         if cached is not None:
             self.metrics.count("cache.tables.hit")
+            self.metrics.count("cache.memory.hit")
             return _rebind_tables(cached, nest)
+        self.metrics.count("cache.memory.miss")
         shared = self._load_shared_tables(key, nest)
         if shared is not None:
             self.metrics.count("cache.tables.hit")
@@ -346,7 +362,8 @@ class AnalysisEngine:
                 _span("tables.build", nest=nest.name), \
                 self.profiler.profile("stage.build_tables"):
             tables = build_tables(nest, space, line_size=line_size, trip=trip,
-                                  ugs=list(ugs) if ugs is not None else None)
+                                  ugs=list(ugs) if ugs is not None else None,
+                                  ugs_cache=self.ugs_cache)
         self._tables.put(key, tables)
         self._store_shared_tables(key, tables)
         self._store_disk_tables(key, tables)
@@ -449,17 +466,29 @@ class AnalysisEngine:
         are not :class:`LoopNest` (or are :class:`BatchError` placeholders
         from upstream coercion) and nests whose analysis raises become
         failed items; the rest of the batch completes.
+
+        Structurally identical nests are deduplicated *before* dispatch:
+        one representative runs, its result fans back out to every
+        duplicate index (``engine.dedup.hits`` counts the slots saved).
         """
         start = time.monotonic()
         params = dict(bound=bound, max_loops=max_loops,
                       include_cache=include_cache, trip=trip)
         with _span("engine.optimize_many", nests=len(nests),
                    workers=workers or 1):
+            pairs, duplicates = self._dedup_pairs(enumerate(nests))
             if workers is not None and workers > 1:
-                items = self._run_parallel(nests, machine, workers, params)
+                items = self._run_parallel(pairs, machine, workers, params)
             else:
                 items = [self._run_one(i, nest, machine, params)
-                         for i, nest in enumerate(nests)]
+                         for i, nest in pairs]
+            if duplicates:
+                by_index = {item.index: item for item in items}
+                for rep_index, waiters in duplicates.items():
+                    rep = by_index[rep_index]
+                    items.extend(_fan_item(rep, i, nest)
+                                 for i, nest in waiters)
+                items.sort(key=lambda item: item.index)
         wall = time.monotonic() - start
         self.metrics.count("batch.runs")
         self.metrics.count("batch.items", len(items))
@@ -489,7 +518,36 @@ class AnalysisEngine:
         return BatchItem(index=index, name=nest.name, ok=True, result=result,
                          duration_s=time.monotonic() - t0)
 
-    def _run_parallel(self, nests: Sequence[object], machine: MachineModel,
+    def _dedup_pairs(self, pairs: Iterable[tuple[int, object]],
+                     ) -> tuple[list[tuple[int, object]],
+                                dict[int, list[tuple[int, LoopNest]]]]:
+        """Split indexed entries into unique work and structural twins.
+
+        Returns ``(unique, duplicates)``: the first-seen entry of every
+        structural key (plus every non-nest entry) in order, and a map
+        from each representative's index to its duplicates' ``(index,
+        nest)`` pairs.  Counts the saved slots as ``engine.dedup.hits``.
+        """
+        seen: dict[object, int] = {}
+        unique: list[tuple[int, object]] = []
+        duplicates: dict[int, list[tuple[int, LoopNest]]] = {}
+        hits = 0
+        for index, nest in pairs:
+            if isinstance(nest, LoopNest):
+                key = nest.structural_key()
+                rep = seen.get(key)
+                if rep is not None:
+                    duplicates.setdefault(rep, []).append((index, nest))
+                    hits += 1
+                    continue
+                seen[key] = index
+            unique.append((index, nest))
+        if hits:
+            self.metrics.count("engine.dedup.hits", hits)
+        return unique, duplicates
+
+    def _run_parallel(self, pairs: Sequence[tuple[int, object]],
+                      machine: MachineModel,
                       workers: int, params: dict) -> list[BatchItem]:
         from concurrent import futures
 
@@ -500,7 +558,7 @@ class AnalysisEngine:
                      if _obs_trace.get_tracer().enabled else None)
         local: list[BatchItem] = []
         tasks: list[_Task] = []
-        for index, nest in enumerate(nests):
+        for index, nest in pairs:
             if isinstance(nest, LoopNest):
                 tasks.append(_Task(index=index, nest=nest, machine=machine,
                                    params=params,
@@ -541,6 +599,206 @@ class AnalysisEngine:
         items.sort(key=lambda item: item.index)
         return items
 
+    # -- streaming corpus fan-out --------------------------------------------
+
+    def optimize_stream(self, nests: Iterable[object],
+                        machine: MachineModel,
+                        workers: int | None = None,
+                        bound: int = DEFAULT_BOUND, max_loops: int = 2,
+                        include_cache: bool = True, trip: int = 100,
+                        chunk_size: int = 32,
+                        window: int = 4096) -> Iterator[BatchItem]:
+        """Optimize an *iterable* corpus, yielding items as they complete.
+
+        The streaming sibling of :meth:`optimize_many` for corpora too
+        large to materialize: nothing holds the input list or the result
+        list, so peak memory stays near-flat in the corpus size.
+
+        * ``workers=None``/``1`` runs in-process, yielding in input
+          order; ``workers=N`` fans chunks of ``chunk_size`` nests over a
+          process pool (eagerly warmed via a pool initializer, so every
+          worker's UGS cache is hot from its first chunk) with at most
+          ``2 * workers`` chunks in flight, yielding in *completion*
+          order -- consume :attr:`BatchItem.index` to reorder.
+        * structural twins dedup against a sliding ``window`` of recent
+          results (and against in-flight chunks) before dispatch, counted
+          as ``engine.dedup.hits``.
+
+        Every yielded item is a :class:`BatchItem`; failures are reported
+        items exactly as in :meth:`optimize_many`.
+        """
+        params = dict(bound=bound, max_loops=max_loops,
+                      include_cache=include_cache, trip=trip)
+        self.metrics.count("stream.runs")
+        if workers is not None and workers > 1:
+            yield from self._stream_parallel(nests, machine, workers,
+                                             params, chunk_size, window)
+        else:
+            yield from self._stream_serial(nests, machine, params, window)
+
+    def _stream_serial(self, nests: Iterable[object], machine: MachineModel,
+                       params: dict, window: int) -> Iterator[BatchItem]:
+        recent = _LRU(window)
+        for index, nest in enumerate(nests):
+            key = (nest.structural_key()
+                   if isinstance(nest, LoopNest) else None)
+            if key is not None:
+                rep = recent.get(key)
+                if rep is not None:
+                    self.metrics.count("engine.dedup.hits")
+                    yield _fan_item(rep, index, nest)
+                    continue
+            item = self._run_one(index, nest, machine, params)
+            self.metrics.count("stream.items")
+            if key is not None:
+                recent.put(key, item)
+            yield item
+
+    def _stream_parallel(self, nests: Iterable[object],
+                         machine: MachineModel, workers: int, params: dict,
+                         chunk_size: int,
+                         window: int) -> Iterator[BatchItem]:
+        from concurrent import futures
+
+        trace_ctx = (_obs_trace.current_context()
+                     if _obs_trace.get_tracer().enabled else None)
+        try:
+            pool = futures.ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_worker,
+                initargs=(self.disk_cache, str(self.cache_dir)))
+        except (OSError, PermissionError, NotImplementedError):
+            self.metrics.count("batch.pool_fallback")
+            yield from self._stream_serial(nests, machine, params, window)
+            return
+
+        recent = _LRU(window)
+        #: key -> duplicates waiting on an in-flight representative.
+        waiting: dict[object, list[tuple[int, LoopNest]]] = {}
+        chunk: list[tuple[int, LoopNest, object]] = []
+        pending: dict = {}  # future -> its chunk's (index, nest, key) list
+        max_pending = 2 * workers
+        source = iter(enumerate(nests))
+        exhausted = False
+
+        def submit() -> None:
+            nonlocal chunk
+            if not chunk:
+                return
+            entries = chunk
+            chunk = []
+            task = _Chunk(entries=tuple((i, nest) for i, nest, _ in entries),
+                          machine=machine, params=params,
+                          disk_cache=self.disk_cache,
+                          cache_dir=str(self.cache_dir), trace=trace_ctx)
+            pending[pool.submit(_optimize_chunk, task)] = entries
+            self.metrics.count("stream.chunks")
+
+        def resolve_local(index: int, nest: LoopNest,
+                          key: object) -> Iterator[BatchItem]:
+            """In-process completion of one entry plus its waiters (the
+            no-process-pool degradation path)."""
+            item = self._run_one(index, nest, machine, params)
+            self.metrics.count("stream.items")
+            recent.put(key, item)
+            yield item
+            dups = waiting.pop(key, ())
+            if dups:
+                self.metrics.count("engine.dedup.hits", len(dups))
+            for dup_index, dup_nest in dups:
+                yield _fan_item(item, dup_index, dup_nest)
+
+        def drain(future) -> Iterator[BatchItem]:
+            entries = pending.pop(future)
+            try:
+                out = future.result()
+            except Exception as err:  # broken pool / unpicklable
+                out = _ChunkResult(items=[
+                    BatchItem(index=i, name=nest.name, ok=False,
+                              error=f"worker failed: "
+                                    f"{type(err).__name__}: {err}")
+                    for i, nest, _ in entries])
+            if out.metrics is not None:
+                self.metrics.merge(out.metrics)
+            if out.spans is not None:
+                _obs_trace.get_tracer().ingest(out.spans)
+            by_index = {item.index: item for item in out.items}
+            for index, nest, key in entries:
+                item = by_index.get(index)
+                if item is None:  # defensive: worker dropped an entry
+                    item = BatchItem(index=index, name=nest.name, ok=False,
+                                     error="worker returned no result")
+                self.metrics.count("stream.items")
+                recent.put(key, item)
+                yield item
+                dups = waiting.pop(key, ())
+                if dups:
+                    self.metrics.count("engine.dedup.hits", len(dups))
+                for dup_index, dup_nest in dups:
+                    yield _fan_item(item, dup_index, dup_nest)
+
+        try:
+            while True:
+                # Fill the pipeline up to the in-flight bound.
+                while not exhausted and len(pending) < max_pending:
+                    try:
+                        index, nest = next(source)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    if not isinstance(nest, LoopNest):
+                        yield self._run_one(index, nest, machine, params)
+                        continue
+                    key = nest.structural_key()
+                    rep = recent.get(key)
+                    if rep is not None:
+                        self.metrics.count("engine.dedup.hits")
+                        yield _fan_item(rep, index, nest)
+                        continue
+                    if key in waiting:
+                        waiting[key].append((index, nest))
+                        continue
+                    waiting[key] = []
+                    chunk.append((index, nest, key))
+                    if len(chunk) >= chunk_size:
+                        submit()
+                if exhausted:
+                    submit()  # flush the partial tail chunk
+                if not pending:
+                    break
+                done, _ = futures.wait(
+                    pending, return_when=futures.FIRST_COMPLETED)
+                for future in done:
+                    yield from drain(future)
+        except (OSError, PermissionError, NotImplementedError):
+            # No working process pool here (sandbox, no fork): degrade to
+            # in-process for everything not yet completed.
+            self.metrics.count("batch.pool_fallback")
+            leftovers = [entry for entries in pending.values()
+                         for entry in entries]
+            for future in pending:
+                future.cancel()
+            pending.clear()
+            leftovers.extend(chunk)
+            chunk = []
+            for index, nest, key in leftovers:
+                yield from resolve_local(index, nest, key)
+            if not exhausted:
+                for index, nest in source:
+                    if not isinstance(nest, LoopNest):
+                        yield self._run_one(index, nest, machine, params)
+                        continue
+                    key = nest.structural_key()
+                    rep = recent.get(key)
+                    if rep is not None:
+                        self.metrics.count("engine.dedup.hits")
+                        yield _fan_item(rep, index, nest)
+                        continue
+                    yield from resolve_local(index, nest, key)
+        finally:
+            for future in pending:
+                future.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+
     # -- cache management ----------------------------------------------------
 
     def cache_stats(self) -> dict:
@@ -551,14 +809,21 @@ class AnalysisEngine:
                 "artifacts": len(self._artifacts),
                 "tables": len(self._tables),
                 "capacity": self._tables.capacity,
+                "ugs": (len(self.ugs_cache)
+                        if self.ugs_cache is not None else 0),
             },
             "counters": {
                 name: value for name, value in
                 sorted(self.metrics.counters.items())
                 if name.startswith("cache.")},
+            # Per-tier ratios: "tables" is the any-tier aggregate;
+            # memory/shared/disk are the lookup tiers in probe order, and
+            # "ugs" is the sub-structural per-set cache.  All flow into
+            # the Prometheus exposition as repro_cache_hit_rate_<family>.
             "hit_rates": {
                 family: self.metrics.hit_rate(f"cache.{family}")
-                for family in ("graph", "artifacts", "tables")},
+                for family in ("graph", "artifacts", "tables", "memory",
+                               "shared", "disk", "ugs")},
             "disk_enabled": self.disk_cache,
         }
         if self.disk_cache:
@@ -572,6 +837,8 @@ class AnalysisEngine:
         self._graphs.clear()
         self._artifacts.clear()
         self._tables.clear()
+        if self.ugs_cache is not None:
+            self.ugs_cache.clear()
 
     # -- disk layer ----------------------------------------------------------
 
@@ -654,6 +921,19 @@ class AnalysisEngine:
             except OSError:
                 pass
 
+def _fan_item(rep: BatchItem, index: int, nest: LoopNest) -> BatchItem:
+    """A duplicate index's item, cloned from its structural twin's.
+
+    The result is re-reported under the duplicate's own nest (twins may
+    differ in name and loop variables); every numeric field is shared.
+    Failures fan out too: a twin of a failing nest fails identically.
+    """
+    result = rep.result
+    if result is not None and result.nest is not nest:
+        result = replace(result, nest=nest)
+    return BatchItem(index=index, name=nest.name, ok=rep.ok, result=result,
+                     error=rep.error, duration_s=0.0)
+
 def _rebind_tables(tables: UnrollTables, nest: LoopNest) -> UnrollTables:
     """Serve cached tables under the caller's nest object.
 
@@ -682,18 +962,78 @@ class _Task:
     cache_dir: str
     trace: tuple[str, str] | None = None  # parent (trace_id, span_id)
 
+@dataclass(frozen=True)
+class _Chunk:
+    """Picklable streaming work unit: a slice of the corpus shipped to a
+    pool worker in one hop (amortizes the per-task IPC of ``_Task``)."""
+
+    entries: tuple[tuple[int, LoopNest], ...]
+    machine: MachineModel
+    params: dict
+    disk_cache: bool = False
+    cache_dir: str = ""
+    trace: tuple[str, str] | None = None
+
+@dataclass
+class _ChunkResult:
+    """One chunk's items plus a single merged metrics/spans envelope."""
+
+    items: list[BatchItem]
+    metrics: dict | None = None
+    spans: list | None = None
+
 _WORKER_ENGINE: AnalysisEngine | None = None
+
+def _init_worker(disk_cache: bool, cache_dir: str) -> None:
+    """Pool initializer: build the per-process engine eagerly so every
+    worker's caches (tables LRU, UGS cache) exist -- and stay warm --
+    from its very first chunk."""
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is None:
+        _WORKER_ENGINE = AnalysisEngine(disk_cache=disk_cache,
+                                        cache_dir=cache_dir)
+
+def _worker_engine(disk_cache: bool, cache_dir: str) -> AnalysisEngine:
+    """The per-process engine with a fresh Metrics for this task, so the
+    snapshot shipped back covers exactly this task's work."""
+    global _WORKER_ENGINE
+    if _WORKER_ENGINE is None:
+        _WORKER_ENGINE = AnalysisEngine(disk_cache=disk_cache,
+                                        cache_dir=cache_dir)
+    engine = _WORKER_ENGINE
+    engine.metrics = Metrics()
+    if engine.ugs_cache is not None:
+        engine.ugs_cache.metrics = engine.metrics
+    return engine
+
+def _optimize_chunk(chunk: _Chunk) -> _ChunkResult:
+    """Run one streamed chunk in a worker; per-nest errors degrade to
+    failed items, exactly as in :meth:`AnalysisEngine._run_one`."""
+    engine = _worker_engine(chunk.disk_cache, chunk.cache_dir)
+    worker_tracer = None
+    previous_tracer = None
+    if chunk.trace is not None:
+        worker_tracer = _obs_trace.Tracer(enabled=True)
+        previous_tracer = _obs_trace.set_tracer(worker_tracer)
+    items: list[BatchItem] = []
+    try:
+        with _obs_trace.activate(chunk.trace):
+            for index, nest in chunk.entries:
+                items.append(engine._run_one(index, nest, chunk.machine,
+                                             chunk.params))
+    finally:
+        if previous_tracer is not None:
+            _obs_trace.set_tracer(previous_tracer)
+    spans = ([span_obj.to_dict() for span_obj in worker_tracer.spans()]
+             if worker_tracer is not None else None)
+    return _ChunkResult(items=items, metrics=engine.metrics.snapshot(),
+                        spans=spans)
 
 def _optimize_task(task: _Task) -> BatchItem:
     """Run one task in a worker, reusing a per-process engine so repeated
     structures stay warm within the worker; returns a picklable item
     carrying the task's metrics snapshot for the parent to merge."""
-    global _WORKER_ENGINE
-    if _WORKER_ENGINE is None:
-        _WORKER_ENGINE = AnalysisEngine(disk_cache=task.disk_cache,
-                                        cache_dir=task.cache_dir)
-    engine = _WORKER_ENGINE
-    engine.metrics = Metrics()
+    engine = _worker_engine(task.disk_cache, task.cache_dir)
     # Trace propagation: when the parent traced the batch, record this
     # task's spans into a fresh worker tracer rooted at the parent's
     # context and ship them back serialized on the item.

@@ -71,6 +71,48 @@ def tables_to_json(tables: UnrollTables) -> str:
     }
     return json.dumps(payload, indent=2)
 
+def ugs_tables_to_json(entry: UgsTables) -> str:
+    """Serialize one set's tables *without* its nest or UGS identity.
+
+    The cross-nest UGS cache (:mod:`repro.engine.ugscache`) stores
+    entries under a canonical signature that already pins down everything
+    numeric; the UGS itself is rebound by the reader, so the payload is
+    pure tables.  Compact separators: these blobs ride the shared mmap
+    segment, where size is capacity.
+    """
+    payload = {
+        "format": "repro-ugs-tables-v1",
+        "base_cost": _frac_to_str(entry.base_cost),
+        "gts": _offset_table_to_dict(entry.gts),
+        "gss": _offset_table_to_dict(entry.gss),
+        "rrs": _offset_table_to_dict(entry.rrs),
+        "registers": _offset_table_to_dict(entry.registers),
+    }
+    return json.dumps(payload, separators=(",", ":"))
+
+def ugs_tables_from_json(text: str, ugs) -> UgsTables:
+    """Reconstruct one set's tables from :func:`ugs_tables_to_json`,
+    bound to the caller's ``ugs`` (a
+    :class:`~repro.reuse.ugs.UniformlyGeneratedSet` whose signature
+    matched the entry's key)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise SerializationError(f"not JSON: {err}") from None
+    if payload.get("format") != "repro-ugs-tables-v1":
+        raise SerializationError("unknown UGS table format")
+    try:
+        return UgsTables(
+            ugs=ugs,
+            base_cost=_frac_from_str(payload["base_cost"]),
+            gts=_offset_table_from_dict(payload["gts"]),
+            gss=_offset_table_from_dict(payload["gss"]),
+            rrs=_offset_table_from_dict(payload["rrs"]),
+            registers=_offset_table_from_dict(payload["registers"]),
+        )
+    except (KeyError, TypeError, ValueError) as err:
+        raise SerializationError(f"malformed UGS tables: {err}") from None
+
 def tables_from_json(text: str) -> UnrollTables:
     """Reconstruct tables from :func:`tables_to_json` output.
 

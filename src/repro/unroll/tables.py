@@ -20,6 +20,7 @@ from fractions import Fraction
 from itertools import product
 from typing import Callable
 
+from repro.fastpath import fast_enabled
 from repro.ir.nodes import LoopNest
 from repro.linalg import VectorSpace
 from repro.reuse.locality import innermost_localized_space
@@ -343,7 +344,7 @@ def build_tables(nest: LoopNest, space: UnrollSpace, line_size: int = 4,
                  trip: int = 100,
                  localized: VectorSpace | None = None,
                  ugs: list[UniformlyGeneratedSet] | None = None,
-                 fast: bool = True) -> UnrollTables:
+                 fast: bool = True, ugs_cache=None) -> UnrollTables:
     """Build the GTS/GSS/RRS/RL tables for every UGS of ``nest``.
 
     ``localized`` is the cache-localized space (default: innermost loop).
@@ -353,12 +354,27 @@ def build_tables(nest: LoopNest, space: UnrollSpace, line_size: int = 4,
     seed construction -- separate stream-chain evaluations per table and
     scan-only box sums -- kept for the parity suite and the cold-analysis
     benchmark's seed measurement.
+
+    ``ugs_cache`` (a :class:`repro.engine.ugscache.UgsTableCache`, or any
+    object with the same ``key_for``/``fetch``/``store`` surface)
+    memoizes per-set tables under their canonical signature, so sets seen
+    in *any* previously built nest are served in O(1).  Consulted only on
+    the fast path -- seed-mode builds (``fast=False`` or inside
+    :func:`repro.fastpath.seed_algorithms`) always recompute.
     """
     localized = localized if localized is not None else innermost_localized_space(nest)
     inner = VectorSpace.spanned_by_axes([nest.depth - 1], nest.depth)
     sets = partition_ugs(nest) if ugs is None else ugs
+    use_cache = ugs_cache is not None and fast and fast_enabled()
     per_ugs: list[UgsTables] = []
     for group in sets:
+        if use_cache:
+            cache_key = ugs_cache.key_for(group, space, localized,
+                                          line_size, trip)
+            cached = ugs_cache.fetch(cache_key, group)
+            if cached is not None:
+                per_ugs.append(cached)
+                continue
         base = _equation1_base(group, localized, line_size, trip)
         gts = None  # built jointly with the stream tables when shareable
         if is_analyzable(group):
@@ -464,12 +480,15 @@ def build_tables(nest: LoopNest, space: UnrollSpace, line_size: int = 4,
 
         if gts is None:
             gts = OffsetTable.from_counts(space, count_gts, prefix=fast)
-        per_ugs.append(UgsTables(
+        entry = UgsTables(
             ugs=group,
             base_cost=base,
             gts=gts,
             gss=OffsetTable.from_counts(space, count_gss, prefix=fast),
             rrs=rrs,
             registers=registers,
-        ))
+        )
+        if use_cache:
+            ugs_cache.store(cache_key, entry)
+        per_ugs.append(entry)
     return UnrollTables(nest, space, line_size, trip, per_ugs, fast=fast)

@@ -46,6 +46,8 @@ BASE_REUSE = {"direct_mean_abs_error": 0.033,
               "assoc8_mean_abs_error": 0.025}
 BASE_SIMD = {"packable_fraction": 0.31, "win_fraction": 1.0,
              "parity_mismatches": 0.0, "invariance_mismatches": 0.0}
+BASE_UGS = {"cached_nests_per_sec": 60.0, "speedup": 1.7,
+            "decision_mismatches": 0.0, "stream_peak_mb": 5.5}
 
 def engine_results(nests_per_sec: float = 40.0,
                    hit_rate: float = 1.0) -> dict:
@@ -91,6 +93,13 @@ def simd_results(packable: float = 0.31, wins: float = 1.0,
             "parity": {"mismatches": parity},
             "invariance": {"mismatches": invariance}}
 
+def ugs_results(per_sec: float = 60.0, speedup: float = 1.7,
+                mismatches: float = 0.0, peak_mb: float = 5.5) -> dict:
+    return {"cached": {"nests_per_sec": per_sec},
+            "speedup": speedup,
+            "parity": {"decision_mismatches": mismatches},
+            "stream": {"large": {"peak_mb": peak_mb}}}
+
 _DEFAULT = object()  # sentinel: include plausible results for the bench
 
 def write_tree(tmp_path: pathlib.Path, engine: dict | None,
@@ -100,7 +109,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
                cold: dict | None | object = _DEFAULT,
                predict: dict | None | object = _DEFAULT,
                reuse: dict | None | object = _DEFAULT,
-               simd: dict | None | object = _DEFAULT) -> tuple[
+               simd: dict | None | object = _DEFAULT,
+               ugs: dict | None | object = _DEFAULT) -> tuple[
                    pathlib.Path, pathlib.Path]:
     results = tmp_path / "results"
     results.mkdir(exist_ok=True)
@@ -114,6 +124,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
         reuse = reuse_results()
     if simd is _DEFAULT:
         simd = simd_results()
+    if ugs is _DEFAULT:
+        ugs = ugs_results()
     if engine is not None:
         (results / "engine_throughput.json").write_text(json.dumps(engine))
     if serve is not None:
@@ -129,6 +141,8 @@ def write_tree(tmp_path: pathlib.Path, engine: dict | None,
         (results / "reuse_profile.json").write_text(json.dumps(reuse))
     if simd is not None:
         (results / "simd.json").write_text(json.dumps(simd))
+    if ugs is not None:
+        (results / "ugs_cache.json").write_text(json.dumps(ugs))
     baseline_dir = tmp_path / "baselines"
     baseline_dir.mkdir(exist_ok=True)
     for name, metrics in (baselines or {}).items():
@@ -142,7 +156,8 @@ DEFAULT_BASELINES = {"engine_throughput": BASE_ENGINE,
                      "cold_analysis": BASE_COLD,
                      "predict": BASE_PREDICT,
                      "reuse_profile": BASE_REUSE,
-                     "simd": BASE_SIMD}
+                     "simd": BASE_SIMD,
+                     "ugs_cache": BASE_UGS}
 
 class TestCompare:
     def test_synthetic_2x_slowdown_fails(self):
@@ -203,7 +218,7 @@ class TestCheckAndUpdate:
                                         serve_results(),
                                         DEFAULT_BASELINES)
         rows, ok = regression.check(results, baselines, 0.25)
-        assert ok and len(rows) == 22
+        assert ok and len(rows) == 26
 
     def test_check_fails_on_2x_slowdown_tree(self, tmp_path):
         results, baselines = write_tree(
@@ -249,7 +264,8 @@ class TestCheckAndUpdate:
                                              "cold_analysis.json",
                                              "predict.json",
                                              "reuse_profile.json",
-                                             "simd.json"}
+                                             "simd.json",
+                                             "ugs_cache.json"}
         _, ok = regression.check(results, baselines, 0.25)
         assert ok
         doc = json.loads((baselines / "engine_throughput.json").read_text())
@@ -287,7 +303,7 @@ class TestMainAndTable:
         assert table.startswith("### Benchmark regression gate")
         assert "| benchmark | metric | baseline | current | delta " \
             "| status |" in table
-        assert table.count("✅") == 22
+        assert table.count("✅") == 26
         # One data row per tracked metric, rendered as a pipe table.
         data_rows = [line for line in table.splitlines()
                      if line.startswith("| engine_throughput")
@@ -296,8 +312,9 @@ class TestMainAndTable:
                      or line.startswith("| cold_analysis")
                      or line.startswith("| predict")
                      or line.startswith("| reuse_profile")
-                     or line.startswith("| simd")]
-        assert len(data_rows) == 22
+                     or line.startswith("| simd")
+                     or line.startswith("| ugs_cache")]
+        assert len(data_rows) == 26
         capsys.readouterr()
 
     def test_committed_baselines_are_wellformed(self):

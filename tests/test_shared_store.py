@@ -78,6 +78,37 @@ class TestStore:
         segments = list(tmp_path.glob("segment-*.bin"))
         assert len(segments) == 1
 
+    def test_mixed_nest_and_ugs_entries_coexist(self, tmp_path):
+        """Whole-nest tables and ``ugs-`` blobs share one segment: the
+        key prefixes keep the namespaces disjoint and both kinds survive
+        a remap."""
+        tables, _ = _tables()
+        store = SharedTableStore(tmp_path)
+        assert store.put("a" * 64, tables)
+        assert store.put_blob("ugs-" + "b" * 32, b'{"k": 1}')
+        fresh = SharedTableStore(tmp_path)
+        assert fresh.get("a" * 64) is not None
+        assert fresh.get_blob("ugs-" + "b" * 32) == b'{"k": 1}'
+        assert fresh.get_blob("a" * 64) is not None  # same blob surface
+
+    def test_mixed_eviction_is_kind_blind(self, tmp_path):
+        """At the entry cap, insertion order decides eviction regardless
+        of entry kind; old segments are still collected down to one."""
+        tables, _ = _tables()
+        store = SharedTableStore(tmp_path, max_entries=3)
+        assert store.put("nest0", tables)
+        for i in range(3):
+            assert store.put_blob(f"ugs-{i:032d}", b"blob")
+        # Cap is 3: the oldest (the nest-level entry) fell out.
+        assert store.get_blob("nest0") is None
+        assert all(store.get_blob(f"ugs-{i:032d}") is not None
+                   for i in range(3))
+        # Now push the nest entry back and age out one UGS blob.
+        assert store.put("nest1", tables)
+        assert store.get_blob("ugs-" + "0" * 31 + "0") is None
+        assert store.get_blob("nest1") is not None
+        assert len(list(tmp_path.glob("segment-*.bin"))) == 1
+
     def test_corrupt_segment_degrades_to_miss(self, tmp_path):
         tables, _ = _tables()
         SharedTableStore(tmp_path).put("k", tables)
